@@ -1,0 +1,87 @@
+// Ablation (Section 2.3): differential identifiability over a lineup of
+// |Psi| possible worlds (Lee & Clifton's original threat model).
+//
+// The paper works with |Psi| = 2, the DP worst case (Li et al.). This bench
+// quantifies how the adversary's certainty about the true training dataset
+// decays as the lineup grows, at fixed noise — the "how much is enough"
+// question the DI line of work asked before it was tied to DP.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/multi_world.h"
+#include "core/scores.h"
+
+namespace dpaudit {
+namespace {
+
+using bench::BenchParams;
+using bench::Task;
+
+void Run() {
+  BenchParams params;
+  bench::PrintHeader("Ablation: multi-world lineup size", params);
+  Task task = bench::MakePurchaseTask(params);
+
+  // Candidate worlds: D plus lineups where one record is replaced by
+  // successively ranked dataset-sensitivity candidates (all genuinely
+  // different records, so worlds are distinguishable in principle).
+  auto ranked = RankBoundedCandidates(task.d, task.pool, task.dissimilarity);
+  DPAUDIT_CHECK_OK(ranked.status());
+
+  const double strong_z = *NoiseMultiplierForTargetEpsilon(
+      *EpsilonForRhoBeta(0.9), task.delta, params.epochs);
+  struct NoiseSetting {
+    const char* label;
+    double z;
+  };
+  const NoiseSetting settings[] = {
+      {"weak noise (z = 0.3)", 0.3},
+      {"rho_beta = 0.9 noise", strong_z},
+  };
+  for (const NoiseSetting& setting : settings) {
+    TableWriter table({"|Psi|", "chance rate", "identification rate",
+                       "mean belief in truth", "max belief in truth"});
+    for (size_t num_worlds : {2, 4, 8}) {
+      std::vector<Dataset> worlds;
+      worlds.push_back(task.d);
+      for (size_t w = 1; w < num_worlds; ++w) {
+        // Spread the picks across the ranking so the differing records are
+        // distinct pool members.
+        size_t pick = (w - 1) * (ranked->size() / num_worlds);
+        worlds.push_back(MakeBoundedNeighbor(task.d, task.pool,
+                                             (*ranked)[pick]));
+      }
+      MultiWorldExperimentConfig config;
+      config.dpsgd.epochs = params.epochs;
+      config.dpsgd.learning_rate = params.learning_rate;
+      config.dpsgd.clip_norm = params.clip_norm;
+      config.dpsgd.noise_multiplier = setting.z;
+      config.repetitions = std::max<size_t>(10, params.reps / 2);
+      config.seed = params.seed;
+      auto summary = RunMultiWorldExperiment(task.architecture, worlds,
+                                             /*true_world=*/0, config);
+      DPAUDIT_CHECK_OK(summary.status());
+      table.AddRow(
+          {TableWriter::Cell(num_worlds),
+           TableWriter::Cell(1.0 / static_cast<double>(num_worlds), 3),
+           TableWriter::Cell(summary->identification_rate, 3),
+           TableWriter::Cell(summary->mean_true_belief, 4),
+           TableWriter::Cell(summary->max_true_belief, 4)});
+    }
+    bench::Emit(std::string("Purchase-100 lineup, ") + setting.label, table);
+  }
+  std::cout << "\nexpected shape: under weak noise the adversary stays well "
+               "above chance at every lineup size; under rho_beta = 0.9 "
+               "noise the posterior dilutes toward the uniform 1/|Psi| — "
+               "DP-calibrated noise, not lineup size, provides the "
+               "protection\n";
+}
+
+}  // namespace
+}  // namespace dpaudit
+
+int main() {
+  dpaudit::Run();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 1: the decision boundary of A_DI for a scalar Gaussian mechanism.
+//
+// f(D) = 0 and f(D') = 1; the mechanism adds N(0, sigma^2). Panel (a) is the
+// two output densities g_X1 (centered at f(D)) and g_X0 (centered at f(D'));
+// panel (b) is the posterior belief curves beta(D | r), beta(D' | r). The
+// naive Bayes decision flips where the densities (equivalently the beliefs)
+// cross, at r = 1/2.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/belief.h"
+#include "dp/calibration.h"
+#include "dp/mechanism.h"
+#include "stats/normal.h"
+
+namespace dpaudit {
+namespace {
+
+void Run() {
+  const double f_d = 0.0;
+  const double f_dprime = 1.0;
+  const PrivacyParams params{1.0, 1e-6};
+  const double sigma = *GaussianSigma(params, f_dprime - f_d);
+  GaussianMechanism mechanism(sigma);
+
+  std::cout << "Figure 1: decision boundary of A_DI\n"
+            << "f(D) = 0, f(D') = 1, " << params.ToString()
+            << ", sigma = " << sigma << "\n";
+
+  TableWriter table({"r", "g_X1(r)", "g_X0(r)", "beta(D|r)", "beta(D'|r)",
+                     "decision"});
+  for (double r = -3.0; r <= 4.0 + 1e-9; r += 0.25) {
+    double log_p_d = mechanism.LogDensityScalar(r, f_d);
+    double log_p_dprime = mechanism.LogDensityScalar(r, f_dprime);
+    double belief_d = SingleObservationBelief(log_p_d, log_p_dprime);
+    table.AddRow({TableWriter::Cell(r, 2),
+                  TableWriter::Cell(NormalPdf(r, f_d, sigma), 4),
+                  TableWriter::Cell(NormalPdf(r, f_dprime, sigma), 4),
+                  TableWriter::Cell(belief_d, 4),
+                  TableWriter::Cell(1.0 - belief_d, 4),
+                  belief_d > 0.5 ? "D" : "D'"});
+  }
+  bench::Emit("densities and posterior beliefs over observed r", table);
+
+  // The crossover point: by symmetry it must sit at (f(D) + f(D'))/2.
+  std::cout << "\ndecision boundary (belief = 0.5) at r = "
+            << 0.5 * (f_d + f_dprime) << "\n";
+}
+
+}  // namespace
+}  // namespace dpaudit
+
+int main() {
+  dpaudit::Run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 2: error regions of A_DI,Gau for varying epsilon.
+//
+// Two Gaussian output distributions one sensitivity unit apart; the Bayes
+// decision boundary sits halfway between the means. The shaded error region
+// of the paper is the mass each density puts on the wrong side; squeezing
+// epsilon from 6 to 3 (delta = 1e-6) widens the noise and grows the error
+// region, shrinking Adv^DI,Gau.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/scores.h"
+#include "dp/calibration.h"
+#include "stats/normal.h"
+
+namespace dpaudit {
+namespace {
+
+void Run() {
+  const double delta = 1e-6;
+  const double sensitivity = 1.0;
+  std::cout << "Figure 2: error regions for varying epsilon, M_Gau\n";
+
+  TableWriter summary({"epsilon", "sigma", "Pr(error)", "Adv^DI,Gau",
+                       "rho_alpha bound"});
+  for (double epsilon : {6.0, 3.0}) {
+    double sigma = *GaussianSigma({epsilon, delta}, sensitivity);
+    // Decision boundary at Df/2; error = mass of N(0, sigma^2) beyond it.
+    double error = 1.0 - NormalCdf(sensitivity / (2.0 * sigma));
+    double advantage = GaussianAdvantage(sensitivity / sigma);
+    summary.AddRow({TableWriter::Cell(epsilon, 1),
+                    TableWriter::Cell(sigma, 4),
+                    TableWriter::Cell(error, 4),
+                    TableWriter::Cell(advantage, 4),
+                    TableWriter::Cell(*RhoAlpha(epsilon, delta), 4)});
+  }
+  bench::Emit("summary per epsilon (panel captions)", summary);
+
+  for (double epsilon : {6.0, 3.0}) {
+    double sigma = *GaussianSigma({epsilon, delta}, sensitivity);
+    TableWriter curve({"r", "pdf@f(D)", "pdf@f(D')", "in_error_region"});
+    for (double r = -2.0; r <= 3.0 + 1e-9; r += 0.25) {
+      // Error region of the D-hypothesis: observations past the boundary.
+      bool err = r > sensitivity / 2.0;
+      curve.AddRow({TableWriter::Cell(r, 2),
+                    TableWriter::Cell(NormalPdf(r, 0.0, sigma), 4),
+                    TableWriter::Cell(NormalPdf(r, sensitivity, sigma), 4),
+                    err ? "yes" : "no"});
+    }
+    bench::Emit("panel: epsilon = " + TableWriter::Cell(epsilon, 0), curve);
+  }
+}
+
+}  // namespace
+}  // namespace dpaudit
+
+int main() {
+  dpaudit::Run();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 10: empirical privacy loss epsilon' from the empirical membership
+// advantage (inverse of Theorem 2), against the target epsilon, for
+// Delta f = LS vs GS (bounded DP).
+//
+// Expected shape: LS tracks the diagonal within the advantage's sampling
+// confidence interval (the paper notes occasional eps' > eps for exactly
+// this reason); GS stays below. The advantage estimator carries ~1/sqrt(R)
+// binomial noise — this binary uses the full repetition budget per cell and
+// reports the Wilson interval so low-R runs read honestly.
+
+#include <iostream>
+
+#include "bench/bench_audit_sweep.h"
+#include "stats/summary.h"
+
+namespace dpaudit {
+namespace {
+
+void Run() {
+  bench::BenchParams params;
+  bench::PrintHeader("Figure 10: epsilon' from empirical advantage", params);
+  for (auto make_task :
+       {bench::MakeMnistTask, bench::MakePurchaseTask}) {
+    bench::Task task = make_task(params);
+    std::vector<bench::AuditSweepRow> rows =
+        bench::RunAuditSweep(params, task, /*reps_override=*/params.reps);
+    TableWriter table({"dataset", "target eps", "Delta f", "Adv",
+                       "Adv 95% lo", "Adv 95% hi", "eps' (Adv^DI,Gau)",
+                       "eps' / eps"});
+    for (const bench::AuditSweepRow& row : rows) {
+      double eps_prime = row.report.epsilon_from_advantage;
+      Interval ci = WilsonInterval(row.wins, row.repetitions);
+      table.AddRow({row.dataset, TableWriter::Cell(row.target_epsilon, 2),
+                    row.sensitivity, TableWriter::Cell(row.advantage, 3),
+                    TableWriter::Cell(2.0 * ci.lo - 1.0, 3),
+                    TableWriter::Cell(2.0 * ci.hi - 1.0, 3),
+                    TableWriter::Cell(eps_prime, 3),
+                    TableWriter::Cell(eps_prime / row.target_epsilon, 3)});
+    }
+    bench::Emit(task.name + ": eps' from empirical advantage", table);
+  }
+  std::cout << "\nexpected shape: LS rows dominate GS rows; the point "
+               "estimates are binomial-noisy at bench-scale repetitions "
+               "(negative advantages audit to eps' = 0) and converge toward "
+               "Figure 8 as DPAUDIT_REPS grows, as the paper predicts\n";
+}
+
+}  // namespace
+}  // namespace dpaudit
+
+int main() {
+  dpaudit::Run();
+  return 0;
+}

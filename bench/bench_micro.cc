@@ -1,0 +1,141 @@
+// Microbenchmarks (google-benchmark) for the library's hot paths: noise
+// mechanisms, accountant queries, belief updates, per-example gradients,
+// and the synthetic data generators.
+
+#include <benchmark/benchmark.h>
+
+#include "core/belief.h"
+#include "data/dissimilarity.h"
+#include "data/synthetic_mnist.h"
+#include "data/synthetic_purchase.h"
+#include "dp/mechanism.h"
+#include "dp/rdp_accountant.h"
+#include "nn/network.h"
+#include "stats/normal.h"
+#include "util/random.h"
+
+namespace dpaudit {
+namespace {
+
+void BM_GaussianPerturbVector(benchmark::State& state) {
+  GaussianMechanism mechanism(1.0);
+  Rng rng(1);
+  std::vector<float> values(static_cast<size_t>(state.range(0)), 0.0f);
+  for (auto _ : state) {
+    mechanism.Perturb(values, rng);
+    benchmark::DoNotOptimize(values.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GaussianPerturbVector)->Arg(1024)->Arg(65536);
+
+void BM_GaussianLogDensity(benchmark::State& state) {
+  GaussianMechanism mechanism(1.0);
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<float> observed(n, 0.5f);
+  std::vector<float> center(n, 0.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mechanism.LogDensity(observed, center));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GaussianLogDensity)->Arg(1024)->Arg(65536);
+
+void BM_NormalQuantile(benchmark::State& state) {
+  double p = 0.1234;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NormalQuantile(p));
+    p = p < 0.9 ? p + 1e-6 : 0.1;
+  }
+}
+BENCHMARK(BM_NormalQuantile);
+
+void BM_RdpAccountantEpsilon(benchmark::State& state) {
+  RdpAccountant accountant;
+  accountant.AddGaussianSteps(1.3, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accountant.GetEpsilon(1e-5));
+  }
+}
+BENCHMARK(BM_RdpAccountantEpsilon)->Arg(30)->Arg(10000);
+
+void BM_NoiseCalibrationBisection(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        NoiseMultiplierForTargetEpsilon(2.2, 0.001, 30));
+  }
+}
+BENCHMARK(BM_NoiseCalibrationBisection);
+
+void BM_BeliefUpdate(benchmark::State& state) {
+  PosteriorBeliefTracker tracker;
+  double a = -1.0;
+  double b = -1.1;
+  for (auto _ : state) {
+    tracker.Observe(a, b);
+    benchmark::DoNotOptimize(tracker.belief_d());
+  }
+}
+BENCHMARK(BM_BeliefUpdate);
+
+void BM_MnistPerExampleGradient(benchmark::State& state) {
+  Network net = BuildMnistNetwork();
+  Rng rng(2);
+  net.Initialize(rng);
+  SyntheticMnistConfig config;
+  Tensor image = RenderSyntheticDigit(3, config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.PerExampleGradient(image, 3));
+  }
+}
+BENCHMARK(BM_MnistPerExampleGradient);
+
+void BM_PurchasePerExampleGradient(benchmark::State& state) {
+  Network net = BuildPurchaseNetwork();
+  Rng rng(3);
+  net.Initialize(rng);
+  SyntheticPurchaseGenerator generator(SyntheticPurchaseConfig{}, 4);
+  Tensor record = generator.Sample(7, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.PerExampleGradient(record, 7));
+  }
+}
+BENCHMARK(BM_PurchasePerExampleGradient);
+
+void BM_RenderSyntheticDigit(benchmark::State& state) {
+  SyntheticMnistConfig config;
+  Rng rng(5);
+  size_t digit = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RenderSyntheticDigit(digit, config, rng));
+    digit = (digit + 1) % 10;
+  }
+}
+BENCHMARK(BM_RenderSyntheticDigit);
+
+void BM_Ssim28x28(benchmark::State& state) {
+  SyntheticMnistConfig config;
+  Rng rng(6);
+  Tensor a = RenderSyntheticDigit(1, config, rng);
+  Tensor b = RenderSyntheticDigit(8, config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Ssim(a, b));
+  }
+}
+BENCHMARK(BM_Ssim28x28);
+
+void BM_Hamming600(benchmark::State& state) {
+  SyntheticPurchaseGenerator generator(SyntheticPurchaseConfig{}, 7);
+  Rng rng(8);
+  Tensor a = generator.Sample(1, rng);
+  Tensor b = generator.Sample(2, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HammingDistance(a, b));
+  }
+}
+BENCHMARK(BM_Hamming600);
+
+}  // namespace
+}  // namespace dpaudit
+
+BENCHMARK_MAIN();

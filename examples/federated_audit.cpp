@@ -1,0 +1,95 @@
+// federated_audit: the deployment scenario the paper motivates A_DI with
+// (Sections 6.1, 7) — federated learning, where every participant observes
+// the per-round aggregate updates.
+//
+// A victim client's shard either contains a particular record (D_v) or has
+// it replaced (D_v'). An honest-but-curious participant with DP-adversary
+// knowledge runs the posterior-belief attack against the released updates,
+// once with weak noise and once with noise calibrated to rho_beta = 0.9.
+//
+//   ./federated_audit [rounds]   (default 30)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/scores.h"
+#include "data/dataset_sensitivity.h"
+#include "data/synthetic_purchase.h"
+#include "dp/rdp_accountant.h"
+#include "federated/federated.h"
+#include "nn/network.h"
+
+using namespace dpaudit;
+
+int main(int argc, char** argv) {
+  size_t rounds = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 30;
+  const double delta = 0.01;
+
+  SyntheticPurchaseConfig data_config;
+  data_config.num_classes = 30;
+  SyntheticPurchaseGenerator generator(data_config, 31);
+  Rng rng(37);
+
+  // Three honest clients plus the victim.
+  std::vector<Dataset> shards = {generator.Generate(15, rng),
+                                 generator.Generate(15, rng),
+                                 generator.Generate(15, rng)};
+  Dataset pool = generator.Generate(30, rng);
+  Dataset victim_d = generator.Generate(15, rng);
+  auto candidates = RankBoundedCandidates(victim_d, pool, HammingDistance);
+  Dataset victim_d_prime =
+      MakeBoundedNeighbor(victim_d, pool, candidates->front());
+
+  Network architecture =
+      BuildPurchaseNetwork(data_config.num_features, 48,
+                           data_config.num_classes);
+  Rng init_rng(41);
+  architecture.Initialize(init_rng);
+
+  struct Setting {
+    const char* label;
+    double noise_multiplier;
+  };
+  const double eps_for_09 = *EpsilonForRhoBeta(0.9);
+  Setting settings[] = {
+      {"weak noise (z = 0.05)", 0.05},
+      {"rho_beta = 0.9 calibration",
+       *NoiseMultiplierForTargetEpsilon(eps_for_09, delta, rounds)},
+  };
+
+  std::printf("federated learning: 3 honest clients + 1 victim, %zu "
+              "rounds\n\n",
+              rounds);
+  for (const Setting& setting : settings) {
+    FederatedConfig config;
+    config.rounds = rounds;
+    config.learning_rate = 0.005;
+    config.clip_norm = 3.0;
+    config.noise_multiplier = setting.noise_multiplier;
+    config.sensitivity_mode = SensitivityMode::kLocalHat;
+    Rng run_rng(43);
+    auto result = RunFederatedTraining(architecture, shards, victim_d,
+                                       victim_d_prime, /*victim_has_d=*/true,
+                                       config, run_rng);
+    if (!result.ok()) {
+      std::fprintf(stderr, "federated run failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s (z = %.3f):\n", setting.label,
+                setting.noise_multiplier);
+    std::printf("  adversary belief in D_v per round:");
+    for (size_t i = 0; i < result->beliefs.size(); i += 5) {
+      std::printf(" %.3f", result->beliefs[i]);
+    }
+    std::printf(" ... final %.3f\n", result->beliefs.back());
+    std::printf("  adversary identifies the record: %s\n\n",
+                result->adversary_says_victim_d ? "YES (privacy breach)"
+                                                : "no");
+  }
+  std::printf("takeaway: without DP calibration a curious participant "
+              "identifies the victim's record\n"
+              "from the aggregate updates alone; calibrating to rho_beta = "
+              "0.9 keeps its certainty bounded.\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+#include "core/adversary.h"
+
+#include <algorithm>
+
+#include "dp/mechanism.h"
+
+namespace dpaudit {
+
+void DiAdversary::OnStep(size_t /*step*/, const std::vector<float>& sum_d,
+                         const std::vector<float>& sum_dprime,
+                         const std::vector<float>& released, double sigma) {
+  GaussianMechanism mechanism(sigma);
+  double log_p_d = mechanism.LogDensity(released, sum_d);
+  double log_p_dprime = mechanism.LogDensity(released, sum_dprime);
+  tracker_.Observe(log_p_d, log_p_dprime);
+}
+
+double DiAdversary::MaxBeliefD() const {
+  const std::vector<double>& history = tracker_.history();
+  return *std::max_element(history.begin(), history.end());
+}
+
+}  // namespace dpaudit

@@ -1,0 +1,56 @@
+// The implementable DP adversary A_DI,Gau (Algorithm 1).
+//
+// A_DI knows both neighboring datasets, the initial weights, the mechanism
+// and its parameters, and observes every perturbed gradient release. It acts
+// as a naive Bayes classifier over the releases (Eq. 4): per step it scores
+// the observed release under the two Gaussian hypotheses centered at the
+// clipped gradient sums of D and D', updates its posterior belief (Lemma 1),
+// and finally outputs the dataset with the higher belief.
+//
+// Implemented as a DpSgdStepObserver so a single training run produces both
+// the model and the adversary's full belief trajectory.
+
+#ifndef DPAUDIT_CORE_ADVERSARY_H_
+#define DPAUDIT_CORE_ADVERSARY_H_
+
+#include <vector>
+
+#include "core/belief.h"
+#include "core/dpsgd.h"
+
+namespace dpaudit {
+
+class DiAdversary : public DpSgdStepObserver {
+ public:
+  /// Uniform prior (the paper's assumption) unless specified.
+  explicit DiAdversary(double prior_belief_d = 0.5)
+      : tracker_(prior_belief_d) {}
+
+  /// Consumes one release: computes the Gaussian log-likelihood of the
+  /// released vector under both hypotheses and updates the posterior.
+  void OnStep(size_t step, const std::vector<float>& sum_d,
+              const std::vector<float>& sum_dprime,
+              const std::vector<float>& released, double sigma) override;
+
+  /// beta_k(D): the adversary's final belief that training ran on D.
+  double FinalBeliefD() const { return tracker_.belief_d(); }
+
+  /// Largest belief in D attained at any step (the auditing statistic of
+  /// Section 6.4, Figure 9).
+  double MaxBeliefD() const;
+
+  /// beta_0 .. beta_k trajectory.
+  const std::vector<double>& BeliefHistory() const {
+    return tracker_.history();
+  }
+
+  /// The adversary's output b' (Algorithm 1 step 14): true = D.
+  bool DecideD() const { return tracker_.DecideD(); }
+
+ private:
+  PosteriorBeliefTracker tracker_;
+};
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_CORE_ADVERSARY_H_

@@ -1,0 +1,30 @@
+#include "core/belief.h"
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace dpaudit {
+
+PosteriorBeliefTracker::PosteriorBeliefTracker(double prior_belief_d) {
+  DPAUDIT_CHECK_GT(prior_belief_d, 0.0);
+  DPAUDIT_CHECK_LT(prior_belief_d, 1.0);
+  prior_logit_ = Logit(prior_belief_d);
+  history_.push_back(prior_belief_d);
+}
+
+void PosteriorBeliefTracker::Observe(double log_density_d,
+                                     double log_density_dprime) {
+  llr_ += log_density_d - log_density_dprime;
+  history_.push_back(belief_d());
+}
+
+double PosteriorBeliefTracker::belief_d() const {
+  return Sigmoid(prior_logit_ + llr_);
+}
+
+double SingleObservationBelief(double log_density_d,
+                               double log_density_dprime) {
+  return Sigmoid(log_density_d - log_density_dprime);
+}
+
+}  // namespace dpaudit

@@ -1,0 +1,60 @@
+// Bayesian posterior-belief tracking (Definition 4 / Lemma 1).
+//
+// The adversary A_DI updates its belief in dataset D after each mechanism
+// release. Lemma 1 shows the final belief is a function of the product of
+// per-step likelihood ratios; we accumulate the log-likelihood-ratio
+//   llr_k = sum_i [ log Pr(M_i(D) = r_i) - log Pr(M_i(D') = r_i) ]
+// and recover beta_k = sigmoid(llr_k + logit(prior)), which is numerically
+// exact where the naive product of thousands-dimensional Gaussian densities
+// would under/overflow.
+
+#ifndef DPAUDIT_CORE_BELIEF_H_
+#define DPAUDIT_CORE_BELIEF_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace dpaudit {
+
+/// Tracks beta_i(D) over a sequence of observed mechanism outputs.
+class PosteriorBeliefTracker {
+ public:
+  /// Starts from the given prior belief in D (the paper assumes 0.5).
+  /// Requires prior in (0, 1).
+  explicit PosteriorBeliefTracker(double prior_belief_d = 0.5);
+
+  /// Records one release: the log-densities of the observed output under the
+  /// D-hypothesis and the D'-hypothesis.
+  void Observe(double log_density_d, double log_density_dprime);
+
+  /// Current belief beta_k(D); beta_k(D') is 1 - belief_d().
+  double belief_d() const;
+
+  /// Accumulated log-likelihood ratio sum_i (log p_i - log p'_i).
+  double log_likelihood_ratio() const { return llr_; }
+
+  /// beta_0, beta_1, ..., beta_k (index i = belief after i observations).
+  const std::vector<double>& history() const { return history_; }
+
+  size_t steps() const { return history_.size() - 1; }
+
+  /// The adversary's decision rule (Eq. 4): true = "the mechanism ran on D".
+  /// Ties (belief exactly 1/2) favor D', matching a conservative adversary.
+  bool DecideD() const { return belief_d() > 0.5; }
+
+ private:
+  double prior_logit_;
+  double llr_ = 0.0;
+  std::vector<double> history_;
+};
+
+/// One-shot belief for a single release (the k = 1 case of Lemma 1), used by
+/// closed-form analyses: beta = 1 / (1 + exp(log p' - log p)) with uniform
+/// priors.
+double SingleObservationBelief(double log_density_d,
+                               double log_density_dprime);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_CORE_BELIEF_H_

@@ -1,0 +1,148 @@
+#include "core/dpsgd.h"
+
+#include <cmath>
+
+#include "dp/mechanism.h"
+#include "dp/sensitivity.h"
+#include "stats/summary.h"
+#include "util/logging.h"
+
+namespace dpaudit {
+
+Status DpSgdConfig::Validate() const {
+  if (epochs == 0) return Status::InvalidArgument("epochs must be > 0");
+  if (!(learning_rate > 0.0)) {
+    return Status::InvalidArgument("learning rate must be > 0");
+  }
+  if (!(clip_norm > 0.0)) {
+    return Status::InvalidArgument("clip norm must be > 0");
+  }
+  if (!(noise_multiplier > 0.0)) {
+    return Status::InvalidArgument("noise multiplier must be > 0");
+  }
+  if (adaptive_clipping) {
+    if (!(clip_quantile > 0.0 && clip_quantile < 1.0)) {
+      return Status::InvalidArgument("clip quantile must be in (0, 1)");
+    }
+    if (!(clip_smoothing > 0.0 && clip_smoothing <= 1.0)) {
+      return Status::InvalidArgument("clip smoothing must be in (0, 1]");
+    }
+    if (per_layer_clipping) {
+      return Status::InvalidArgument(
+          "adaptive and per-layer clipping cannot be combined");
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<DpSgdResult> RunDpSgd(const Network& initial, const Dataset& d,
+                               const Dataset& d_prime, bool train_on_d,
+                               const DpSgdConfig& config, Rng& rng,
+                               DpSgdStepObserver* observer) {
+  DPAUDIT_RETURN_IF_ERROR(config.Validate());
+  if (d.empty()) return Status::InvalidArgument("D must be non-empty");
+  if (d_prime.empty()) {
+    return Status::InvalidArgument("D' must be non-empty");
+  }
+  if (config.neighbor_mode == NeighborMode::kBounded &&
+      d.size() != d_prime.size()) {
+    return Status::InvalidArgument(
+        "bounded DP requires |D| == |D'| (one record replaced)");
+  }
+  if (config.neighbor_mode == NeighborMode::kUnbounded &&
+      d.size() != d_prime.size() + 1) {
+    return Status::InvalidArgument(
+        "unbounded DP requires |D| == |D'| + 1 (one record removed)");
+  }
+
+  DpSgdResult result;
+  result.model = initial.Clone();
+  result.steps.reserve(config.epochs);
+  std::unique_ptr<Optimizer> optimizer =
+      MakeOptimizer(config.optimizer, config.learning_rate);
+  const double n = static_cast<double>(d.size());
+  double clip = config.clip_norm;
+
+  for (size_t step = 0; step < config.epochs; ++step) {
+    // Both hypotheses' clipped gradient sums at the current weights. The
+    // adversary can compute these itself (it knows D, D', theta_i); the
+    // trainer computes them anyway for noise scaling and hands them to
+    // observers to avoid duplicate backprop work. Per-example norms of the
+    // actual training data drive adaptive clipping.
+    std::vector<double> train_norms;
+    std::vector<float> sum_d;
+    std::vector<float> sum_dprime;
+    if (config.per_layer_clipping) {
+      sum_d = result.model.PerLayerClippedGradientSum(d.inputs, d.labels,
+                                                      clip);
+      sum_dprime = result.model.PerLayerClippedGradientSum(
+          d_prime.inputs, d_prime.labels, clip);
+    } else {
+      sum_d = result.model.ClippedGradientSum(
+          d.inputs, d.labels, clip, train_on_d ? &train_norms : nullptr);
+      sum_dprime = result.model.ClippedGradientSum(
+          d_prime.inputs, d_prime.labels, clip,
+          train_on_d ? nullptr : &train_norms);
+    }
+
+    DpSgdStepRecord record;
+    record.clip_norm = clip;
+    record.local_sensitivity = GradientDistance(sum_d, sum_dprime);
+    const double global_sensitivity =
+        GlobalClipSensitivity(config.neighbor_mode, clip);
+    record.sensitivity_used =
+        config.sensitivity_mode == SensitivityMode::kGlobal
+            ? global_sensitivity
+            : record.local_sensitivity;
+    if (record.sensitivity_used <= 0.0) {
+      // Degenerate: both datasets induce identical sums (possible early in
+      // training with dead ReLUs). Fall back to the global bound so the
+      // mechanism stays well defined.
+      record.sensitivity_used = global_sensitivity;
+    }
+    record.sigma = config.noise_multiplier * record.sensitivity_used;
+
+    GaussianMechanism mechanism(record.sigma);
+    std::vector<float> released = train_on_d ? sum_d : sum_dprime;
+    mechanism.Perturb(released, rng);
+
+    if (observer != nullptr) {
+      observer->OnStep(step, sum_d, sum_dprime, released, record.sigma);
+    }
+
+    // The optimizer consumes the released mean gradient (sum / n).
+    std::vector<float> mean = released;
+    for (float& g : mean) g = static_cast<float>(g / n);
+    optimizer->Step(result.model, mean);
+    result.steps.push_back(record);
+
+    if (config.adaptive_clipping && !train_norms.empty()) {
+      double target = Quantile(train_norms, config.clip_quantile);
+      if (target > 0.0) {
+        clip = (1.0 - config.clip_smoothing) * clip +
+               config.clip_smoothing * target;
+      }
+    }
+  }
+  return result;
+}
+
+StatusOr<Network> RunNonPrivateSgd(const Network& initial, const Dataset& d,
+                                   size_t epochs, double learning_rate,
+                                   double clip_norm) {
+  if (d.empty()) return Status::InvalidArgument("D must be non-empty");
+  if (epochs == 0) return Status::InvalidArgument("epochs must be > 0");
+  if (!(learning_rate > 0.0) || !(clip_norm > 0.0)) {
+    return Status::InvalidArgument("learning rate and clip norm must be > 0");
+  }
+  Network model = initial.Clone();
+  const double n = static_cast<double>(d.size());
+  for (size_t step = 0; step < epochs; ++step) {
+    std::vector<float> sum =
+        model.ClippedGradientSum(d.inputs, d.labels, clip_norm);
+    model.ApplyGradientStep(sum, learning_rate / n);
+  }
+  return model;
+}
+
+}  // namespace dpaudit

@@ -1,0 +1,121 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+
+#include "core/adversary.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace dpaudit {
+
+double DiExperimentSummary::SuccessRate() const {
+  if (trials.empty()) return 0.0;
+  size_t wins = 0;
+  for (const DiTrialResult& t : trials) {
+    if (t.Success()) ++wins;
+  }
+  return static_cast<double>(wins) / static_cast<double>(trials.size());
+}
+
+double DiExperimentSummary::EmpiricalAdvantage() const {
+  return 2.0 * SuccessRate() - 1.0;
+}
+
+double DiExperimentSummary::EmpiricalDelta(double rho_beta) const {
+  size_t on_d = 0;
+  size_t exceeding = 0;
+  for (const DiTrialResult& t : trials) {
+    if (!t.trained_on_d) continue;
+    ++on_d;
+    if (t.final_belief_d > rho_beta) ++exceeding;
+  }
+  if (on_d == 0) return 0.0;
+  return static_cast<double>(exceeding) / static_cast<double>(on_d);
+}
+
+std::vector<double> DiExperimentSummary::FinalBeliefsInD() const {
+  std::vector<double> beliefs;
+  for (const DiTrialResult& t : trials) {
+    if (t.trained_on_d) beliefs.push_back(t.final_belief_d);
+  }
+  return beliefs;
+}
+
+double DiExperimentSummary::MaxBeliefInD() const {
+  double best = 0.0;
+  for (const DiTrialResult& t : trials) {
+    if (t.trained_on_d) best = std::max(best, t.max_belief_d);
+  }
+  return best;
+}
+
+std::vector<double> DiExperimentSummary::TestAccuracies() const {
+  std::vector<double> accuracies;
+  for (const DiTrialResult& t : trials) {
+    if (t.test_accuracy >= 0.0) accuracies.push_back(t.test_accuracy);
+  }
+  return accuracies;
+}
+
+StatusOr<DiExperimentSummary> RunDiExperiment(const Network& architecture,
+                                              const Dataset& d,
+                                              const Dataset& d_prime,
+                                              const DiExperimentConfig& config,
+                                              const Dataset* test_set) {
+  DPAUDIT_RETURN_IF_ERROR(config.dpsgd.Validate());
+  if (config.repetitions == 0) {
+    return Status::InvalidArgument("repetitions must be > 0");
+  }
+
+  DiExperimentSummary summary;
+  summary.trials.resize(config.repetitions);
+  std::vector<Status> trial_status(config.repetitions, Status::Ok());
+  Rng root(config.seed);
+  size_t threads =
+      config.threads == 0 ? DefaultThreadCount() : config.threads;
+
+  ThreadPool::ParallelFor(
+      config.repetitions, threads, [&](size_t rep) {
+        Rng rng = root.Split(rep);
+        Network model = architecture.Clone();
+        if (config.reinitialize_weights) model.Initialize(rng);
+
+        bool train_on_d =
+            config.randomize_challenge_bit ? rng.Bernoulli(0.5) : true;
+
+        DiAdversary adversary;
+        StatusOr<DpSgdResult> run = RunDpSgd(model, d, d_prime, train_on_d,
+                                             config.dpsgd, rng, &adversary);
+        if (!run.ok()) {
+          trial_status[rep] = run.status();
+          return;
+        }
+
+        DiTrialResult& trial = summary.trials[rep];
+        trial.trained_on_d = train_on_d;
+        trial.adversary_says_d = adversary.DecideD();
+        // The adversary tracks belief in D; when training ran on D' its
+        // belief in the true dataset is the complement, but we always store
+        // belief in D so the Figure 6 distributions are comparable.
+        trial.final_belief_d = adversary.FinalBeliefD();
+        trial.max_belief_d = adversary.MaxBeliefD();
+        trial.local_sensitivities.reserve(run->steps.size());
+        trial.sigmas.reserve(run->steps.size());
+        for (const DpSgdStepRecord& step : run->steps) {
+          trial.local_sensitivities.push_back(step.local_sensitivity);
+          trial.sigmas.push_back(step.sigma);
+        }
+        if (test_set != nullptr && !test_set->empty()) {
+          trial.test_accuracy =
+              run->model.Accuracy(test_set->inputs, test_set->labels);
+        }
+      });
+
+  for (const Status& st : trial_status) {
+    if (!st.ok()) return st;
+  }
+  return summary;
+}
+
+}  // namespace dpaudit

@@ -1,0 +1,83 @@
+// The differential-identifiability experiment Exp^DI (Experiment 2) for
+// DPSGD, repeated for statistical stability and fanned out over a thread
+// pool. One trial = initialize weights, run DPSGD on the challenger's
+// dataset while A_DI observes every release, record the adversary's beliefs
+// and decision plus the per-step sensitivities for auditing.
+
+#ifndef DPAUDIT_CORE_EXPERIMENT_H_
+#define DPAUDIT_CORE_EXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dpsgd.h"
+#include "data/dataset.h"
+#include "nn/network.h"
+#include "util/status.h"
+
+namespace dpaudit {
+
+struct DiExperimentConfig {
+  DpSgdConfig dpsgd;
+  size_t repetitions = 100;
+  uint64_t seed = 42;
+  size_t threads = 0;  // 0: DefaultThreadCount()
+  /// When false (paper's counting scheme, Section 6.2) every trial trains on
+  /// D and success means beta_k(D) > 0.5; the Gaussian symmetry makes this
+  /// equivalent to the two-sided experiment. When true the challenger flips
+  /// a fair coin per trial (the literal Experiment 2).
+  bool randomize_challenge_bit = false;
+  /// Re-draw theta_0 per trial (fresh model instance per repetition, as in
+  /// the paper's "trained 250 times").
+  bool reinitialize_weights = true;
+};
+
+struct DiTrialResult {
+  bool trained_on_d = true;       // challenger bit b
+  bool adversary_says_d = false;  // adversary output b'
+  double final_belief_d = 0.5;    // beta_k(D)
+  double max_belief_d = 0.5;      // max_i beta_i(D)
+  std::vector<double> local_sensitivities;  // per step ||S_D - S_D'||
+  std::vector<double> sigmas;               // per step noise std
+  double test_accuracy = -1.0;              // -1 when not evaluated
+
+  bool Success() const { return adversary_says_d == trained_on_d; }
+};
+
+struct DiExperimentSummary {
+  std::vector<DiTrialResult> trials;
+
+  /// Fraction of trials where b' == b.
+  double SuccessRate() const;
+
+  /// Empirical Adv^DI (Definition 5): 2 * SuccessRate() - 1.
+  double EmpiricalAdvantage() const;
+
+  /// Empirical delta: fraction of trained-on-D trials whose final belief in
+  /// D exceeds the bound rho_beta (Section 6.3 / Table 2).
+  double EmpiricalDelta(double rho_beta) const;
+
+  /// Final beliefs beta_k(D) over trained-on-D trials (Figure 6).
+  std::vector<double> FinalBeliefsInD() const;
+
+  /// Largest belief in D observed across all trials and steps (the beta-hat
+  /// of the Section 6.4 epsilon' estimator).
+  double MaxBeliefInD() const;
+
+  /// Test accuracies (only for trials where a test set was evaluated).
+  std::vector<double> TestAccuracies() const;
+};
+
+/// Runs the repeated experiment. `test_set`, when non-null, is evaluated on
+/// every trial's final model (Figure 7). Trials are deterministic given
+/// `config.seed` regardless of thread count.
+StatusOr<DiExperimentSummary> RunDiExperiment(const Network& architecture,
+                                              const Dataset& d,
+                                              const Dataset& d_prime,
+                                              const DiExperimentConfig& config,
+                                              const Dataset* test_set =
+                                                  nullptr);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_CORE_EXPERIMENT_H_

@@ -1,0 +1,69 @@
+#include "core/policy.h"
+
+#include <sstream>
+
+#include "core/scores.h"
+#include "dp/rdp_accountant.h"
+
+namespace dpaudit {
+
+std::string PrivacyPlan::ToString() const {
+  std::ostringstream os;
+  os << dp.ToString() << " over " << steps << " steps"
+     << " | rho_beta <= " << rho_beta << ", rho_alpha <= " << rho_alpha
+     << " | per-step noise multiplier z = " << noise_multiplier;
+  return os.str();
+}
+
+StatusOr<PrivacyPlan> MakePrivacyPlan(
+    const IdentifiabilityRequirement& requirement) {
+  if (requirement.steps == 0) {
+    return Status::InvalidArgument("steps must be > 0");
+  }
+  PrivacyPlan plan;
+  plan.steps = requirement.steps;
+  plan.dp.delta = requirement.delta;
+  switch (requirement.kind) {
+    case RequirementKind::kMaxPosteriorBelief: {
+      DPAUDIT_ASSIGN_OR_RETURN(plan.dp.epsilon,
+                               EpsilonForRhoBeta(requirement.bound));
+      break;
+    }
+    case RequirementKind::kMaxExpectedAdvantage: {
+      DPAUDIT_ASSIGN_OR_RETURN(
+          plan.dp.epsilon,
+          EpsilonForRhoAlpha(requirement.bound, requirement.delta));
+      break;
+    }
+  }
+  DPAUDIT_ASSIGN_OR_RETURN(plan.rho_beta, RhoBeta(plan.dp.epsilon));
+  DPAUDIT_ASSIGN_OR_RETURN(plan.rho_alpha,
+                           RhoAlpha(plan.dp.epsilon, plan.dp.delta));
+  DPAUDIT_ASSIGN_OR_RETURN(
+      plan.noise_multiplier,
+      NoiseMultiplierForTargetEpsilon(plan.dp.epsilon, plan.dp.delta,
+                                      plan.steps));
+  return plan;
+}
+
+StatusOr<PrivacyPlan> PlanFromPrivacyParams(const PrivacyParams& params,
+                                            size_t steps) {
+  DPAUDIT_RETURN_IF_ERROR(params.Validate());
+  if (params.delta <= 0.0) {
+    return Status::InvalidArgument(
+        "rho_alpha and RDP calibration require delta > 0");
+  }
+  if (steps == 0) return Status::InvalidArgument("steps must be > 0");
+  PrivacyPlan plan;
+  plan.dp = params;
+  plan.steps = steps;
+  DPAUDIT_ASSIGN_OR_RETURN(plan.rho_beta, RhoBeta(params.epsilon));
+  DPAUDIT_ASSIGN_OR_RETURN(plan.rho_alpha,
+                           RhoAlpha(params.epsilon, params.delta));
+  DPAUDIT_ASSIGN_OR_RETURN(
+      plan.noise_multiplier,
+      NoiseMultiplierForTargetEpsilon(params.epsilon, params.delta, steps));
+  return plan;
+}
+
+}  // namespace dpaudit

@@ -1,0 +1,55 @@
+// High-level policy API: turn an identifiability requirement into a complete
+// DPSGD privacy plan — the "data scientist" workflow of Section 1 packaged
+// as one call.
+
+#ifndef DPAUDIT_CORE_POLICY_H_
+#define DPAUDIT_CORE_POLICY_H_
+
+#include <cstddef>
+#include <string>
+
+#include "dp/privacy_params.h"
+#include "util/status.h"
+
+namespace dpaudit {
+
+/// What the requirement constrains.
+enum class RequirementKind {
+  kMaxPosteriorBelief,       // rho_beta: deniability
+  kMaxExpectedAdvantage,     // rho_alpha: expected re-identification
+};
+
+/// An identifiability requirement plus training-shape inputs.
+struct IdentifiabilityRequirement {
+  RequirementKind kind = RequirementKind::kMaxPosteriorBelief;
+  double bound = 0.9;    // rho_beta in (0.5, 1) or rho_alpha in (0, 1)
+  double delta = 1e-3;   // choose << 1/|D|
+  size_t steps = 30;     // k training steps under RDP composition
+};
+
+/// Everything needed to configure DPSGD and communicate the guarantee.
+struct PrivacyPlan {
+  PrivacyParams dp;          // the (epsilon, delta) to spend in total
+  double rho_beta = 0.0;     // implied maximum posterior belief
+  double rho_alpha = 0.0;    // implied expected advantage (Gaussian)
+  double noise_multiplier = 0.0;  // per-step z = sigma / Delta f (RDP)
+  size_t steps = 0;
+
+  /// Human-readable summary for reports / logs.
+  std::string ToString() const;
+};
+
+/// Derives the full plan from a requirement: the binding score determines
+/// epsilon (Eq. 10 or Eq. 15), the complementary score is reported, and the
+/// per-step noise multiplier comes from RDP calibration over `steps`.
+StatusOr<PrivacyPlan> MakePrivacyPlan(
+    const IdentifiabilityRequirement& requirement);
+
+/// The reverse direction for auditing reports: given spent (epsilon, delta),
+/// what identifiability do we promise?
+StatusOr<PrivacyPlan> PlanFromPrivacyParams(const PrivacyParams& params,
+                                            size_t steps);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_CORE_POLICY_H_

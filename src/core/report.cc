@@ -1,0 +1,97 @@
+#include "core/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dpaudit {
+namespace {
+
+std::string Num(double v, int digits = 4) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string AuditReportDocument::Verdict() const {
+  double target = plan.dp.epsilon;
+  double measured = epsilons.epsilon_from_sensitivities;
+  if (measured > target * 1.05) {
+    return "OVER BUDGET: the factual privacy loss exceeds the target "
+           "epsilon — investigate the sensitivity configuration.";
+  }
+  if (measured > target * 0.9) {
+    return "TIGHT: the privacy budget is factually spent; the chosen "
+           "epsilon reflects the real risk.";
+  }
+  return "LOOSE: the factual privacy loss sits below the target — the "
+         "mechanism adds more noise than the data requires (utility is "
+         "being left on the table).";
+}
+
+std::string AuditReportDocument::ToMarkdown() const {
+  std::ostringstream os;
+  os << "# " << title << "\n\n";
+  if (!dataset_description.empty()) {
+    os << "Dataset: " << dataset_description << "\n\n";
+  }
+  os << "## Privacy plan\n\n"
+     << "| quantity | value |\n|---|---|\n"
+     << "| epsilon (target) | " << Num(plan.dp.epsilon) << " |\n"
+     << "| delta | " << Num(plan.dp.delta, 6) << " |\n"
+     << "| training steps (k) | " << plan.steps << " |\n"
+     << "| noise multiplier z | " << Num(plan.noise_multiplier) << " |\n"
+     << "| rho_beta (max posterior belief) | " << Num(plan.rho_beta)
+     << " |\n"
+     << "| rho_alpha (expected advantage) | " << Num(plan.rho_alpha)
+     << " |\n\n";
+  os << "## Empirical audit (" << repetitions << " adversarial runs)\n\n"
+     << "| statistic | measured | bound |\n|---|---|---|\n"
+     << "| membership advantage | " << Num(empirical_advantage) << " | "
+     << Num(plan.rho_alpha) << " |\n"
+     << "| max posterior belief | " << Num(max_belief) << " | "
+     << Num(plan.rho_beta) << " |\n"
+     << "| belief-bound violations | " << Num(empirical_delta) << " | "
+     << Num(plan.dp.delta, 6) << " |\n\n";
+  os << "## Empirical privacy loss\n\n"
+     << "| estimator | epsilon' |\n|---|---|\n"
+     << "| per-step sensitivities (RDP) | "
+     << Num(epsilons.epsilon_from_sensitivities) << " |\n"
+     << "| max posterior belief (Eq. 10) | "
+     << Num(epsilons.epsilon_from_belief) << " |\n"
+     << "| empirical advantage (Eq. 15) | "
+     << Num(epsilons.epsilon_from_advantage) << " |\n\n";
+  os << "## Verdict\n\n" << Verdict() << "\n";
+  return os.str();
+}
+
+StatusOr<AuditReportDocument> BuildAuditReport(
+    const PrivacyPlan& plan, const DiExperimentSummary& summary,
+    const std::string& dataset_description) {
+  if (summary.trials.empty()) {
+    return Status::InvalidArgument("summary has no trials");
+  }
+  AuditReportDocument document;
+  document.plan = plan;
+  document.repetitions = summary.trials.size();
+  document.dataset_description = dataset_description;
+  document.empirical_advantage = summary.EmpiricalAdvantage();
+  document.max_belief = summary.MaxBeliefInD();
+  document.empirical_delta = summary.EmpiricalDelta(plan.rho_beta);
+  DPAUDIT_ASSIGN_OR_RETURN(document.epsilons,
+                           AuditExperiment(summary, plan.dp.delta));
+  return document;
+}
+
+Status WriteAuditReport(const std::string& path,
+                        const AuditReportDocument& document) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << document.ToMarkdown();
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+}  // namespace dpaudit

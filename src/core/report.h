@@ -1,0 +1,47 @@
+// Markdown audit report: the artifact a data scientist hands to a privacy
+// officer after running the paper's workflow. Collects the plan (chosen
+// identifiability bounds and derived DP parameters), the empirical audit
+// (advantage, beliefs, the three epsilon' estimates) and a plain-language
+// verdict.
+
+#ifndef DPAUDIT_CORE_REPORT_H_
+#define DPAUDIT_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/auditor.h"
+#include "core/experiment.h"
+#include "core/policy.h"
+#include "util/status.h"
+
+namespace dpaudit {
+
+struct AuditReportDocument {
+  std::string title = "DPSGD identifiability audit";
+  PrivacyPlan plan;
+  double empirical_advantage = 0.0;
+  double max_belief = 0.0;
+  double empirical_delta = 0.0;
+  AuditReport epsilons;
+  size_t repetitions = 0;
+  std::string dataset_description;
+
+  /// Renders the report as markdown.
+  std::string ToMarkdown() const;
+
+  /// One-line verdict: tight / loose / over budget.
+  std::string Verdict() const;
+};
+
+/// Assembles the document from a plan and an experiment summary.
+StatusOr<AuditReportDocument> BuildAuditReport(
+    const PrivacyPlan& plan, const DiExperimentSummary& summary,
+    const std::string& dataset_description);
+
+/// Writes the markdown to a file.
+Status WriteAuditReport(const std::string& path,
+                        const AuditReportDocument& document);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_CORE_REPORT_H_

@@ -1,0 +1,86 @@
+#include "core/scores.h"
+
+#include <cmath>
+
+#include "dp/calibration.h"
+#include "stats/normal.h"
+#include "util/math_util.h"
+
+namespace dpaudit {
+
+StatusOr<double> RhoBeta(double epsilon) {
+  if (!(epsilon >= 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be finite and >= 0");
+  }
+  return Sigmoid(epsilon);
+}
+
+StatusOr<double> EpsilonForRhoBeta(double rho_beta) {
+  if (!(rho_beta > 0.5 && rho_beta < 1.0)) {
+    return Status::InvalidArgument(
+        "rho_beta must be in (0.5, 1): 0.5 is the uninformed prior and 1 "
+        "is certainty");
+  }
+  return Logit(rho_beta);
+}
+
+StatusOr<double> RhoAlpha(double epsilon, double delta) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be finite and > 0");
+  }
+  if (!(delta > 0.0 && delta < 1.0)) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  double factor = GaussianCalibrationFactor(delta);  // sqrt(2 ln(1.25/delta))
+  return 2.0 * NormalCdf(epsilon / (2.0 * factor)) - 1.0;
+}
+
+StatusOr<double> EpsilonForRhoAlpha(double rho_alpha, double delta) {
+  if (!(rho_alpha > 0.0 && rho_alpha < 1.0)) {
+    return Status::InvalidArgument("rho_alpha must be in (0, 1)");
+  }
+  if (!(delta > 0.0 && delta < 1.0)) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  double factor = GaussianCalibrationFactor(delta);
+  // Exact inverse of Theorem 2: eps = 2 sqrt(2 ln(1.25/delta)) Phi^-1((a+1)/2).
+  // (The paper's Eq. 15 prints this without the leading 2; we keep the form
+  // consistent with Theorem 2 so RhoAlpha and EpsilonForRhoAlpha round-trip.)
+  return 2.0 * factor * NormalQuantile((rho_alpha + 1.0) / 2.0);
+}
+
+StatusOr<double> RhoAlphaRdp(double rdp_epsilon, double alpha) {
+  if (!(rdp_epsilon >= 0.0)) {
+    return Status::InvalidArgument("rdp epsilon must be >= 0");
+  }
+  if (!(alpha > 1.0)) return Status::InvalidArgument("alpha must be > 1");
+  return 2.0 * NormalCdf(std::sqrt(rdp_epsilon / (2.0 * alpha))) - 1.0;
+}
+
+double GaussianAdvantage(double mean_distance_in_sigmas) {
+  return 2.0 * NormalCdf(mean_distance_in_sigmas / 2.0) - 1.0;
+}
+
+StatusOr<double> GenericAdvantageBound(double epsilon,
+                                       double p_false_positive) {
+  if (!(epsilon >= 0.0)) {
+    return Status::InvalidArgument("epsilon must be >= 0");
+  }
+  if (!(p_false_positive >= 0.0 && p_false_positive <= 1.0)) {
+    return Status::InvalidArgument("false positive rate must be in [0, 1]");
+  }
+  return (std::exp(epsilon) - 1.0) * p_false_positive;
+}
+
+double AdvantageFromSuccessRate(double success_rate) {
+  return 2.0 * success_rate - 1.0;
+}
+
+StatusOr<double> RhoBetaSequential(double epsilon_per_step, size_t steps) {
+  if (!(epsilon_per_step >= 0.0)) {
+    return Status::InvalidArgument("per-step epsilon must be >= 0");
+  }
+  return Sigmoid(epsilon_per_step * static_cast<double>(steps));
+}
+
+}  // namespace dpaudit

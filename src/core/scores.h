@@ -1,0 +1,67 @@
+// Identifiability scores: the paper's core transformations between DP
+// parameters (epsilon, delta) and adversary-relatable quantities.
+//
+//   rho_beta  — maximum Bayesian posterior belief of the DP adversary A_DI
+//               in the presence of a record (Theorem 1): 1 / (1 + e^-eps).
+//   rho_alpha — expected membership advantage of A_DI against the Gaussian
+//               mechanism (Theorem 2): 2 Phi(eps / (2 sqrt(2 ln(1.25/delta)))) - 1.
+//
+// Both transformations are invertible (Eqs. 10 and 15), which is how a data
+// scientist chooses epsilon from an identifiability requirement; and both
+// compose: rho_beta via the summed epsilon, rho_alpha via RDP (Section 5.2).
+
+#ifndef DPAUDIT_CORE_SCORES_H_
+#define DPAUDIT_CORE_SCORES_H_
+
+#include <cstddef>
+
+#include "util/status.h"
+
+namespace dpaudit {
+
+/// Maximum posterior belief bound rho_beta = 1 / (1 + e^-eps) (Theorem 1).
+/// Under (eps, delta)-DP the bound holds with probability 1 - sum(delta_i).
+/// Requires epsilon >= 0; rho_beta is in [0.5, 1).
+StatusOr<double> RhoBeta(double epsilon);
+
+/// Inverse (Eq. 10): the total epsilon that may be spent for a desired
+/// maximum posterior belief. Requires rho_beta in (0.5, 1).
+StatusOr<double> EpsilonForRhoBeta(double rho_beta);
+
+/// Expected membership advantage bound for the Gaussian mechanism
+/// (Theorem 2). Requires epsilon > 0 and delta in (0, 1); rho_alpha in (0, 1).
+StatusOr<double> RhoAlpha(double epsilon, double delta);
+
+/// Inverse (Eq. 15): epsilon for a chosen expected advantage.
+/// Requires rho_alpha in (0, 1) and delta in (0, 1).
+StatusOr<double> EpsilonForRhoAlpha(double rho_alpha, double delta);
+
+/// RDP-composed expected advantage (Section 5.2):
+/// rho_alpha = 2 Phi(sqrt(eps_RDP / (2 alpha))) - 1, where eps_RDP is the
+/// total Renyi epsilon at order alpha. Invariant to how eps_RDP is split
+/// across steps. Requires eps_RDP >= 0, alpha > 1.
+StatusOr<double> RhoAlphaRdp(double rdp_epsilon, double alpha);
+
+/// Expected advantage of the Bayes-optimal adversary for two unit-covariance
+/// Gaussians whose means are `distance` apart in sigma units:
+/// 2 Phi(distance / 2) - 1 (Eq. 14). This is the exact (not bounded) value
+/// when the factual mean distance is known.
+double GaussianAdvantage(double mean_distance_in_sigmas);
+
+/// Generic advantage bound for any eps-DP mechanism (Proposition 2):
+/// Adv <= (e^eps - 1) * p_false_positive, capped at e^eps - 1 when the false
+/// positive rate is unknown. Requires epsilon >= 0, p in [0, 1].
+StatusOr<double> GenericAdvantageBound(double epsilon,
+                                       double p_false_positive = 1.0);
+
+/// Advantage (Definition 5) from an empirical success rate: 2 p - 1.
+double AdvantageFromSuccessRate(double success_rate);
+
+/// Posterior-belief bound under sequential composition of k identical
+/// (eps_i, delta_i) steps: rho_beta(k * eps_i), with failure mass k*delta_i.
+/// Used by the composition ablation (Section 5.2). Requires epsilon_i >= 0.
+StatusOr<double> RhoBetaSequential(double epsilon_per_step, size_t steps);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_CORE_SCORES_H_

@@ -1,0 +1,185 @@
+#include "core/subsampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/mechanism.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "util/thread_pool.h"
+
+namespace dpaudit {
+
+Status SampledDpSgdConfig::Validate() const {
+  if (steps == 0) return Status::InvalidArgument("steps must be > 0");
+  if (!(learning_rate > 0.0)) {
+    return Status::InvalidArgument("learning rate must be > 0");
+  }
+  if (!(clip_norm > 0.0)) {
+    return Status::InvalidArgument("clip norm must be > 0");
+  }
+  if (!(noise_multiplier > 0.0)) {
+    return Status::InvalidArgument("noise multiplier must be > 0");
+  }
+  if (!(sampling_rate > 0.0 && sampling_rate <= 1.0)) {
+    return Status::InvalidArgument("sampling rate must be in (0, 1]");
+  }
+  return Status::Ok();
+}
+
+void SampledDiAdversary::OnStep(size_t /*step*/,
+                                const std::vector<float>& common_sum,
+                                const std::vector<float>& differing_gradient,
+                                const std::vector<float>& released,
+                                double sigma, double sampling_rate) {
+  GaussianMechanism mechanism(sigma);
+  // Under D': release ~ N(S, sigma^2 I).
+  double log_p_dprime = mechanism.LogDensity(released, common_sum);
+  // Under D: mixture over x1's Poisson inclusion.
+  std::vector<float> with_differing = common_sum;
+  for (size_t i = 0; i < with_differing.size(); ++i) {
+    with_differing[i] += differing_gradient[i];
+  }
+  double log_p_in = mechanism.LogDensity(released, with_differing);
+  double log_p_d = LogAddExp(std::log(sampling_rate) + log_p_in,
+                             std::log1p(-sampling_rate) + log_p_dprime);
+  if (sampling_rate >= 1.0) log_p_d = log_p_in;
+  tracker_.Observe(log_p_d, log_p_dprime);
+}
+
+double SampledDiAdversary::MaxBeliefD() const {
+  const std::vector<double>& history = tracker_.history();
+  return *std::max_element(history.begin(), history.end());
+}
+
+StatusOr<SampledDpSgdResult> RunSampledDpSgd(
+    const Network& initial, const Dataset& d, size_t differing_index,
+    bool train_on_d, const SampledDpSgdConfig& config, Rng& rng,
+    SampledStepObserver* observer) {
+  DPAUDIT_RETURN_IF_ERROR(config.Validate());
+  if (d.size() < 2) {
+    return Status::InvalidArgument("need at least two records");
+  }
+  if (differing_index >= d.size()) {
+    return Status::InvalidArgument("differing index out of range");
+  }
+
+  SampledDpSgdResult result;
+  result.model = initial.Clone();
+  result.steps = config.steps;
+  std::unique_ptr<Optimizer> optimizer =
+      MakeOptimizer(config.optimizer, config.learning_rate);
+  // Unbounded sensitivity of the batch sum: one record contributes at most
+  // a clipped gradient of norm C.
+  const double sigma = config.noise_multiplier * config.clip_norm;
+  const double expected_batch =
+      config.sampling_rate * static_cast<double>(d.size());
+  GaussianMechanism mechanism(sigma);
+
+  for (size_t step = 0; step < config.steps; ++step) {
+    // Poisson-sample the common records.
+    std::vector<float> common_sum(result.model.NumParams(), 0.0f);
+    for (size_t j = 0; j < d.size(); ++j) {
+      if (j == differing_index) continue;
+      if (!rng.Bernoulli(config.sampling_rate)) continue;
+      std::vector<float> g = result.model.ClippedExampleGradient(
+          d.inputs[j], d.labels[j], config.clip_norm);
+      for (size_t i = 0; i < common_sum.size(); ++i) common_sum[i] += g[i];
+    }
+    std::vector<float> differing_gradient =
+        result.model.ClippedExampleGradient(d.inputs[differing_index],
+                                            d.labels[differing_index],
+                                            config.clip_norm);
+    bool differing_sampled =
+        train_on_d && rng.Bernoulli(config.sampling_rate);
+    result.differing_sampled.push_back(differing_sampled);
+
+    std::vector<float> released = common_sum;
+    if (differing_sampled) {
+      for (size_t i = 0; i < released.size(); ++i) {
+        released[i] += differing_gradient[i];
+      }
+    }
+    mechanism.Perturb(released, rng);
+    result.sigmas.push_back(sigma);
+
+    if (observer != nullptr) {
+      observer->OnStep(step, common_sum, differing_gradient, released, sigma,
+                       config.sampling_rate);
+    }
+
+    // Normalize by the expected batch size (standard DPSGD practice with
+    // Poisson sampling: the divisor must not depend on the realized batch).
+    std::vector<float> mean = released;
+    for (float& g : mean) {
+      g = static_cast<float>(g / expected_batch);
+    }
+    optimizer->Step(result.model, mean);
+  }
+  return result;
+}
+
+double SampledExperimentSummary::SuccessRate(bool trained_on_d) const {
+  if (decisions_d.empty()) return 0.0;
+  size_t wins = 0;
+  for (bool says_d : decisions_d) {
+    if (says_d == trained_on_d) ++wins;
+  }
+  return static_cast<double>(wins) / static_cast<double>(decisions_d.size());
+}
+
+double SampledExperimentSummary::EmpiricalAdvantage() const {
+  return 2.0 * SuccessRate(true) - 1.0;
+}
+
+double SampledExperimentSummary::FractionAboveBelief(double bound) const {
+  if (final_beliefs.empty()) return 0.0;
+  size_t above = 0;
+  for (double b : final_beliefs) {
+    if (b > bound) ++above;
+  }
+  return static_cast<double>(above) /
+         static_cast<double>(final_beliefs.size());
+}
+
+StatusOr<SampledExperimentSummary> RunSampledDiExperiment(
+    const Network& architecture, const Dataset& d, size_t differing_index,
+    const SampledDpSgdConfig& config, size_t repetitions, uint64_t seed,
+    size_t threads) {
+  DPAUDIT_RETURN_IF_ERROR(config.Validate());
+  if (repetitions == 0) {
+    return Status::InvalidArgument("repetitions must be > 0");
+  }
+  SampledExperimentSummary summary;
+  summary.final_beliefs.resize(repetitions);
+  summary.decisions_d.resize(repetitions);
+  std::vector<double> max_beliefs(repetitions, 0.0);
+  std::vector<Status> trial_status(repetitions, Status::Ok());
+  Rng root(seed);
+  if (threads == 0) threads = DefaultThreadCount();
+
+  ThreadPool::ParallelFor(repetitions, threads, [&](size_t rep) {
+    Rng rng = root.Split(rep);
+    Network model = architecture.Clone();
+    model.Initialize(rng);
+    SampledDiAdversary adversary;
+    StatusOr<SampledDpSgdResult> run =
+        RunSampledDpSgd(model, d, differing_index, /*train_on_d=*/true,
+                        config, rng, &adversary);
+    if (!run.ok()) {
+      trial_status[rep] = run.status();
+      return;
+    }
+    summary.final_beliefs[rep] = adversary.FinalBeliefD();
+    summary.decisions_d[rep] = adversary.DecideD();
+    max_beliefs[rep] = adversary.MaxBeliefD();
+  });
+  for (const Status& st : trial_status) {
+    if (!st.ok()) return st;
+  }
+  summary.max_belief =
+      *std::max_element(max_beliefs.begin(), max_beliefs.end());
+  return summary;
+}
+
+}  // namespace dpaudit

@@ -1,0 +1,118 @@
+// Minibatch (Poisson-subsampled) DPSGD and the matching DP adversary.
+//
+// Section 6.1: "In mini-batch gradient descent a number of b records from D
+// is sampled for calculating an update ... RDP composition takes sampling
+// into consideration." This module implements that regime for UNBOUNDED
+// neighbors (D = D' + one record x1, the setting of the subsampled-Gaussian
+// RDP analysis):
+//
+//   - Each step Poisson-samples every record independently with rate q; the
+//     mechanism releases the noised sum of the batch's clipped gradients.
+//   - The adversary knows the realized batch of COMMON records (worst-case
+//     auxiliary knowledge, consistent with the DP adversary's "all but one
+//     record" power) but not whether x1 was sampled. Under hypothesis D the
+//     release is therefore a two-component Gaussian MIXTURE
+//        q * N(S + g1, sigma^2 I) + (1 - q) * N(S, sigma^2 I),
+//     under D' it is N(S, sigma^2 I); the belief update uses exactly these
+//     densities. This is the distinguishing problem whose Renyi divergence
+//     the subsampled accountant bounds, so Theorem 1 applies with the
+//     accountant's epsilon.
+
+#ifndef DPAUDIT_CORE_SUBSAMPLING_H_
+#define DPAUDIT_CORE_SUBSAMPLING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/belief.h"
+#include "core/dpsgd.h"
+#include "data/dataset.h"
+#include "nn/network.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dpaudit {
+
+struct SampledDpSgdConfig {
+  size_t steps = 30;
+  double learning_rate = 0.005;
+  double clip_norm = 3.0;
+  double noise_multiplier = 1.0;  // z = sigma / C (unbounded sensitivity C)
+  double sampling_rate = 0.2;     // q in (0, 1]
+  OptimizerKind optimizer = OptimizerKind::kSgd;
+
+  Status Validate() const;
+};
+
+/// Observer for subsampled releases. `common_sum` is the clipped gradient
+/// sum of the sampled COMMON records (those in D'); `differing_gradient` is
+/// the clipped gradient of x1 at the current weights; `released` includes
+/// x1's contribution iff training ran on D and x1 was sampled this step.
+class SampledStepObserver {
+ public:
+  virtual ~SampledStepObserver() = default;
+  virtual void OnStep(size_t step, const std::vector<float>& common_sum,
+                      const std::vector<float>& differing_gradient,
+                      const std::vector<float>& released, double sigma,
+                      double sampling_rate) = 0;
+};
+
+/// The DP adversary for the subsampled mechanism: tracks the posterior via
+/// the exact mixture likelihood described above.
+class SampledDiAdversary : public SampledStepObserver {
+ public:
+  explicit SampledDiAdversary(double prior_belief_d = 0.5)
+      : tracker_(prior_belief_d) {}
+
+  void OnStep(size_t step, const std::vector<float>& common_sum,
+              const std::vector<float>& differing_gradient,
+              const std::vector<float>& released, double sigma,
+              double sampling_rate) override;
+
+  double FinalBeliefD() const { return tracker_.belief_d(); }
+  double MaxBeliefD() const;
+  const std::vector<double>& BeliefHistory() const {
+    return tracker_.history();
+  }
+  bool DecideD() const { return tracker_.DecideD(); }
+
+ private:
+  PosteriorBeliefTracker tracker_;
+};
+
+struct SampledDpSgdResult {
+  Network model;
+  std::vector<double> sigmas;              // per step (constant: z * C)
+  std::vector<bool> differing_sampled;     // was x1 in the batch?
+  size_t steps = 0;
+};
+
+/// Runs subsampled DPSGD. `d` must equal `d_prime` plus exactly one extra
+/// record, which must be at index `differing_index` of d (unbounded DP).
+/// `train_on_d` is the challenger's bit.
+StatusOr<SampledDpSgdResult> RunSampledDpSgd(
+    const Network& initial, const Dataset& d, size_t differing_index,
+    bool train_on_d, const SampledDpSgdConfig& config, Rng& rng,
+    SampledStepObserver* observer = nullptr);
+
+struct SampledExperimentSummary {
+  std::vector<double> final_beliefs;  // belief in D per repetition
+  std::vector<bool> decisions_d;      // adversary output per repetition
+  double max_belief = 0.0;
+
+  double SuccessRate(bool trained_on_d = true) const;
+  double EmpiricalAdvantage() const;  // fixed-bit counting, as in Sec. 6.2
+  double FractionAboveBelief(double bound) const;
+};
+
+/// Repeats the subsampled Exp^DI (always training on D; success means the
+/// adversary says D — the paper's counting scheme) with fresh weights and
+/// noise per repetition, fanned out over threads deterministically.
+StatusOr<SampledExperimentSummary> RunSampledDiExperiment(
+    const Network& architecture, const Dataset& d, size_t differing_index,
+    const SampledDpSgdConfig& config, size_t repetitions, uint64_t seed,
+    size_t threads = 0);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_CORE_SUBSAMPLING_H_

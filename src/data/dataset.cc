@@ -1,0 +1,57 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dpaudit {
+
+Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
+  Dataset out;
+  out.inputs.reserve(indices.size());
+  out.labels.reserve(indices.size());
+  for (size_t idx : indices) {
+    DPAUDIT_CHECK_LT(idx, size());
+    out.inputs.push_back(inputs[idx]);
+    out.labels.push_back(labels[idx]);
+  }
+  return out;
+}
+
+Dataset Dataset::WithRecordRemoved(size_t index) const {
+  DPAUDIT_CHECK_LT(index, size());
+  Dataset out;
+  out.inputs.reserve(size() - 1);
+  out.labels.reserve(size() - 1);
+  for (size_t i = 0; i < size(); ++i) {
+    if (i == index) continue;
+    out.inputs.push_back(inputs[i]);
+    out.labels.push_back(labels[i]);
+  }
+  return out;
+}
+
+Dataset Dataset::WithRecordReplaced(size_t index, Tensor input,
+                                    size_t label) const {
+  DPAUDIT_CHECK_LT(index, size());
+  Dataset out = *this;
+  out.inputs[index] = std::move(input);
+  out.labels[index] = label;
+  return out;
+}
+
+Dataset Dataset::SampleSplit(size_t count, Rng& rng,
+                             Dataset* remainder) const {
+  DPAUDIT_CHECK_LE(count, size());
+  std::vector<size_t> perm = rng.Permutation(size());
+  std::vector<size_t> taken(perm.begin(), perm.begin() + count);
+  if (remainder != nullptr) {
+    std::vector<size_t> rest(perm.begin() + count, perm.end());
+    std::sort(rest.begin(), rest.end());
+    *remainder = Subset(rest);
+  }
+  std::sort(taken.begin(), taken.end());
+  return Subset(taken);
+}
+
+}  // namespace dpaudit

@@ -1,0 +1,46 @@
+// Dataset container and neighboring-dataset constructors.
+
+#ifndef DPAUDIT_DATA_DATASET_H_
+#define DPAUDIT_DATA_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dpaudit {
+
+/// A labeled dataset. Inputs and labels are parallel vectors.
+struct Dataset {
+  std::vector<Tensor> inputs;
+  std::vector<size_t> labels;
+
+  size_t size() const { return inputs.size(); }
+  bool empty() const { return inputs.empty(); }
+
+  void Add(Tensor input, size_t label) {
+    inputs.push_back(std::move(input));
+    labels.push_back(label);
+  }
+
+  /// The records at the given indices, in order.
+  Dataset Subset(const std::vector<size_t>& indices) const;
+
+  /// Unbounded-DP neighbor: this dataset with record `index` removed.
+  Dataset WithRecordRemoved(size_t index) const;
+
+  /// Bounded-DP neighbor: this dataset with record `index` replaced by
+  /// (input, label).
+  Dataset WithRecordReplaced(size_t index, Tensor input, size_t label) const;
+
+  /// Splits off `count` records chosen uniformly at random (without
+  /// replacement) into the returned dataset; the rest stay behind in
+  /// `remainder` if non-null.
+  Dataset SampleSplit(size_t count, Rng& rng, Dataset* remainder) const;
+};
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_DATA_DATASET_H_

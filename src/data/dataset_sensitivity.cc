@@ -1,0 +1,73 @@
+#include "data/dataset_sensitivity.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dpaudit {
+
+StatusOr<std::vector<BoundedCandidate>> RankBoundedCandidates(
+    const Dataset& d, const Dataset& pool, const DissimilarityFn& dissim) {
+  if (d.empty()) return Status::InvalidArgument("D must be non-empty");
+  if (pool.empty()) {
+    return Status::InvalidArgument("candidate pool must be non-empty");
+  }
+  std::vector<BoundedCandidate> candidates;
+  candidates.reserve(d.size() * pool.size());
+  for (size_t i = 0; i < d.size(); ++i) {
+    for (size_t j = 0; j < pool.size(); ++j) {
+      candidates.push_back({i, j, dissim(d.inputs[i], pool.inputs[j])});
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const BoundedCandidate& a, const BoundedCandidate& b) {
+                     return a.dissimilarity > b.dissimilarity;
+                   });
+  return candidates;
+}
+
+StatusOr<std::vector<UnboundedCandidate>> RankUnboundedCandidates(
+    const Dataset& d, const DissimilarityFn& dissim) {
+  if (d.size() < 2) {
+    return Status::InvalidArgument("D must have at least two records");
+  }
+  // Aggregate dissimilarity of each record against the rest (Eq. 16).
+  std::vector<UnboundedCandidate> candidates(d.size());
+  for (size_t i = 0; i < d.size(); ++i) candidates[i] = {i, 0.0};
+  for (size_t i = 0; i < d.size(); ++i) {
+    for (size_t j = i + 1; j < d.size(); ++j) {
+      double dis = dissim(d.inputs[i], d.inputs[j]);
+      candidates[i].dissimilarity += dis;
+      candidates[j].dissimilarity += dis;
+    }
+  }
+  std::stable_sort(
+      candidates.begin(), candidates.end(),
+      [](const UnboundedCandidate& a, const UnboundedCandidate& b) {
+        return a.dissimilarity > b.dissimilarity;
+      });
+  return candidates;
+}
+
+Dataset MakeBoundedNeighbor(const Dataset& d, const Dataset& pool,
+                            const BoundedCandidate& candidate) {
+  DPAUDIT_CHECK_LT(candidate.index_in_d, d.size());
+  DPAUDIT_CHECK_LT(candidate.index_in_pool, pool.size());
+  return d.WithRecordReplaced(candidate.index_in_d,
+                              pool.inputs[candidate.index_in_pool],
+                              pool.labels[candidate.index_in_pool]);
+}
+
+Dataset MakeUnboundedNeighbor(const Dataset& d,
+                              const UnboundedCandidate& candidate) {
+  return d.WithRecordRemoved(candidate.index_in_d);
+}
+
+StatusOr<double> DatasetSensitivity(const Dataset& d, const Dataset& pool,
+                                    const DissimilarityFn& dissim) {
+  DPAUDIT_ASSIGN_OR_RETURN(std::vector<BoundedCandidate> ranked,
+                           RankBoundedCandidates(d, pool, dissim));
+  return ranked.front().dissimilarity;
+}
+
+}  // namespace dpaudit

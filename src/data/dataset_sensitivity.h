@@ -1,0 +1,59 @@
+// Dataset sensitivity (Definition 6): choosing the neighboring dataset D'
+// whose differing record is maximally dissimilar to D in data space, as a
+// proxy for the gradient-space local sensitivity LS_g (Section 5.1).
+
+#ifndef DPAUDIT_DATA_DATASET_SENSITIVITY_H_
+#define DPAUDIT_DATA_DATASET_SENSITIVITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/dissimilarity.h"
+#include "util/status.h"
+
+namespace dpaudit {
+
+/// A candidate bounded-DP substitution: replace D[index_in_d] with
+/// pool[index_in_pool]; `dissimilarity` is d(x1, x2).
+struct BoundedCandidate {
+  size_t index_in_d;
+  size_t index_in_pool;
+  double dissimilarity;
+};
+
+/// A candidate unbounded-DP removal: remove D[index_in_d];
+/// `dissimilarity` is sum_{x2 in D \ x1} d(x1, x2) (paper Eq. 16).
+struct UnboundedCandidate {
+  size_t index_in_d;
+  double dissimilarity;
+};
+
+/// All |D| x |pool| substitution candidates sorted by descending
+/// dissimilarity. The first entry realizes DS(D) (Definition 6); taking the
+/// first / last few gives the max/min choices of D' used in Figure 4.
+/// Requires non-empty D and pool.
+StatusOr<std::vector<BoundedCandidate>> RankBoundedCandidates(
+    const Dataset& d, const Dataset& pool, const DissimilarityFn& dissim);
+
+/// All |D| removal candidates sorted by descending aggregate dissimilarity
+/// (the unbounded extension of Definition 6). Requires |D| >= 2.
+StatusOr<std::vector<UnboundedCandidate>> RankUnboundedCandidates(
+    const Dataset& d, const DissimilarityFn& dissim);
+
+/// Builds the bounded neighbor D-hat' for a candidate: D with the record
+/// replaced by the pool record.
+Dataset MakeBoundedNeighbor(const Dataset& d, const Dataset& pool,
+                            const BoundedCandidate& candidate);
+
+/// Builds the unbounded neighbor: D with the record removed.
+Dataset MakeUnboundedNeighbor(const Dataset& d,
+                              const UnboundedCandidate& candidate);
+
+/// DS(D) under bounded DP: the maximal pairwise dissimilarity (Definition 6).
+StatusOr<double> DatasetSensitivity(const Dataset& d, const Dataset& pool,
+                                    const DissimilarityFn& dissim);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_DATA_DATASET_SENSITIVITY_H_

@@ -1,0 +1,65 @@
+#include "data/dissimilarity.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dpaudit {
+
+double HammingDistance(const Tensor& a, const Tensor& b) {
+  DPAUDIT_CHECK_EQ(a.size(), b.size());
+  size_t differing = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    bool bit_a = a[i] >= 0.5f;
+    bool bit_b = b[i] >= 0.5f;
+    if (bit_a != bit_b) ++differing;
+  }
+  return static_cast<double>(differing);
+}
+
+double Ssim(const Tensor& a, const Tensor& b) {
+  DPAUDIT_CHECK_EQ(a.size(), b.size());
+  DPAUDIT_CHECK_GT(a.size(), 1u);
+  constexpr double kC1 = 0.01 * 0.01;  // (k1 * L)^2 with L = 1
+  constexpr double kC2 = 0.03 * 0.03;  // (k2 * L)^2 with L = 1
+  double n = static_cast<double>(a.size());
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= n;
+  mean_b /= n;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  double cov = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double da = a[i] - mean_a;
+    double db = b[i] - mean_b;
+    var_a += da * da;
+    var_b += db * db;
+    cov += da * db;
+  }
+  var_a /= n - 1.0;
+  var_b /= n - 1.0;
+  cov /= n - 1.0;
+  double numerator = (2.0 * mean_a * mean_b + kC1) * (2.0 * cov + kC2);
+  double denominator =
+      (mean_a * mean_a + mean_b * mean_b + kC1) * (var_a + var_b + kC2);
+  return numerator / denominator;
+}
+
+double NegativeSsim(const Tensor& a, const Tensor& b) { return -Ssim(a, b); }
+
+double L2Dissimilarity(const Tensor& a, const Tensor& b) {
+  DPAUDIT_CHECK_EQ(a.size(), b.size());
+  double sq = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    sq += d * d;
+  }
+  return std::sqrt(sq);
+}
+
+}  // namespace dpaudit

@@ -1,0 +1,36 @@
+// Dissimilarity measures for the dataset-sensitivity heuristic (Section 6.2):
+// Hamming distance for binary records (Purchase-100) and negative SSIM for
+// images (MNIST), plus L2 as a generic fallback.
+
+#ifndef DPAUDIT_DATA_DISSIMILARITY_H_
+#define DPAUDIT_DATA_DISSIMILARITY_H_
+
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace dpaudit {
+
+/// A symmetric record-level dissimilarity; larger means more different.
+using DissimilarityFn = std::function<double(const Tensor&, const Tensor&)>;
+
+/// Number of positions where the binarized (>= 0.5) values differ.
+/// Sizes must match.
+double HammingDistance(const Tensor& a, const Tensor& b);
+
+/// Structural similarity index over the whole image (global statistics
+/// variant with the standard constants C1 = (0.01 L)^2, C2 = (0.03 L)^2,
+/// L = 1 for [0,1] images). Returns a value in [-1, 1]; 1 means identical
+/// structure. Sizes must match.
+double Ssim(const Tensor& a, const Tensor& b);
+
+/// The paper's image dissimilarity: -SSIM (most dissimilar pair maximizes
+/// this).
+double NegativeSsim(const Tensor& a, const Tensor& b);
+
+/// Euclidean distance between flattened records.
+double L2Dissimilarity(const Tensor& a, const Tensor& b);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_DATA_DISSIMILARITY_H_

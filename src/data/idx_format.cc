@@ -1,0 +1,143 @@
+#include "data/idx_format.h"
+
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace dpaudit {
+namespace {
+
+constexpr uint8_t kUnsignedByteType = 0x08;
+
+uint32_t ReadBigEndian32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+void AppendBigEndian32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 24));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+}  // namespace
+
+StatusOr<IdxData> ParseIdx(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 4) {
+    return Status::InvalidArgument("IDX stream shorter than its magic");
+  }
+  if (bytes[0] != 0 || bytes[1] != 0) {
+    return Status::InvalidArgument("bad IDX magic (leading bytes non-zero)");
+  }
+  if (bytes[2] != kUnsignedByteType) {
+    return Status::Unimplemented(
+        "only unsigned-byte IDX payloads (dtype 0x08) are supported");
+  }
+  size_t ndim = bytes[3];
+  if (ndim == 0 || ndim > 4) {
+    return Status::InvalidArgument("IDX rank must be in [1, 4]");
+  }
+  if (bytes.size() < 4 + 4 * ndim) {
+    return Status::InvalidArgument("IDX stream truncated in header");
+  }
+  IdxData data;
+  uint64_t volume = 1;
+  for (size_t i = 0; i < ndim; ++i) {
+    uint32_t extent = ReadBigEndian32(bytes.data() + 4 + 4 * i);
+    if (extent == 0) return Status::InvalidArgument("zero IDX extent");
+    data.dims.push_back(extent);
+    volume *= extent;
+    if (volume > (1ull << 32)) {
+      return Status::OutOfRange("IDX volume implausibly large");
+    }
+  }
+  size_t header = 4 + 4 * ndim;
+  if (bytes.size() != header + volume) {
+    return Status::InvalidArgument(
+        "IDX payload size does not match header dims");
+  }
+  data.values.assign(bytes.begin() + static_cast<long>(header), bytes.end());
+  return data;
+}
+
+StatusOr<std::vector<uint8_t>> SerializeIdx(const IdxData& data) {
+  if (data.dims.empty() || data.dims.size() > 4) {
+    return Status::InvalidArgument("IDX rank must be in [1, 4]");
+  }
+  uint64_t volume = 1;
+  for (uint32_t d : data.dims) {
+    if (d == 0) return Status::InvalidArgument("zero IDX extent");
+    volume *= d;
+  }
+  if (volume != data.values.size()) {
+    return Status::InvalidArgument("values do not fill the declared dims");
+  }
+  std::vector<uint8_t> out;
+  out.reserve(4 + 4 * data.dims.size() + data.values.size());
+  out.push_back(0);
+  out.push_back(0);
+  out.push_back(kUnsignedByteType);
+  out.push_back(static_cast<uint8_t>(data.dims.size()));
+  for (uint32_t d : data.dims) AppendBigEndian32(out, d);
+  out.insert(out.end(), data.values.begin(), data.values.end());
+  return out;
+}
+
+StatusOr<IdxData> ReadIdxFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  return ParseIdx(bytes);
+}
+
+Status WriteIdxFile(const std::string& path, const IdxData& data) {
+  DPAUDIT_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, SerializeIdx(data));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+StatusOr<Dataset> IdxToDataset(const IdxData& images, const IdxData& labels,
+                               size_t limit) {
+  if (images.dims.size() != 3) {
+    return Status::InvalidArgument("images IDX must be rank 3");
+  }
+  if (labels.dims.size() != 1) {
+    return Status::InvalidArgument("labels IDX must be rank 1");
+  }
+  if (images.dims[0] != labels.dims[0]) {
+    return Status::InvalidArgument("image and label counts differ");
+  }
+  size_t count = images.dims[0];
+  if (limit > 0) count = std::min(count, limit);
+  size_t rows = images.dims[1];
+  size_t cols = images.dims[2];
+  Dataset data;
+  data.inputs.reserve(count);
+  data.labels.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Tensor image({1, rows, cols});
+    const uint8_t* src = images.values.data() + i * rows * cols;
+    for (size_t p = 0; p < rows * cols; ++p) {
+      image[p] = static_cast<float>(src[p]) / 255.0f;
+    }
+    data.Add(std::move(image), labels.values[i]);
+  }
+  return data;
+}
+
+StatusOr<Dataset> LoadIdxDataset(const std::string& images_path,
+                                 const std::string& labels_path,
+                                 size_t limit) {
+  DPAUDIT_ASSIGN_OR_RETURN(IdxData images, ReadIdxFile(images_path));
+  DPAUDIT_ASSIGN_OR_RETURN(IdxData labels, ReadIdxFile(labels_path));
+  return IdxToDataset(images, labels, limit);
+}
+
+}  // namespace dpaudit

@@ -1,0 +1,128 @@
+#include "data/synthetic_mnist.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace dpaudit {
+namespace {
+
+struct Stroke {
+  double x0, y0, x1, y1;  // unit coordinates, origin top-left
+};
+
+// Seven-segment layout in unit coordinates, with two vertical segments per
+// side split at mid-height:
+//   A: top bar        G: middle bar      D: bottom bar
+//   F: top-left       B: top-right
+//   E: bottom-left    C: bottom-right
+constexpr Stroke kA{0.25, 0.15, 0.75, 0.15};
+constexpr Stroke kB{0.75, 0.15, 0.75, 0.50};
+constexpr Stroke kC{0.75, 0.50, 0.75, 0.85};
+constexpr Stroke kD{0.25, 0.85, 0.75, 0.85};
+constexpr Stroke kE{0.25, 0.50, 0.25, 0.85};
+constexpr Stroke kF{0.25, 0.15, 0.25, 0.50};
+constexpr Stroke kG{0.25, 0.50, 0.75, 0.50};
+
+// Per-digit segment sets.
+const std::vector<Stroke>& DigitStrokes(size_t digit) {
+  static const std::vector<Stroke> kDigits[10] = {
+      /*0*/ {kA, kB, kC, kD, kE, kF},
+      /*1*/ {kB, kC},
+      /*2*/ {kA, kB, kG, kE, kD},
+      /*3*/ {kA, kB, kG, kC, kD},
+      /*4*/ {kF, kG, kB, kC},
+      /*5*/ {kA, kF, kG, kC, kD},
+      /*6*/ {kA, kF, kG, kE, kC, kD},
+      /*7*/ {kA, kB, kC},
+      /*8*/ {kA, kB, kC, kD, kE, kF, kG},
+      /*9*/ {kA, kB, kC, kD, kF, kG},
+  };
+  DPAUDIT_CHECK_LT(digit, 10u);
+  return kDigits[digit];
+}
+
+// Squared distance from point p to segment (a, b).
+double PointSegmentDistSq(double px, double py, double ax, double ay,
+                          double bx, double by) {
+  double vx = bx - ax;
+  double vy = by - ay;
+  double wx = px - ax;
+  double wy = py - ay;
+  double len_sq = vx * vx + vy * vy;
+  double t = len_sq > 0.0 ? Clamp((wx * vx + wy * vy) / len_sq, 0.0, 1.0)
+                          : 0.0;
+  double dx = px - (ax + t * vx);
+  double dy = py - (ay + t * vy);
+  return dx * dx + dy * dy;
+}
+
+}  // namespace
+
+Tensor RenderSyntheticDigit(size_t digit, const SyntheticMnistConfig& config,
+                            Rng& rng) {
+  DPAUDIT_CHECK_LT(digit, 10u);
+  size_t s = config.image_size;
+  DPAUDIT_CHECK_GE(s, 8u);
+  // Per-sample affine jitter.
+  double shift_x = rng.Uniform(-config.jitter_pixels, config.jitter_pixels);
+  double shift_y = rng.Uniform(-config.jitter_pixels, config.jitter_pixels);
+  double scale = 1.0 + rng.Uniform(-config.jitter_scale, config.jitter_scale);
+  double angle = rng.Uniform(-config.jitter_rotate, config.jitter_rotate);
+  double cos_a = std::cos(angle);
+  double sin_a = std::sin(angle);
+  double center = static_cast<double>(s) / 2.0;
+
+  // Transform strokes from unit coordinates into jittered pixel coordinates.
+  std::vector<Stroke> strokes;
+  for (const Stroke& base : DigitStrokes(digit)) {
+    auto map = [&](double ux, double uy, double& px, double& py) {
+      // Center at origin, scale to pixels, rotate, then translate.
+      double cx = (ux - 0.5) * static_cast<double>(s) * scale;
+      double cy = (uy - 0.5) * static_cast<double>(s) * scale;
+      px = center + cos_a * cx - sin_a * cy + shift_x;
+      py = center + sin_a * cx + cos_a * cy + shift_y;
+    };
+    Stroke t{};
+    map(base.x0, base.y0, t.x0, t.y0);
+    map(base.x1, base.y1, t.x1, t.y1);
+    strokes.push_back(t);
+  }
+
+  Tensor image({1, s, s});
+  double two_w_sq = 2.0 * config.stroke_width * config.stroke_width;
+  for (size_t y = 0; y < s; ++y) {
+    for (size_t x = 0; x < s; ++x) {
+      double px = static_cast<double>(x) + 0.5;
+      double py = static_cast<double>(y) + 0.5;
+      double intensity = 0.0;
+      for (const Stroke& st : strokes) {
+        double d_sq = PointSegmentDistSq(px, py, st.x0, st.y0, st.x1, st.y1);
+        intensity = std::max(intensity, std::exp(-d_sq / two_w_sq));
+      }
+      if (config.pixel_noise > 0.0) {
+        intensity += rng.Gaussian(0.0, config.pixel_noise);
+      }
+      image.At(0, y, x) = static_cast<float>(Clamp(intensity, 0.0, 1.0));
+    }
+  }
+  return image;
+}
+
+Dataset GenerateSyntheticMnist(size_t count,
+                               const SyntheticMnistConfig& config, Rng& rng) {
+  Dataset data;
+  data.inputs.reserve(count);
+  data.labels.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t digit = i % 10;
+    data.Add(RenderSyntheticDigit(digit, config, rng), digit);
+  }
+  // Shuffle so class order carries no information.
+  std::vector<size_t> perm = rng.Permutation(count);
+  return data.Subset(perm);
+}
+
+}  // namespace dpaudit

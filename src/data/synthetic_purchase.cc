@@ -1,0 +1,46 @@
+#include "data/synthetic_purchase.h"
+
+#include "util/logging.h"
+
+namespace dpaudit {
+
+SyntheticPurchaseGenerator::SyntheticPurchaseGenerator(
+    const SyntheticPurchaseConfig& config, uint64_t prototype_seed)
+    : config_(config) {
+  DPAUDIT_CHECK_GT(config_.num_features, 0u);
+  DPAUDIT_CHECK_GT(config_.num_classes, 0u);
+  Rng rng(prototype_seed);
+  prototypes_.resize(config_.num_classes);
+  for (auto& prototype : prototypes_) {
+    prototype.resize(config_.num_features);
+    for (size_t f = 0; f < config_.num_features; ++f) {
+      prototype[f] = rng.Bernoulli(config_.prototype_density);
+    }
+  }
+}
+
+Tensor SyntheticPurchaseGenerator::Sample(size_t label, Rng& rng) const {
+  DPAUDIT_CHECK_LT(label, config_.num_classes);
+  Tensor record({config_.num_features});
+  const std::vector<bool>& prototype = prototypes_[label];
+  for (size_t f = 0; f < config_.num_features; ++f) {
+    bool bit = prototype[f];
+    if (rng.Bernoulli(config_.flip_probability)) bit = !bit;
+    record[f] = bit ? 1.0f : 0.0f;
+  }
+  return record;
+}
+
+Dataset SyntheticPurchaseGenerator::Generate(size_t count, Rng& rng) const {
+  Dataset data;
+  data.inputs.reserve(count);
+  data.labels.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t label = i % config_.num_classes;
+    data.Add(Sample(label, rng), label);
+  }
+  std::vector<size_t> perm = rng.Permutation(count);
+  return data.Subset(perm);
+}
+
+}  // namespace dpaudit

@@ -1,0 +1,49 @@
+// Synthetic stand-in for the Purchase-100 dataset (see DESIGN.md).
+//
+// Shokri et al.'s Purchase-100 consists of 600 binary purchase-history
+// features clustered into 100 shopper styles that serve as class labels. We
+// generate the same structure directly: 100 latent Bernoulli prototypes over
+// 600 items, with per-record bit flips, which preserves the binary feature
+// space and Hamming-dissimilarity structure the paper's dataset-sensitivity
+// heuristic exploits.
+
+#ifndef DPAUDIT_DATA_SYNTHETIC_PURCHASE_H_
+#define DPAUDIT_DATA_SYNTHETIC_PURCHASE_H_
+
+#include <cstddef>
+
+#include "data/dataset.h"
+#include "util/random.h"
+
+namespace dpaudit {
+
+struct SyntheticPurchaseConfig {
+  size_t num_features = 600;
+  size_t num_classes = 100;
+  double prototype_density = 0.2;  // P(prototype bit = 1)
+  double flip_probability = 0.05;  // per-bit noise around the prototype
+};
+
+/// Generator holding the latent class prototypes, so that repeated draws come
+/// from a fixed "distribution" (the Dist of Experiments 1 and 2).
+class SyntheticPurchaseGenerator {
+ public:
+  SyntheticPurchaseGenerator(const SyntheticPurchaseConfig& config,
+                             uint64_t prototype_seed);
+
+  /// Draws one record of class `label`; shape [num_features], values 0/1.
+  Tensor Sample(size_t label, Rng& rng) const;
+
+  /// Draws `count` records with balanced classes in randomized order.
+  Dataset Generate(size_t count, Rng& rng) const;
+
+  const SyntheticPurchaseConfig& config() const { return config_; }
+
+ private:
+  SyntheticPurchaseConfig config_;
+  std::vector<std::vector<bool>> prototypes_;  // [class][feature]
+};
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_DATA_SYNTHETIC_PURCHASE_H_

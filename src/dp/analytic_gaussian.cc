@@ -1,0 +1,101 @@
+#include "dp/analytic_gaussian.h"
+
+#include <cmath>
+
+#include "stats/normal.h"
+#include "util/logging.h"
+
+namespace dpaudit {
+namespace {
+
+// delta(sigma) for fixed epsilon and sensitivity. Strictly decreasing in
+// sigma: more noise, smaller privacy failure mass.
+double DeltaAt(double sigma, double epsilon, double sensitivity) {
+  double a = sensitivity / (2.0 * sigma);
+  double b = epsilon * sigma / sensitivity;
+  // e^eps * Phi(-a - b) can be large * tiny; combine in log space to avoid
+  // overflow for big epsilon.
+  double term1 = NormalCdf(a - b);
+  double log_phi = std::log(NormalCdf(-a - b));
+  double term2 = std::isinf(log_phi) ? 0.0 : std::exp(epsilon + log_phi);
+  return std::max(0.0, term1 - term2);
+}
+
+}  // namespace
+
+StatusOr<double> AnalyticGaussianDelta(double sigma, double epsilon,
+                                       double sensitivity) {
+  if (!(sigma > 0.0)) return Status::InvalidArgument("sigma must be > 0");
+  if (!(epsilon >= 0.0)) {
+    return Status::InvalidArgument("epsilon must be >= 0");
+  }
+  if (!(sensitivity > 0.0)) {
+    return Status::InvalidArgument("sensitivity must be > 0");
+  }
+  return DeltaAt(sigma, epsilon, sensitivity);
+}
+
+StatusOr<double> AnalyticGaussianSigma(const PrivacyParams& params,
+                                       double sensitivity) {
+  DPAUDIT_RETURN_IF_ERROR(params.Validate());
+  if (params.delta <= 0.0) {
+    return Status::InvalidArgument(
+        "the Gaussian mechanism requires delta > 0");
+  }
+  if (!(sensitivity > 0.0)) {
+    return Status::InvalidArgument("sensitivity must be > 0");
+  }
+  // Bracket: delta(sigma) -> 1/2-ish as sigma -> 0 and -> 0 as sigma -> inf.
+  double lo = 1e-6 * sensitivity;
+  double hi = sensitivity;
+  size_t guard = 0;
+  while (DeltaAt(hi, params.epsilon, sensitivity) > params.delta) {
+    hi *= 2.0;
+    if (++guard > 200) return Status::OutOfRange("sigma bracket failed");
+  }
+  guard = 0;
+  while (DeltaAt(lo, params.epsilon, sensitivity) < params.delta) {
+    lo *= 0.5;
+    if (++guard > 200) break;  // delta already below target at tiny sigma
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (DeltaAt(mid, params.epsilon, sensitivity) > params.delta) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;  // smallest sigma found that satisfies the delta constraint
+}
+
+StatusOr<double> AnalyticGaussianEpsilon(double sigma, double delta,
+                                         double sensitivity) {
+  if (!(sigma > 0.0)) return Status::InvalidArgument("sigma must be > 0");
+  if (!(delta > 0.0 && delta < 1.0)) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  if (!(sensitivity > 0.0)) {
+    return Status::InvalidArgument("sensitivity must be > 0");
+  }
+  // delta(eps) is strictly decreasing in eps for fixed sigma.
+  if (DeltaAt(sigma, 0.0, sensitivity) <= delta) return 0.0;
+  double lo = 0.0;
+  double hi = 1.0;
+  size_t guard = 0;
+  while (DeltaAt(sigma, hi, sensitivity) > delta) {
+    hi *= 2.0;
+    if (++guard > 200) return Status::OutOfRange("epsilon bracket failed");
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (DeltaAt(sigma, mid, sensitivity) > delta) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace dpaudit

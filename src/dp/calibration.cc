@@ -1,0 +1,49 @@
+#include "dp/calibration.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dpaudit {
+
+double GaussianCalibrationFactor(double delta) {
+  DPAUDIT_CHECK_GT(delta, 0.0);
+  DPAUDIT_CHECK_LT(delta, 1.0);
+  return std::sqrt(2.0 * std::log(1.25 / delta));
+}
+
+StatusOr<double> GaussianSigma(const PrivacyParams& params,
+                               double sensitivity) {
+  DPAUDIT_RETURN_IF_ERROR(params.Validate());
+  if (params.delta <= 0.0) {
+    return Status::InvalidArgument(
+        "the Gaussian mechanism requires delta > 0");
+  }
+  if (!(sensitivity > 0.0)) {
+    return Status::InvalidArgument("sensitivity must be > 0");
+  }
+  return sensitivity * GaussianCalibrationFactor(params.delta) /
+         params.epsilon;
+}
+
+StatusOr<double> GaussianEpsilon(double sigma, double delta,
+                                 double sensitivity) {
+  if (!(sigma > 0.0)) return Status::InvalidArgument("sigma must be > 0");
+  if (!(delta > 0.0 && delta < 1.0)) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  if (!(sensitivity > 0.0)) {
+    return Status::InvalidArgument("sensitivity must be > 0");
+  }
+  return sensitivity * GaussianCalibrationFactor(delta) / sigma;
+}
+
+StatusOr<double> LaplaceScale(double epsilon, double sensitivity) {
+  if (!(epsilon > 0.0)) return Status::InvalidArgument("epsilon must be > 0");
+  if (!(sensitivity > 0.0)) {
+    return Status::InvalidArgument("sensitivity must be > 0");
+  }
+  return sensitivity / epsilon;
+}
+
+}  // namespace dpaudit

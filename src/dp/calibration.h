@@ -1,0 +1,34 @@
+// Classic Gaussian-mechanism calibration (Dwork & Roth, Theorem A.1):
+// sigma > sensitivity * sqrt(2 ln(1.25/delta)) / epsilon   (paper Eq. 1)
+// and its inversions. Valid for epsilon <= 1 in the original analysis; the
+// paper applies it as the engineering convention for larger epsilon as well
+// (tensorflow-privacy does the same), and we follow the paper.
+
+#ifndef DPAUDIT_DP_CALIBRATION_H_
+#define DPAUDIT_DP_CALIBRATION_H_
+
+#include "dp/privacy_params.h"
+#include "util/status.h"
+
+namespace dpaudit {
+
+/// The noise standard deviation that makes the Gaussian mechanism
+/// (epsilon, delta)-DP for a query of the given L2 sensitivity (Eq. 1).
+/// Requires epsilon > 0, 0 < delta < 1, sensitivity > 0.
+StatusOr<double> GaussianSigma(const PrivacyParams& params,
+                               double sensitivity);
+
+/// The epsilon actually guaranteed by noise `sigma` at the given delta and
+/// sensitivity (Eq. 2, the rearrangement used for auditing).
+StatusOr<double> GaussianEpsilon(double sigma, double delta,
+                                 double sensitivity);
+
+/// sqrt(2 ln(1.25/delta)) — the recurring factor in Theorem 2 and Eq. 15.
+double GaussianCalibrationFactor(double delta);
+
+/// Laplace-mechanism scale for pure epsilon-DP: sensitivity / epsilon.
+StatusOr<double> LaplaceScale(double epsilon, double sensitivity);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_DP_CALIBRATION_H_

@@ -1,0 +1,24 @@
+#include "dp/composition.h"
+
+namespace dpaudit {
+
+PrivacyParams SequentialCompose(const std::vector<PrivacyParams>& steps) {
+  PrivacyParams total;
+  for (const PrivacyParams& step : steps) {
+    total.epsilon += step.epsilon;
+    total.delta += step.delta;
+  }
+  return total;
+}
+
+StatusOr<PrivacyParams> SequentialSplit(const PrivacyParams& total,
+                                        size_t steps) {
+  DPAUDIT_RETURN_IF_ERROR(total.Validate());
+  if (steps == 0) return Status::InvalidArgument("steps must be > 0");
+  PrivacyParams per_step;
+  per_step.epsilon = total.epsilon / static_cast<double>(steps);
+  per_step.delta = total.delta / static_cast<double>(steps);
+  return per_step;
+}
+
+}  // namespace dpaudit

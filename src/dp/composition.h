@@ -1,0 +1,26 @@
+// Sequential (basic) composition — the baseline the paper compares RDP
+// composition against in Section 5.2.
+
+#ifndef DPAUDIT_DP_COMPOSITION_H_
+#define DPAUDIT_DP_COMPOSITION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dp/privacy_params.h"
+#include "util/status.h"
+
+namespace dpaudit {
+
+/// Basic composition: k releases of (eps_i, delta_i)-DP mechanisms give
+/// (sum eps_i, sum delta_i)-DP.
+PrivacyParams SequentialCompose(const std::vector<PrivacyParams>& steps);
+
+/// Splits a total guarantee evenly over k steps under basic composition:
+/// each step gets (eps/k, delta/k).
+StatusOr<PrivacyParams> SequentialSplit(const PrivacyParams& total,
+                                        size_t steps);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_DP_COMPOSITION_H_

@@ -1,0 +1,74 @@
+#include "dp/mechanism.h"
+
+#include <cmath>
+
+#include "stats/normal.h"
+#include "util/logging.h"
+
+namespace dpaudit {
+
+GaussianMechanism::GaussianMechanism(double sigma) : sigma_(sigma) {
+  DPAUDIT_CHECK_GT(sigma_, 0.0);
+}
+
+StatusOr<GaussianMechanism> GaussianMechanism::Create(double sigma) {
+  if (!(sigma > 0.0) || !std::isfinite(sigma)) {
+    return Status::InvalidArgument("sigma must be finite and > 0");
+  }
+  return GaussianMechanism(sigma);
+}
+
+void GaussianMechanism::Perturb(std::vector<float>& values, Rng& rng) const {
+  for (float& v : values) {
+    v = static_cast<float>(v + rng.Gaussian(0.0, sigma_));
+  }
+}
+
+void GaussianMechanism::Perturb(std::vector<double>& values, Rng& rng) const {
+  for (double& v : values) v += rng.Gaussian(0.0, sigma_);
+}
+
+double GaussianMechanism::PerturbScalar(double value, Rng& rng) const {
+  return value + rng.Gaussian(0.0, sigma_);
+}
+
+double GaussianMechanism::LogDensity(const std::vector<float>& observed,
+                                     const std::vector<float>& center) const {
+  DPAUDIT_CHECK_EQ(observed.size(), center.size());
+  double log_p = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    log_p += NormalLogPdf(observed[i], center[i], sigma_);
+  }
+  return log_p;
+}
+
+double GaussianMechanism::LogDensityScalar(double observed,
+                                           double center) const {
+  return NormalLogPdf(observed, center, sigma_);
+}
+
+LaplaceMechanism::LaplaceMechanism(double scale) : scale_(scale) {
+  DPAUDIT_CHECK_GT(scale_, 0.0);
+}
+
+StatusOr<LaplaceMechanism> LaplaceMechanism::Create(double scale) {
+  if (!(scale > 0.0) || !std::isfinite(scale)) {
+    return Status::InvalidArgument("scale must be finite and > 0");
+  }
+  return LaplaceMechanism(scale);
+}
+
+void LaplaceMechanism::Perturb(std::vector<double>& values, Rng& rng) const {
+  for (double& v : values) v += rng.Laplace(scale_);
+}
+
+double LaplaceMechanism::PerturbScalar(double value, Rng& rng) const {
+  return value + rng.Laplace(scale_);
+}
+
+double LaplaceMechanism::LogDensityScalar(double observed,
+                                          double center) const {
+  return -std::fabs(observed - center) / scale_ - std::log(2.0 * scale_);
+}
+
+}  // namespace dpaudit

@@ -1,0 +1,69 @@
+// Differentially private noise mechanisms.
+//
+// Each mechanism both perturbs query outputs and exposes the log-density of
+// an observed output under a hypothesized true value — the quantity the DP
+// adversary A_DI needs for its posterior-belief computation (Lemma 1).
+
+#ifndef DPAUDIT_DP_MECHANISM_H_
+#define DPAUDIT_DP_MECHANISM_H_
+
+#include <vector>
+
+#include "dp/privacy_params.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dpaudit {
+
+/// The Gaussian mechanism M(x) = x + N(0, sigma^2 I). The (epsilon, delta)
+/// guarantee follows from dp/calibration.h given the query's L2 sensitivity.
+class GaussianMechanism {
+ public:
+  /// Requires sigma > 0. Use GaussianMechanism::Create for Status-based
+  /// validation of untrusted input.
+  explicit GaussianMechanism(double sigma);
+
+  static StatusOr<GaussianMechanism> Create(double sigma);
+
+  double sigma() const { return sigma_; }
+
+  /// Adds i.i.d. N(0, sigma^2) to each coordinate in place.
+  void Perturb(std::vector<float>& values, Rng& rng) const;
+  void Perturb(std::vector<double>& values, Rng& rng) const;
+
+  /// Scalar convenience: value + N(0, sigma^2).
+  double PerturbScalar(double value, Rng& rng) const;
+
+  /// log Pr[M(center) = observed] for the multidimensional output, i.e. the
+  /// sum of per-coordinate Gaussian log-densities. Sizes must match.
+  double LogDensity(const std::vector<float>& observed,
+                    const std::vector<float>& center) const;
+  double LogDensityScalar(double observed, double center) const;
+
+ private:
+  double sigma_;
+};
+
+/// The Laplace mechanism M(x) = x + Lap(scale) per coordinate; epsilon-DP
+/// when scale = l1-sensitivity / epsilon. Included for the Lee-Clifton
+/// scalar analyses the paper builds on (Section 4.1 proof part (i)).
+class LaplaceMechanism {
+ public:
+  explicit LaplaceMechanism(double scale);
+
+  static StatusOr<LaplaceMechanism> Create(double scale);
+
+  double scale() const { return scale_; }
+
+  void Perturb(std::vector<double>& values, Rng& rng) const;
+  double PerturbScalar(double value, Rng& rng) const;
+
+  double LogDensityScalar(double observed, double center) const;
+
+ private:
+  double scale_;
+};
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_DP_MECHANISM_H_

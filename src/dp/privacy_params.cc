@@ -1,0 +1,57 @@
+#include "dp/privacy_params.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dpaudit {
+
+Status PrivacyParams::Validate() const {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be finite and > 0");
+  }
+  if (delta < 0.0 || delta >= 1.0 || !std::isfinite(delta)) {
+    return Status::InvalidArgument("delta must be in [0, 1)");
+  }
+  return Status::Ok();
+}
+
+std::string PrivacyParams::ToString() const {
+  std::ostringstream os;
+  os << "(" << epsilon << ", " << delta << ")-DP";
+  return os.str();
+}
+
+const char* NeighborModeToString(NeighborMode mode) {
+  switch (mode) {
+    case NeighborMode::kUnbounded:
+      return "unbounded";
+    case NeighborMode::kBounded:
+      return "bounded";
+  }
+  return "unknown";
+}
+
+const char* SensitivityModeToString(SensitivityMode mode) {
+  switch (mode) {
+    case SensitivityMode::kGlobal:
+      return "GS";
+    case SensitivityMode::kLocalHat:
+      return "LS";
+  }
+  return "unknown";
+}
+
+double GlobalClipSensitivity(NeighborMode mode, double clip_norm) {
+  DPAUDIT_CHECK_GT(clip_norm, 0.0);
+  switch (mode) {
+    case NeighborMode::kUnbounded:
+      return clip_norm;
+    case NeighborMode::kBounded:
+      return 2.0 * clip_norm;
+  }
+  return clip_norm;
+}
+
+}  // namespace dpaudit

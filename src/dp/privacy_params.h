@@ -1,0 +1,47 @@
+// (epsilon, delta) privacy parameters and the neighboring-dataset notions.
+
+#ifndef DPAUDIT_DP_PRIVACY_PARAMS_H_
+#define DPAUDIT_DP_PRIVACY_PARAMS_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace dpaudit {
+
+/// The DP guarantee (Definition 1). epsilon > 0; delta in [0, 1).
+struct PrivacyParams {
+  double epsilon = 0.0;
+  double delta = 0.0;
+
+  /// OK iff the parameters are a valid DP guarantee.
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+/// Whether neighboring datasets differ by presence (unbounded) or by value
+/// (bounded) of one record (Section 2.1).
+enum class NeighborMode {
+  kUnbounded,  // D' = D minus one record
+  kBounded,    // D' = D with one record replaced
+};
+
+const char* NeighborModeToString(NeighborMode mode);
+
+/// How DPSGD scales its noise (Section 5.1).
+enum class SensitivityMode {
+  kGlobal,    // Delta f = C (unbounded) or 2C (bounded)
+  kLocalHat,  // Delta f = LS-hat from the dataset-sensitivity heuristic
+};
+
+const char* SensitivityModeToString(SensitivityMode mode);
+
+/// Global sensitivity of the clipped per-example gradient SUM under the given
+/// neighboring notion: removing a record changes the sum by at most C;
+/// replacing one can change it by up to 2C (Algorithm 1 discussion).
+double GlobalClipSensitivity(NeighborMode mode, double clip_norm);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_DP_PRIVACY_PARAMS_H_

@@ -1,0 +1,285 @@
+#include "dp/rdp_accountant.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace dpaudit {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool IsIntegerOrder(double alpha) {
+  return std::fabs(alpha - std::round(alpha)) < 1e-9 && alpha >= 2.0;
+}
+
+// ln C(n, k) via lgamma.
+double LogBinomial(size_t n, size_t k) {
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+}  // namespace
+
+double GaussianRdpEpsilon(double alpha, double sigma, double sensitivity) {
+  DPAUDIT_CHECK_GT(alpha, 1.0);
+  DPAUDIT_CHECK_GT(sigma, 0.0);
+  DPAUDIT_CHECK_GT(sensitivity, 0.0);
+  double z = sigma / sensitivity;
+  return GaussianRdpEpsilonFromNoiseMultiplier(alpha, z);
+}
+
+double GaussianRdpEpsilonFromNoiseMultiplier(double alpha,
+                                             double noise_multiplier) {
+  DPAUDIT_CHECK_GT(alpha, 1.0);
+  DPAUDIT_CHECK_GT(noise_multiplier, 0.0);
+  return alpha / (2.0 * noise_multiplier * noise_multiplier);
+}
+
+std::vector<double> RdpAccountant::DefaultOrders() {
+  std::vector<double> orders = {1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 3.0,
+                                3.5,  4.0, 4.5,  5.0, 6.0,  7.0, 8.0,
+                                9.0,  10.0, 12.0, 14.0, 16.0, 20.0, 24.0,
+                                28.0, 32.0, 48.0, 64.0, 128.0, 256.0, 512.0};
+  for (double a = 11.0; a < 64.0; a += 1.0) orders.push_back(a);
+  return orders;
+}
+
+RdpAccountant::RdpAccountant() : RdpAccountant(DefaultOrders()) {}
+
+RdpAccountant::RdpAccountant(std::vector<double> orders)
+    : orders_(std::move(orders)), rdp_(orders_.size(), 0.0) {
+  DPAUDIT_CHECK(!orders_.empty());
+  for (double a : orders_) DPAUDIT_CHECK_GT(a, 1.0);
+}
+
+void RdpAccountant::AddGaussianSteps(double noise_multiplier, size_t count) {
+  DPAUDIT_CHECK_GT(noise_multiplier, 0.0);
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    rdp_[i] += static_cast<double>(count) *
+               GaussianRdpEpsilonFromNoiseMultiplier(orders_[i],
+                                                     noise_multiplier);
+  }
+  steps_ += count;
+}
+
+double SampledGaussianRdpEpsilon(size_t alpha, double sampling_rate,
+                                 double noise_multiplier) {
+  DPAUDIT_CHECK_GE(alpha, 2u);
+  DPAUDIT_CHECK_GT(sampling_rate, 0.0);
+  DPAUDIT_CHECK_LE(sampling_rate, 1.0);
+  DPAUDIT_CHECK_GT(noise_multiplier, 0.0);
+  if (sampling_rate == 1.0) {
+    return GaussianRdpEpsilonFromNoiseMultiplier(static_cast<double>(alpha),
+                                                 noise_multiplier);
+  }
+  const double log_q = std::log(sampling_rate);
+  const double log_1mq = std::log1p(-sampling_rate);
+  const double z2 = noise_multiplier * noise_multiplier;
+  std::vector<double> log_terms;
+  log_terms.reserve(alpha + 1);
+  for (size_t j = 0; j <= alpha; ++j) {
+    double dj = static_cast<double>(j);
+    double log_term = LogBinomial(alpha, j) +
+                      static_cast<double>(alpha - j) * log_1mq + dj * log_q +
+                      dj * (dj - 1.0) / (2.0 * z2);
+    log_terms.push_back(log_term);
+  }
+  double log_moment = LogSumExp(log_terms);
+  // The sum is >= 1 (the j=0 and j=1 terms alone give (1-q)^a + a q (1-q)^
+  // {a-1} <= 1 but the moment bound is >= 1); numerical cancellation can dip
+  // slightly below 0 — clamp so epsilon stays non-negative.
+  return std::max(0.0, log_moment) / (static_cast<double>(alpha) - 1.0);
+}
+
+void RdpAccountant::AddSampledGaussianSteps(double sampling_rate,
+                                            double noise_multiplier,
+                                            size_t count) {
+  DPAUDIT_CHECK_GT(sampling_rate, 0.0);
+  DPAUDIT_CHECK_LE(sampling_rate, 1.0);
+  DPAUDIT_CHECK_GT(noise_multiplier, 0.0);
+  if (sampling_rate == 1.0) {
+    AddGaussianSteps(noise_multiplier, count);
+    return;
+  }
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    if (!IsIntegerOrder(orders_[i])) {
+      // No subsampled bound at fractional orders: exclude this order from
+      // every future conversion (min over orders stays a valid bound).
+      rdp_[i] = kInf;
+      continue;
+    }
+    rdp_[i] += static_cast<double>(count) *
+               SampledGaussianRdpEpsilon(
+                   static_cast<size_t>(std::llround(orders_[i])),
+                   sampling_rate, noise_multiplier);
+  }
+  steps_ += count;
+}
+
+void RdpAccountant::AddRdp(const std::vector<double>& rdp_epsilons) {
+  DPAUDIT_CHECK_EQ(rdp_epsilons.size(), orders_.size());
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    DPAUDIT_CHECK_GE(rdp_epsilons[i], 0.0);
+    rdp_[i] += rdp_epsilons[i];
+  }
+  ++steps_;
+}
+
+StatusOr<double> RdpAccountant::GetEpsilon(double delta) const {
+  if (!(delta > 0.0 && delta < 1.0)) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    double eps = rdp_[i] + std::log(1.0 / delta) / (orders_[i] - 1.0);
+    best = std::min(best, eps);
+  }
+  return best;
+}
+
+StatusOr<double> RdpAccountant::GetOptimalOrder(double delta) const {
+  if (!(delta > 0.0 && delta < 1.0)) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  double best = std::numeric_limits<double>::infinity();
+  double best_order = orders_[0];
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    double eps = rdp_[i] + std::log(1.0 / delta) / (orders_[i] - 1.0);
+    if (eps < best) {
+      best = eps;
+      best_order = orders_[i];
+    }
+  }
+  return best_order;
+}
+
+StatusOr<double> RdpAccountant::GetDelta(double epsilon) const {
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be > 0");
+  }
+  double best = 1.0;
+  for (size_t i = 0; i < orders_.size(); ++i) {
+    // Invert eps = rdp + ln(1/delta)/(alpha-1):
+    // delta = exp((alpha - 1) * (rdp - eps)).
+    double log_delta = (orders_[i] - 1.0) * (rdp_[i] - epsilon);
+    best = std::min(best, std::exp(std::min(0.0, log_delta)));
+  }
+  return best;
+}
+
+StatusOr<double> ComposedEpsilonForNoiseMultiplier(double noise_multiplier,
+                                                   double delta,
+                                                   size_t steps) {
+  if (!(noise_multiplier > 0.0)) {
+    return Status::InvalidArgument("noise multiplier must be > 0");
+  }
+  if (steps == 0) return Status::InvalidArgument("steps must be > 0");
+  RdpAccountant accountant;
+  accountant.AddGaussianSteps(noise_multiplier, steps);
+  return accountant.GetEpsilon(delta);
+}
+
+StatusOr<double> ComposedEpsilonForSampledNoiseMultiplier(
+    double sampling_rate, double noise_multiplier, double delta,
+    size_t steps) {
+  if (!(sampling_rate > 0.0 && sampling_rate <= 1.0)) {
+    return Status::InvalidArgument("sampling rate must be in (0, 1]");
+  }
+  if (!(noise_multiplier > 0.0)) {
+    return Status::InvalidArgument("noise multiplier must be > 0");
+  }
+  if (steps == 0) return Status::InvalidArgument("steps must be > 0");
+  RdpAccountant accountant;
+  accountant.AddSampledGaussianSteps(sampling_rate, noise_multiplier, steps);
+  return accountant.GetEpsilon(delta);
+}
+
+StatusOr<double> SampledNoiseMultiplierForTargetEpsilon(
+    double target_epsilon, double delta, size_t steps, double sampling_rate) {
+  if (!(target_epsilon > 0.0)) {
+    return Status::InvalidArgument("target epsilon must be > 0");
+  }
+  if (!(delta > 0.0 && delta < 1.0)) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  if (steps == 0) return Status::InvalidArgument("steps must be > 0");
+  if (!(sampling_rate > 0.0 && sampling_rate <= 1.0)) {
+    return Status::InvalidArgument("sampling rate must be in (0, 1]");
+  }
+  auto eps_at = [&](double z) {
+    return ComposedEpsilonForSampledNoiseMultiplier(sampling_rate, z, delta,
+                                                    steps)
+        .value();
+  };
+  double lo = 1e-3;
+  double hi = 1.0;
+  size_t guard = 0;
+  while (eps_at(hi) > target_epsilon) {
+    hi *= 2.0;
+    if (++guard > 60) {
+      return Status::OutOfRange("target epsilon too small to calibrate");
+    }
+  }
+  guard = 0;
+  while (eps_at(lo) < target_epsilon) {
+    lo *= 0.5;
+    if (++guard > 60) {
+      return Status::OutOfRange("target epsilon too large to calibrate");
+    }
+  }
+  for (int iter = 0; iter < 100; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (eps_at(mid) > target_epsilon) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+StatusOr<double> NoiseMultiplierForTargetEpsilon(double target_epsilon,
+                                                 double delta, size_t steps) {
+  if (!(target_epsilon > 0.0)) {
+    return Status::InvalidArgument("target epsilon must be > 0");
+  }
+  if (!(delta > 0.0 && delta < 1.0)) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  if (steps == 0) return Status::InvalidArgument("steps must be > 0");
+  // Composed epsilon decreases monotonically in z; bracket then bisect.
+  double lo = 1e-3;
+  double hi = 1.0;
+  auto eps_at = [&](double z) {
+    return ComposedEpsilonForNoiseMultiplier(z, delta, steps).value();
+  };
+  size_t guard = 0;
+  while (eps_at(hi) > target_epsilon) {
+    hi *= 2.0;
+    if (++guard > 60) {
+      return Status::OutOfRange("target epsilon too small to calibrate");
+    }
+  }
+  guard = 0;
+  while (eps_at(lo) < target_epsilon) {
+    lo *= 0.5;
+    if (++guard > 60) {
+      return Status::OutOfRange("target epsilon too large to calibrate");
+    }
+  }
+  for (int iter = 0; iter < 100; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (eps_at(mid) > target_epsilon) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace dpaudit

@@ -1,0 +1,110 @@
+// Renyi-DP accountant for the (non-subsampled) Gaussian mechanism.
+//
+// Mirrors the mathematics of the tensorflow-privacy accountant the paper
+// uses, specialized to batch gradient descent (sampling rate q = 1, Section
+// 6.1): each step with noise multiplier z = sigma / sensitivity contributes
+// eps_RDP(alpha) = alpha / (2 z^2) (paper Eq. 3 with Delta f normalized out),
+// RDP composes additively, and an (alpha, eps_RDP) guarantee converts to
+// (eps_RDP + ln(1/delta)/(alpha - 1), delta)-DP (Mironov 2017). The accountant
+// tracks a grid of orders and reports the best conversion.
+
+#ifndef DPAUDIT_DP_RDP_ACCOUNTANT_H_
+#define DPAUDIT_DP_RDP_ACCOUNTANT_H_
+
+#include <vector>
+
+#include "dp/privacy_params.h"
+#include "util/status.h"
+
+namespace dpaudit {
+
+/// Gaussian RDP at one order: alpha * Delta_f^2 / (2 sigma^2) (Eq. 3).
+double GaussianRdpEpsilon(double alpha, double sigma, double sensitivity);
+
+/// Same with sensitivity folded into the noise multiplier z = sigma / Df.
+double GaussianRdpEpsilonFromNoiseMultiplier(double alpha,
+                                             double noise_multiplier);
+
+/// RDP of the Poisson-subsampled Gaussian mechanism (Mironov, Talwar, Zhang
+/// 2019) at INTEGER order alpha >= 2, sampling rate q in (0, 1], noise
+/// multiplier z > 0:
+///   eps(alpha) = ln( sum_{j=0}^{alpha} C(alpha,j) (1-q)^{alpha-j} q^j
+///                    exp(j (j-1) / (2 z^2)) ) / (alpha - 1).
+/// Computed in log space; reduces to alpha/(2 z^2) at q = 1. This is the
+/// bound tensorflow-privacy applies to minibatch DPSGD (Section 6.1's
+/// "RDP composition takes sampling into consideration").
+double SampledGaussianRdpEpsilon(size_t alpha, double sampling_rate,
+                                 double noise_multiplier);
+
+/// Accumulates RDP over a sequence of mechanism invocations and converts to
+/// (epsilon, delta)-DP.
+class RdpAccountant {
+ public:
+  /// Uses the tensorflow-privacy default order grid.
+  RdpAccountant();
+
+  /// Uses a caller-provided grid of orders; each must be > 1.
+  explicit RdpAccountant(std::vector<double> orders);
+
+  static std::vector<double> DefaultOrders();
+
+  /// Records `count` Gaussian steps with the given noise multiplier
+  /// z = sigma / sensitivity (> 0).
+  void AddGaussianSteps(double noise_multiplier, size_t count = 1);
+
+  /// Records `count` Poisson-subsampled Gaussian steps at sampling rate q.
+  /// The subsampled bound is only available at integer orders; non-integer
+  /// orders in the grid are excluded (set to +inf) from then on, which keeps
+  /// every reported epsilon a valid upper bound.
+  void AddSampledGaussianSteps(double sampling_rate, double noise_multiplier,
+                               size_t count = 1);
+
+  /// Records one mechanism invocation from explicit per-order RDP values
+  /// (parallel to orders()). Used for heterogeneous-noise auditing where each
+  /// step has its own effective noise multiplier.
+  void AddRdp(const std::vector<double>& rdp_epsilons);
+
+  const std::vector<double>& orders() const { return orders_; }
+  const std::vector<double>& accumulated_rdp() const { return rdp_; }
+  size_t steps() const { return steps_; }
+
+  /// The smallest epsilon such that the accumulated RDP implies
+  /// (epsilon, delta)-DP, minimizing over the order grid.
+  StatusOr<double> GetEpsilon(double delta) const;
+
+  /// The order achieving GetEpsilon(delta).
+  StatusOr<double> GetOptimalOrder(double delta) const;
+
+  /// The smallest delta such that the accumulated RDP implies
+  /// (epsilon, delta)-DP: delta = min_alpha exp((alpha-1)(rdp - epsilon)).
+  StatusOr<double> GetDelta(double epsilon) const;
+
+ private:
+  std::vector<double> orders_;
+  std::vector<double> rdp_;
+  size_t steps_ = 0;
+};
+
+/// The constant per-step noise multiplier z such that `steps` Gaussian
+/// releases compose (via this accountant) to exactly (target_epsilon,
+/// delta)-DP. Solved by bisection; this is how the experiments turn a
+/// rho_beta-derived total epsilon into the training noise scale.
+StatusOr<double> NoiseMultiplierForTargetEpsilon(double target_epsilon,
+                                                 double delta, size_t steps);
+
+/// The total epsilon spent by `steps` Gaussian releases at noise multiplier
+/// z, at the given delta (convenience wrapper).
+StatusOr<double> ComposedEpsilonForNoiseMultiplier(double noise_multiplier,
+                                                   double delta, size_t steps);
+
+/// Subsampled variants of the two helpers above, for minibatch DPSGD with
+/// Poisson sampling rate q in (0, 1].
+StatusOr<double> ComposedEpsilonForSampledNoiseMultiplier(
+    double sampling_rate, double noise_multiplier, double delta,
+    size_t steps);
+StatusOr<double> SampledNoiseMultiplierForTargetEpsilon(
+    double target_epsilon, double delta, size_t steps, double sampling_rate);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_DP_RDP_ACCOUNTANT_H_

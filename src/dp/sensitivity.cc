@@ -1,0 +1,32 @@
+#include "dp/sensitivity.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dpaudit {
+
+double ClipToNorm(std::vector<float>& v, double clip_norm) {
+  DPAUDIT_CHECK_GT(clip_norm, 0.0);
+  double sq = 0.0;
+  for (float x : v) sq += static_cast<double>(x) * x;
+  double norm = std::sqrt(sq);
+  if (norm > clip_norm) {
+    float scale = static_cast<float>(clip_norm / norm);
+    for (float& x : v) x *= scale;
+  }
+  return norm;
+}
+
+double GradientDistance(const std::vector<float>& a,
+                        const std::vector<float>& b) {
+  DPAUDIT_CHECK_EQ(a.size(), b.size());
+  double sq = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    sq += d * d;
+  }
+  return std::sqrt(sq);
+}
+
+}  // namespace dpaudit

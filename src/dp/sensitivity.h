@@ -1,0 +1,22 @@
+// Sensitivity helpers: L2 clipping and gradient-space sensitivities.
+
+#ifndef DPAUDIT_DP_SENSITIVITY_H_
+#define DPAUDIT_DP_SENSITIVITY_H_
+
+#include <vector>
+
+namespace dpaudit {
+
+/// Scales `v` to L2 norm at most `clip_norm` (Abadi et al. clipping:
+/// v * min(1, C / ||v||)). Returns the pre-clip norm.
+double ClipToNorm(std::vector<float>& v, double clip_norm);
+
+/// ||a - b||_2 of two flat gradient vectors (sizes must match). This is the
+/// empirical local sensitivity of the clipped-gradient-sum query for a
+/// concrete neighboring pair (Definition 3 evaluated at D, D').
+double GradientDistance(const std::vector<float>& a,
+                        const std::vector<float>& b);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_DP_SENSITIVITY_H_

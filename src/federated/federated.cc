@@ -1,0 +1,92 @@
+#include "federated/federated.h"
+
+#include "dp/mechanism.h"
+#include "dp/sensitivity.h"
+#include "util/logging.h"
+
+namespace dpaudit {
+
+Status FederatedConfig::Validate() const {
+  if (rounds == 0) return Status::InvalidArgument("rounds must be > 0");
+  if (!(learning_rate > 0.0)) {
+    return Status::InvalidArgument("learning rate must be > 0");
+  }
+  if (!(clip_norm > 0.0)) {
+    return Status::InvalidArgument("clip norm must be > 0");
+  }
+  if (!(noise_multiplier > 0.0)) {
+    return Status::InvalidArgument("noise multiplier must be > 0");
+  }
+  return Status::Ok();
+}
+
+StatusOr<FederatedResult> RunFederatedTraining(
+    const Network& architecture, const std::vector<Dataset>& client_shards,
+    const Dataset& victim_d, const Dataset& victim_d_prime,
+    bool victim_has_d, const FederatedConfig& config, Rng& rng) {
+  DPAUDIT_RETURN_IF_ERROR(config.Validate());
+  if (victim_d.empty() || victim_d_prime.empty()) {
+    return Status::InvalidArgument("victim shards must be non-empty");
+  }
+  for (const Dataset& shard : client_shards) {
+    if (shard.empty()) {
+      return Status::InvalidArgument("client shards must be non-empty");
+    }
+  }
+
+  FederatedResult result;
+  result.model = architecture.Clone();
+  DiAdversary adversary;
+  const double global_sensitivity =
+      GlobalClipSensitivity(config.neighbor_mode, config.clip_norm);
+
+  size_t total_records = victim_d.size();
+  for (const Dataset& shard : client_shards) total_records += shard.size();
+  const double n = static_cast<double>(total_records);
+
+  for (size_t round = 0; round < config.rounds; ++round) {
+    // Honest clients' contribution is identical under both hypotheses.
+    std::vector<float> honest_sum(result.model.NumParams(), 0.0f);
+    for (const Dataset& shard : client_shards) {
+      std::vector<float> shard_sum = result.model.ClippedGradientSum(
+          shard.inputs, shard.labels, config.clip_norm);
+      for (size_t i = 0; i < honest_sum.size(); ++i) {
+        honest_sum[i] += shard_sum[i];
+      }
+    }
+
+    std::vector<float> victim_sum_d = result.model.ClippedGradientSum(
+        victim_d.inputs, victim_d.labels, config.clip_norm);
+    std::vector<float> victim_sum_dprime = result.model.ClippedGradientSum(
+        victim_d_prime.inputs, victim_d_prime.labels, config.clip_norm);
+
+    std::vector<float> sum_d = honest_sum;
+    std::vector<float> sum_dprime = honest_sum;
+    for (size_t i = 0; i < honest_sum.size(); ++i) {
+      sum_d[i] += victim_sum_d[i];
+      sum_dprime[i] += victim_sum_dprime[i];
+    }
+
+    double local_sensitivity = GradientDistance(sum_d, sum_dprime);
+    result.local_sensitivities.push_back(local_sensitivity);
+    double sensitivity_used =
+        config.sensitivity_mode == SensitivityMode::kGlobal
+            ? global_sensitivity
+            : (local_sensitivity > 0.0 ? local_sensitivity
+                                       : global_sensitivity);
+    double sigma = config.noise_multiplier * sensitivity_used;
+
+    GaussianMechanism mechanism(sigma);
+    std::vector<float> released = victim_has_d ? sum_d : sum_dprime;
+    mechanism.Perturb(released, rng);
+
+    adversary.OnStep(round, sum_d, sum_dprime, released, sigma);
+    result.model.ApplyGradientStep(released, config.learning_rate / n);
+  }
+
+  result.beliefs = adversary.BeliefHistory();
+  result.adversary_says_victim_d = adversary.DecideD();
+  return result;
+}
+
+}  // namespace dpaudit

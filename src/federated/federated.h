@@ -1,0 +1,56 @@
+// Federated-averaging substrate (Sections 6.1 and 7 motivate A_DI through
+// federated learning, where every participant observes the per-round model
+// updates).
+//
+// Clients hold disjoint shards; each round every client sends the clipped
+// per-example gradient sum of its shard at the current global weights, the
+// server adds Gaussian noise calibrated to the round's sensitivity, applies
+// the update, and broadcasts the new weights. One client is the victim: its
+// shard is either D_v or the neighboring D_v'. A curious participant (who,
+// per the DP threat model, may know every record except the differing one)
+// runs the DiAdversary against the stream of released aggregates.
+
+#ifndef DPAUDIT_FEDERATED_FEDERATED_H_
+#define DPAUDIT_FEDERATED_FEDERATED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/adversary.h"
+#include "core/dpsgd.h"
+#include "data/dataset.h"
+#include "nn/network.h"
+#include "util/status.h"
+
+namespace dpaudit {
+
+struct FederatedConfig {
+  size_t rounds = 30;
+  double learning_rate = 0.005;
+  double clip_norm = 3.0;
+  double noise_multiplier = 1.0;  // z = sigma / Delta f
+  NeighborMode neighbor_mode = NeighborMode::kBounded;
+  SensitivityMode sensitivity_mode = SensitivityMode::kGlobal;
+
+  Status Validate() const;
+};
+
+struct FederatedResult {
+  Network model;                       // final global model
+  std::vector<double> beliefs;         // adversary belief in D_v per round
+  bool adversary_says_victim_d = false;
+  std::vector<double> local_sensitivities;  // per round ||S(D_v) - S(D_v')||
+};
+
+/// Runs federated training. `client_shards` are the honest clients' data;
+/// `victim_d` / `victim_d_prime` are the two hypotheses for the victim's
+/// shard, of which `victim_has_d` selects the real one. The adversary
+/// observes every aggregate release.
+StatusOr<FederatedResult> RunFederatedTraining(
+    const Network& architecture, const std::vector<Dataset>& client_shards,
+    const Dataset& victim_d, const Dataset& victim_d_prime,
+    bool victim_has_d, const FederatedConfig& config, Rng& rng);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_FEDERATED_FEDERATED_H_

@@ -1,0 +1,249 @@
+#include "io/serialization.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace dpaudit {
+namespace {
+
+constexpr uint8_t kMagic[4] = {'D', 'P', 'A', 'U'};
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kKindWeights = 1;
+constexpr uint32_t kKindDataset = 2;
+
+// All integers little-endian; floats as IEEE-754 bit patterns.
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutF32(std::vector<uint8_t>& out, float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  PutU32(out, bits);
+}
+
+// Cursor-based reader with bounds checking.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  StatusOr<uint32_t> U32() {
+    if (pos_ + 4 > size_) return Status::InvalidArgument("truncated u32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  StatusOr<uint64_t> U64() {
+    if (pos_ + 8 > size_) return Status::InvalidArgument("truncated u64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  StatusOr<float> F32() {
+    DPAUDIT_ASSIGN_OR_RETURN(uint32_t bits, U32());
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return f;
+  }
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+std::vector<uint8_t> Frame(uint32_t kind,
+                           const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  out.reserve(payload.size() + 32);
+  out.insert(out.end(), kMagic, kMagic + 4);
+  PutU32(out, kVersion);
+  PutU32(out, kind);
+  PutU64(out, payload.size());
+  // The emptiness guard also sidesteps a GCC 12 -Wstringop-overflow false
+  // positive on inserting an empty range.
+  if (!payload.empty()) {
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  PutU64(out, Fnv1a64(payload.data(), payload.size()));
+  return out;
+}
+
+StatusOr<std::vector<uint8_t>> Unframe(const std::vector<uint8_t>& bytes,
+                                       uint32_t expected_kind) {
+  if (bytes.size() < 28) {
+    return Status::InvalidArgument("blob shorter than its frame");
+  }
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return Status::InvalidArgument("bad magic (not a dpaudit blob)");
+  }
+  Reader reader(bytes.data() + 4, bytes.size() - 4);
+  DPAUDIT_ASSIGN_OR_RETURN(uint32_t version, reader.U32());
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported blob version");
+  }
+  DPAUDIT_ASSIGN_OR_RETURN(uint32_t kind, reader.U32());
+  if (kind != expected_kind) {
+    return Status::InvalidArgument("blob holds a different artifact kind");
+  }
+  DPAUDIT_ASSIGN_OR_RETURN(uint64_t payload_size, reader.U64());
+  if (bytes.size() != 4 + reader.pos() + payload_size + 8) {
+    return Status::InvalidArgument("frame size mismatch");
+  }
+  const uint8_t* payload = bytes.data() + 4 + reader.pos();
+  std::vector<uint8_t> out(payload, payload + payload_size);
+  Reader footer(payload + payload_size, 8);
+  DPAUDIT_ASSIGN_OR_RETURN(uint64_t checksum, footer.U64());
+  if (checksum != Fnv1a64(out.data(), out.size())) {
+    return Status::InvalidArgument("checksum mismatch (corrupted blob)");
+  }
+  return out;
+}
+
+Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<uint8_t>> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const uint8_t* data, size_t size) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+StatusOr<std::vector<uint8_t>> SerializeWeights(const Network& net) {
+  std::vector<float> params = net.FlatParams();
+  std::vector<uint8_t> payload;
+  payload.reserve(8 + 4 * params.size());
+  PutU64(payload, params.size());
+  for (float p : params) PutF32(payload, p);
+  return Frame(kKindWeights, payload);
+}
+
+Status DeserializeWeights(const std::vector<uint8_t>& bytes, Network& net) {
+  DPAUDIT_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                           Unframe(bytes, kKindWeights));
+  Reader reader(payload.data(), payload.size());
+  DPAUDIT_ASSIGN_OR_RETURN(uint64_t count, reader.U64());
+  if (count != net.NumParams()) {
+    return Status::FailedPrecondition(
+        "weight blob holds " + std::to_string(count) +
+        " parameters, network expects " + std::to_string(net.NumParams()));
+  }
+  std::vector<float> params;
+  params.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    DPAUDIT_ASSIGN_OR_RETURN(float p, reader.F32());
+    params.push_back(p);
+  }
+  net.SetFlatParams(params);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<uint8_t>> SerializeDataset(const Dataset& dataset) {
+  std::vector<uint8_t> payload;
+  PutU64(payload, dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const Tensor& x = dataset.inputs[i];
+    PutU64(payload, dataset.labels[i]);
+    PutU32(payload, static_cast<uint32_t>(x.rank()));
+    for (size_t dim : x.shape()) PutU64(payload, dim);
+    for (float v : x.vec()) PutF32(payload, v);
+  }
+  return Frame(kKindDataset, payload);
+}
+
+StatusOr<Dataset> DeserializeDataset(const std::vector<uint8_t>& bytes) {
+  DPAUDIT_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                           Unframe(bytes, kKindDataset));
+  Reader reader(payload.data(), payload.size());
+  DPAUDIT_ASSIGN_OR_RETURN(uint64_t count, reader.U64());
+  Dataset dataset;
+  dataset.inputs.reserve(count);
+  dataset.labels.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    DPAUDIT_ASSIGN_OR_RETURN(uint64_t label, reader.U64());
+    DPAUDIT_ASSIGN_OR_RETURN(uint32_t rank, reader.U32());
+    if (rank == 0 || rank > 4) {
+      return Status::InvalidArgument("record rank out of range");
+    }
+    std::vector<size_t> shape;
+    uint64_t volume = 1;
+    for (uint32_t r = 0; r < rank; ++r) {
+      DPAUDIT_ASSIGN_OR_RETURN(uint64_t dim, reader.U64());
+      if (dim == 0) return Status::InvalidArgument("zero extent");
+      shape.push_back(dim);
+      volume *= dim;
+      if (volume > (1ull << 30)) {
+        return Status::OutOfRange("record implausibly large");
+      }
+    }
+    std::vector<float> values;
+    values.reserve(volume);
+    for (uint64_t v = 0; v < volume; ++v) {
+      DPAUDIT_ASSIGN_OR_RETURN(float f, reader.F32());
+      values.push_back(f);
+    }
+    dataset.Add(Tensor(shape, std::move(values)), label);
+  }
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes in dataset payload");
+  }
+  return dataset;
+}
+
+Status SaveWeights(const std::string& path, const Network& net) {
+  DPAUDIT_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, SerializeWeights(net));
+  return WriteFile(path, bytes);
+}
+
+Status LoadWeights(const std::string& path, Network& net) {
+  DPAUDIT_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFile(path));
+  return DeserializeWeights(bytes, net);
+}
+
+Status SaveDataset(const std::string& path, const Dataset& dataset) {
+  DPAUDIT_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                           SerializeDataset(dataset));
+  return WriteFile(path, bytes);
+}
+
+StatusOr<Dataset> LoadDataset(const std::string& path) {
+  DPAUDIT_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFile(path));
+  return DeserializeDataset(bytes);
+}
+
+}  // namespace dpaudit

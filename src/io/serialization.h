@@ -1,0 +1,50 @@
+// Binary serialization for model weights and datasets.
+//
+// Enables the auditing workflow on persisted artifacts: train somewhere,
+// save the weights, audit later (examples/ and tools/ use this). The format
+// is deliberately simple and versioned:
+//
+//   header:  magic "DPAU" | u32 version | u32 kind | u64 payload bytes
+//   payload: kind-specific, little-endian
+//   footer:  u64 FNV-1a checksum of the payload
+//
+// Weights are stored as a flat float vector; loading requires a Network of
+// identical parameter count (the architecture is code, not data — matching
+// the library's Network design).
+
+#ifndef DPAUDIT_IO_SERIALIZATION_H_
+#define DPAUDIT_IO_SERIALIZATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/network.h"
+#include "util/status.h"
+
+namespace dpaudit {
+
+/// Serializes the network's current parameters.
+StatusOr<std::vector<uint8_t>> SerializeWeights(const Network& net);
+
+/// Restores parameters into `net`; its NumParams() must match the blob.
+Status DeserializeWeights(const std::vector<uint8_t>& bytes, Network& net);
+
+/// Serializes a dataset (shapes, labels, float payloads).
+StatusOr<std::vector<uint8_t>> SerializeDataset(const Dataset& dataset);
+
+StatusOr<Dataset> DeserializeDataset(const std::vector<uint8_t>& bytes);
+
+/// File convenience wrappers.
+Status SaveWeights(const std::string& path, const Network& net);
+Status LoadWeights(const std::string& path, Network& net);
+Status SaveDataset(const std::string& path, const Dataset& dataset);
+StatusOr<Dataset> LoadDataset(const std::string& path);
+
+/// FNV-1a 64-bit hash (exposed for tests).
+uint64_t Fnv1a64(const uint8_t* data, size_t size);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_IO_SERIALIZATION_H_

@@ -1,0 +1,78 @@
+// Membership-inference baseline (Experiment 1, Yeom et al.).
+//
+// A_MI receives a trained model, one record z, the data distribution Dist and
+// the training-set size n — but, unlike A_DI, no per-step gradients and no
+// knowledge of the remaining records. The implemented attack is the standard
+// loss-threshold adversary: estimate the model's typical loss on fresh
+// records drawn from Dist, and declare z a member when its loss falls below
+// that threshold (members are fit better than non-members). Proposition 1
+// says any such adversary is dominated by A_DI; the ablation bench verifies
+// the empirical ordering Adv^MI <= Adv^DI.
+
+#ifndef DPAUDIT_MI_MEMBERSHIP_INFERENCE_H_
+#define DPAUDIT_MI_MEMBERSHIP_INFERENCE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "core/dpsgd.h"
+#include "data/dataset.h"
+#include "nn/network.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dpaudit {
+
+/// Draws fresh labeled records from the underlying distribution Dist — the
+/// adversary's sampling access in Experiment 1.
+using DistSampler = std::function<Dataset(size_t count, Rng& rng)>;
+
+/// Loss-threshold MI adversary.
+class MiAdversary {
+ public:
+  /// `probe_count` fresh records are drawn to estimate the non-member loss
+  /// level; the decision threshold is `threshold_fraction` of that mean
+  /// (members are expected to sit well below the fresh-record mean loss).
+  MiAdversary(DistSampler sampler, size_t probe_count = 64,
+              double threshold_fraction = 1.0);
+
+  /// Calibrates the threshold against the given model (one-time per model).
+  Status Calibrate(Network& model, Rng& rng);
+
+  /// b' = 1 (member) iff loss(model, z) < threshold. Requires Calibrate().
+  bool Decide(Network& model, const Tensor& input, size_t label) const;
+
+  double threshold() const { return threshold_; }
+
+ private:
+  DistSampler sampler_;
+  size_t probe_count_;
+  double threshold_fraction_;
+  double threshold_ = -1.0;
+};
+
+struct MiExperimentConfig {
+  DpSgdConfig dpsgd;        // the training mechanism under attack
+  size_t train_size = 100;  // n
+  size_t trials = 100;      // membership challenges (fresh model each)
+  uint64_t seed = 42;
+  size_t threads = 0;
+};
+
+struct MiExperimentResult {
+  double success_rate = 0.0;
+  double advantage = 0.0;  // 2 * success_rate - 1
+  size_t trials = 0;
+};
+
+/// Runs Experiment 1 end to end: per trial, sample D ~ Dist^n, train with
+/// DPSGD (trained on D; the neighboring dataset needed by the mechanism's
+/// sensitivity bookkeeping is D with one fresh replacement), flip b, give the
+/// adversary either a member or a fresh record, and score b' == b.
+StatusOr<MiExperimentResult> RunMiExperiment(const Network& architecture,
+                                             const DistSampler& sampler,
+                                             const MiExperimentConfig& config);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_MI_MEMBERSHIP_INFERENCE_H_

@@ -1,0 +1,54 @@
+#include "nn/activations.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dpaudit {
+
+Tensor Relu::Forward(const Tensor& input) {
+  last_input_ = input;
+  Tensor out = input;
+  for (float& x : out.vec()) x = std::max(0.0f, x);
+  return out;
+}
+
+Tensor Relu::Backward(const Tensor& grad_output) {
+  DPAUDIT_CHECK_EQ(grad_output.size(), last_input_.size());
+  Tensor grad = grad_output;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    if (last_input_[i] <= 0.0f) grad[i] = 0.0f;
+  }
+  return grad;
+}
+
+Tensor Softmax::Forward(const Tensor& input) {
+  Tensor out = input;
+  float hi = *std::max_element(out.vec().begin(), out.vec().end());
+  double sum = 0.0;
+  for (float& x : out.vec()) {
+    x = std::exp(x - hi);
+    sum += x;
+  }
+  for (float& x : out.vec()) x = static_cast<float>(x / sum);
+  last_output_ = out;
+  return out;
+}
+
+Tensor Softmax::Backward(const Tensor& grad_output) {
+  DPAUDIT_CHECK_EQ(grad_output.size(), last_output_.size());
+  // dL/dx_i = s_i * (g_i - sum_j g_j s_j).
+  double weighted = 0.0;
+  for (size_t j = 0; j < grad_output.size(); ++j) {
+    weighted += static_cast<double>(grad_output[j]) * last_output_[j];
+  }
+  Tensor grad = grad_output;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    grad[i] = static_cast<float>(
+        last_output_[i] * (static_cast<double>(grad_output[i]) - weighted));
+  }
+  return grad;
+}
+
+}  // namespace dpaudit

@@ -1,0 +1,45 @@
+// Stateless activation layers.
+
+#ifndef DPAUDIT_NN_ACTIVATIONS_H_
+#define DPAUDIT_NN_ACTIVATIONS_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/layer.h"
+
+namespace dpaudit {
+
+/// Element-wise max(0, x).
+class Relu : public Layer {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<Relu>();
+  }
+  std::string Name() const override { return "relu"; }
+
+ private:
+  Tensor last_input_;
+};
+
+/// Numerically stable softmax over a rank-1 tensor. Only used standalone for
+/// inference probabilities; training uses the fused softmax-cross-entropy in
+/// nn/loss.h, so Backward here implements the full softmax Jacobian product.
+class Softmax : public Layer {
+ public:
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<Softmax>();
+  }
+  std::string Name() const override { return "softmax"; }
+
+ private:
+  Tensor last_output_;
+};
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_NN_ACTIVATIONS_H_

@@ -1,0 +1,98 @@
+#include "nn/channel_norm.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dpaudit {
+
+ChannelNorm::ChannelNorm(size_t channels, double epsilon)
+    : channels_(channels),
+      epsilon_(epsilon),
+      gamma_({channels}),
+      beta_({channels}),
+      dgamma_({channels}),
+      dbeta_({channels}) {
+  gamma_.Fill(1.0f);
+  beta_.Fill(0.0f);
+}
+
+Tensor ChannelNorm::Forward(const Tensor& input) {
+  DPAUDIT_CHECK_EQ(input.rank(), 3u);
+  DPAUDIT_CHECK_EQ(input.dim(0), channels_);
+  size_t m = input.dim(1) * input.dim(2);
+  DPAUDIT_CHECK_GT(m, 1u) << "channel norm needs > 1 value per channel";
+  normalized_ = Tensor(input.shape());
+  inv_std_.assign(channels_, 0.0);
+  Tensor out(input.shape());
+  const float* in = input.data();
+  float* nh = normalized_.data();
+  float* o = out.data();
+  for (size_t c = 0; c < channels_; ++c) {
+    const float* xc = in + c * m;
+    double mean = 0.0;
+    for (size_t i = 0; i < m; ++i) mean += xc[i];
+    mean /= static_cast<double>(m);
+    double var = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      double d = xc[i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(m);
+    double inv_std = 1.0 / std::sqrt(var + epsilon_);
+    inv_std_[c] = inv_std;
+    float g = gamma_[c];
+    float b = beta_[c];
+    for (size_t i = 0; i < m; ++i) {
+      double xhat = (xc[i] - mean) * inv_std;
+      nh[c * m + i] = static_cast<float>(xhat);
+      o[c * m + i] = static_cast<float>(g * xhat + b);
+    }
+  }
+  return out;
+}
+
+Tensor ChannelNorm::Backward(const Tensor& grad_output) {
+  DPAUDIT_CHECK(grad_output.shape() == normalized_.shape())
+      << "Backward before Forward, or shape changed";
+  size_t m = grad_output.dim(1) * grad_output.dim(2);
+  Tensor grad_input(grad_output.shape());
+  const float* g = grad_output.data();
+  const float* nh = normalized_.data();
+  float* gx = grad_input.data();
+  for (size_t c = 0; c < channels_; ++c) {
+    const float* gc = g + c * m;
+    const float* xh = nh + c * m;
+    double sum_g = 0.0;
+    double sum_gx = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      sum_g += gc[i];
+      sum_gx += static_cast<double>(gc[i]) * xh[i];
+    }
+    dbeta_[c] += static_cast<float>(sum_g);
+    dgamma_[c] += static_cast<float>(sum_gx);
+    // dL/dx = gamma * inv_std / m * (m*g - sum(g) - x_hat * sum(g*x_hat)).
+    double scale = gamma_[c] * inv_std_[c] / static_cast<double>(m);
+    for (size_t i = 0; i < m; ++i) {
+      gx[c * m + i] = static_cast<float>(
+          scale * (static_cast<double>(m) * gc[i] - sum_g - xh[i] * sum_gx));
+    }
+  }
+  return grad_input;
+}
+
+std::unique_ptr<Layer> ChannelNorm::Clone() const {
+  auto copy = std::make_unique<ChannelNorm>(channels_, epsilon_);
+  copy->gamma_ = gamma_;
+  copy->beta_ = beta_;
+  return copy;
+}
+
+std::string ChannelNorm::Name() const {
+  std::ostringstream os;
+  os << "channel_norm(" << channels_ << ")";
+  return os.str();
+}
+
+}  // namespace dpaudit

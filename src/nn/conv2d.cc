@@ -1,0 +1,133 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dpaudit {
+
+Conv2d::Conv2d(size_t in_channels, size_t out_channels, size_t kernel)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      weight_({out_channels, in_channels, kernel, kernel}),
+      bias_({out_channels}),
+      dweight_({out_channels, in_channels, kernel, kernel}),
+      dbias_({out_channels}) {
+  DPAUDIT_CHECK_GT(kernel_, 0u);
+}
+
+void Conv2d::Initialize(Rng& rng) {
+  double fan_in = static_cast<double>(in_channels_ * kernel_ * kernel_);
+  double fan_out = static_cast<double>(out_channels_ * kernel_ * kernel_);
+  double limit = std::sqrt(6.0 / (fan_in + fan_out));
+  for (float& w : weight_.vec()) {
+    w = static_cast<float>(rng.Uniform(-limit, limit));
+  }
+  bias_.Fill(0.0f);
+}
+
+Tensor Conv2d::Forward(const Tensor& input) {
+  DPAUDIT_CHECK_EQ(input.rank(), 3u);
+  DPAUDIT_CHECK_EQ(input.dim(0), in_channels_);
+  const size_t h = input.dim(1);
+  const size_t w = input.dim(2);
+  DPAUDIT_CHECK_GE(h, kernel_);
+  DPAUDIT_CHECK_GE(w, kernel_);
+  const size_t oh = h - kernel_ + 1;
+  const size_t ow = w - kernel_ + 1;
+  last_input_ = input;
+  Tensor out({out_channels_, oh, ow});
+  const float* in = input.data();
+  const float* weights = weight_.data();
+  float* o = out.data();
+  for (size_t f = 0; f < out_channels_; ++f) {
+    const float bias = bias_[f];
+    float* out_plane = o + f * oh * ow;
+    for (size_t i = 0; i < oh * ow; ++i) out_plane[i] = bias;
+    for (size_t c = 0; c < in_channels_; ++c) {
+      const float* in_plane = in + c * h * w;
+      const float* kernel_plane =
+          weights + (f * in_channels_ + c) * kernel_ * kernel_;
+      for (size_t ky = 0; ky < kernel_; ++ky) {
+        for (size_t kx = 0; kx < kernel_; ++kx) {
+          const float kval = kernel_plane[ky * kernel_ + kx];
+          if (kval == 0.0f) continue;
+          for (size_t y = 0; y < oh; ++y) {
+            const float* in_row = in_plane + (y + ky) * w + kx;
+            float* out_row = out_plane + y * ow;
+            for (size_t x = 0; x < ow; ++x) {
+              out_row[x] += kval * in_row[x];
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_output) {
+  DPAUDIT_CHECK_EQ(grad_output.rank(), 3u);
+  DPAUDIT_CHECK_EQ(grad_output.dim(0), out_channels_);
+  DPAUDIT_CHECK(!last_input_.empty()) << "Backward before Forward";
+  const size_t h = last_input_.dim(1);
+  const size_t w = last_input_.dim(2);
+  const size_t oh = grad_output.dim(1);
+  const size_t ow = grad_output.dim(2);
+  DPAUDIT_CHECK_EQ(oh, h - kernel_ + 1);
+  DPAUDIT_CHECK_EQ(ow, w - kernel_ + 1);
+  Tensor grad_input(last_input_.shape());
+  const float* in = last_input_.data();
+  const float* g = grad_output.data();
+  const float* weights = weight_.data();
+  float* dw = dweight_.data();
+  float* gi = grad_input.data();
+  for (size_t f = 0; f < out_channels_; ++f) {
+    const float* g_plane = g + f * oh * ow;
+    double bias_grad = 0.0;
+    for (size_t i = 0; i < oh * ow; ++i) bias_grad += g_plane[i];
+    dbias_[f] += static_cast<float>(bias_grad);
+    for (size_t c = 0; c < in_channels_; ++c) {
+      const float* in_plane = in + c * h * w;
+      float* gi_plane = gi + c * h * w;
+      const size_t kernel_base = (f * in_channels_ + c) * kernel_ * kernel_;
+      for (size_t ky = 0; ky < kernel_; ++ky) {
+        for (size_t kx = 0; kx < kernel_; ++kx) {
+          const size_t kidx = kernel_base + ky * kernel_ + kx;
+          const float kval = weights[kidx];
+          double wgrad = 0.0;
+          for (size_t y = 0; y < oh; ++y) {
+            const float* g_row = g_plane + y * ow;
+            const float* in_row = in_plane + (y + ky) * w + kx;
+            float* gi_row = gi_plane + (y + ky) * w + kx;
+            for (size_t x = 0; x < ow; ++x) {
+              const float go = g_row[x];
+              wgrad += static_cast<double>(go) * in_row[x];
+              gi_row[x] += go * kval;
+            }
+          }
+          dw[kidx] += static_cast<float>(wgrad);
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::unique_ptr<Layer> Conv2d::Clone() const {
+  auto copy = std::make_unique<Conv2d>(in_channels_, out_channels_, kernel_);
+  copy->weight_ = weight_;
+  copy->bias_ = bias_;
+  return copy;
+}
+
+std::string Conv2d::Name() const {
+  std::ostringstream os;
+  os << "conv2d(" << in_channels_ << "->" << out_channels_ << ", k=" << kernel_
+     << ")";
+  return os.str();
+}
+
+}  // namespace dpaudit

@@ -1,0 +1,42 @@
+// 2D convolution (valid padding, stride 1).
+
+#ifndef DPAUDIT_NN_CONV2D_H_
+#define DPAUDIT_NN_CONV2D_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace dpaudit {
+
+/// Convolves a [C, H, W] input with `filters` kernels of size
+/// [C, kernel, kernel], producing [F, H-k+1, W-k+1]. Direct (non-im2col)
+/// loops: the paper's nets are small enough that clarity wins.
+class Conv2d : public Layer {
+ public:
+  Conv2d(size_t in_channels, size_t out_channels, size_t kernel);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> Params() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> Grads() override { return {&dweight_, &dbias_}; }
+  void Initialize(Rng& rng) override;
+  std::unique_ptr<Layer> Clone() const override;
+  std::string Name() const override;
+
+ private:
+  size_t in_channels_;
+  size_t out_channels_;
+  size_t kernel_;
+  Tensor weight_;   // [F, C, k, k]
+  Tensor bias_;     // [F]
+  Tensor dweight_;
+  Tensor dbias_;
+  Tensor last_input_;  // [C, H, W]
+};
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_NN_CONV2D_H_

@@ -1,0 +1,85 @@
+#include "nn/dense.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dpaudit {
+
+Dense::Dense(size_t in_features, size_t out_features)
+    : in_(in_features),
+      out_(out_features),
+      weight_({out_features, in_features}),
+      bias_({out_features}),
+      dweight_({out_features, in_features}),
+      dbias_({out_features}) {
+  DPAUDIT_CHECK_GT(in_, 0u);
+  DPAUDIT_CHECK_GT(out_, 0u);
+}
+
+void Dense::Initialize(Rng& rng) {
+  // Glorot/Xavier uniform: U(-limit, limit), limit = sqrt(6 / (in + out)).
+  double limit = std::sqrt(6.0 / static_cast<double>(in_ + out_));
+  for (float& w : weight_.vec()) {
+    w = static_cast<float>(rng.Uniform(-limit, limit));
+  }
+  bias_.Fill(0.0f);
+}
+
+Tensor Dense::Forward(const Tensor& input) {
+  DPAUDIT_CHECK_EQ(input.size(), in_)
+      << "dense expects volume " << in_ << ", got " << input.ShapeString();
+  last_input_shape_ = input.shape();
+  last_input_ = input;
+  last_input_.Reshape({in_});
+  Tensor out({out_});
+  const float* w = weight_.data();
+  const float* x = last_input_.data();
+  for (size_t o = 0; o < out_; ++o) {
+    double acc = bias_[o];
+    const float* wrow = w + o * in_;
+    for (size_t i = 0; i < in_; ++i) acc += static_cast<double>(wrow[i]) * x[i];
+    out[o] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Tensor Dense::Backward(const Tensor& grad_output) {
+  DPAUDIT_CHECK_EQ(grad_output.size(), out_);
+  DPAUDIT_CHECK_EQ(last_input_.size(), in_) << "Backward before Forward";
+  const float* g = grad_output.data();
+  const float* x = last_input_.data();
+  const float* w = weight_.data();
+  float* dw = dweight_.data();
+  float* db = dbias_.data();
+  Tensor grad_input({in_});
+  float* gx = grad_input.data();
+  for (size_t o = 0; o < out_; ++o) {
+    float go = g[o];
+    db[o] += go;
+    float* dwrow = dw + o * in_;
+    const float* wrow = w + o * in_;
+    for (size_t i = 0; i < in_; ++i) {
+      dwrow[i] += go * x[i];
+      gx[i] += go * wrow[i];
+    }
+  }
+  grad_input.Reshape(last_input_shape_);
+  return grad_input;
+}
+
+std::unique_ptr<Layer> Dense::Clone() const {
+  auto copy = std::make_unique<Dense>(in_, out_);
+  copy->weight_ = weight_;
+  copy->bias_ = bias_;
+  return copy;
+}
+
+std::string Dense::Name() const {
+  std::ostringstream os;
+  os << "dense(" << in_ << "->" << out_ << ")";
+  return os.str();
+}
+
+}  // namespace dpaudit

@@ -1,0 +1,45 @@
+// Fully connected layer.
+
+#ifndef DPAUDIT_NN_DENSE_H_
+#define DPAUDIT_NN_DENSE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace dpaudit {
+
+/// y = W x + b with W of shape [out, in]. Accepts any input tensor whose
+/// volume equals `in` (flattens implicitly), so a conv feature map can feed a
+/// dense head without an explicit flatten layer.
+class Dense : public Layer {
+ public:
+  Dense(size_t in_features, size_t out_features);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> Params() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> Grads() override { return {&dweight_, &dbias_}; }
+  void Initialize(Rng& rng) override;
+  std::unique_ptr<Layer> Clone() const override;
+  std::string Name() const override;
+
+  size_t in_features() const { return in_; }
+  size_t out_features() const { return out_; }
+
+ private:
+  size_t in_;
+  size_t out_;
+  Tensor weight_;   // [out, in]
+  Tensor bias_;     // [out]
+  Tensor dweight_;  // [out, in]
+  Tensor dbias_;    // [out]
+  Tensor last_input_;
+  std::vector<size_t> last_input_shape_;
+};
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_NN_DENSE_H_

@@ -1,0 +1,28 @@
+// Finite-difference gradient verification used by the test suite.
+
+#ifndef DPAUDIT_NN_GRADIENT_CHECK_H_
+#define DPAUDIT_NN_GRADIENT_CHECK_H_
+
+#include <cstddef>
+
+#include "nn/network.h"
+#include "tensor/tensor.h"
+
+namespace dpaudit {
+
+struct GradientCheckResult {
+  double max_abs_error;   // worst |analytic - numeric| over checked params
+  double max_rel_error;   // worst relative error over checked params
+  size_t params_checked;
+};
+
+/// Compares the analytic per-example gradient of `net` on (input, label) to a
+/// central-difference approximation. `stride` subsamples parameters (check
+/// every stride-th) to keep O(P) forward passes affordable in tests.
+GradientCheckResult CheckNetworkGradient(Network& net, const Tensor& input,
+                                         size_t label, double step = 1e-3,
+                                         size_t stride = 1);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_NN_GRADIENT_CHECK_H_

@@ -1,0 +1,59 @@
+// Layer interface for the small neural-network library behind DPSGD.
+//
+// Layers process ONE example at a time (no batch dimension). This makes
+// per-example gradients — the quantity DPSGD clips — the natural output of a
+// single backward pass, at the cost of vectorization we do not need for the
+// paper's dataset sizes (|D| <= 1000, nets with a few thousand parameters).
+
+#ifndef DPAUDIT_NN_LAYER_H_
+#define DPAUDIT_NN_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace dpaudit {
+
+/// Abstract differentiable layer. Backward() must be called after Forward()
+/// on the same example; parameter gradients accumulate across calls until
+/// ZeroGrads().
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for one example.
+  virtual Tensor Forward(const Tensor& input) = 0;
+
+  /// Given dLoss/dOutput for the example last passed through Forward(),
+  /// accumulates dLoss/dParams into the gradient tensors and returns
+  /// dLoss/dInput.
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameter tensors (possibly empty). Pointers remain valid for
+  /// the lifetime of the layer.
+  virtual std::vector<Tensor*> Params() { return {}; }
+
+  /// Gradient tensors, parallel to Params().
+  virtual std::vector<Tensor*> Grads() { return {}; }
+
+  /// Resets accumulated parameter gradients to zero.
+  void ZeroGrads() {
+    for (Tensor* g : Grads()) g->Fill(0.0f);
+  }
+
+  /// Draws initial parameter values; default is a no-op for stateless layers.
+  virtual void Initialize(Rng&) {}
+
+  /// Deep copy, including current parameter values.
+  virtual std::unique_ptr<Layer> Clone() const = 0;
+
+  /// Short layer name for diagnostics, e.g. "dense(128->100)".
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_NN_LAYER_H_

@@ -1,0 +1,40 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dpaudit {
+
+Tensor SoftmaxProbabilities(const Tensor& logits) {
+  DPAUDIT_CHECK_GT(logits.size(), 0u);
+  Tensor probs = logits;
+  float hi = *std::max_element(probs.vec().begin(), probs.vec().end());
+  double sum = 0.0;
+  for (float& x : probs.vec()) {
+    x = std::exp(x - hi);
+    sum += x;
+  }
+  for (float& x : probs.vec()) x = static_cast<float>(x / sum);
+  return probs;
+}
+
+LossResult SoftmaxCrossEntropy(const Tensor& logits, size_t label) {
+  DPAUDIT_CHECK_LT(label, logits.size());
+  float hi = *std::max_element(logits.vec().begin(), logits.vec().end());
+  double sum = 0.0;
+  for (float x : logits.vec()) sum += std::exp(static_cast<double>(x) - hi);
+  double log_z = hi + std::log(sum);
+  LossResult result;
+  result.loss = log_z - logits[label];
+  result.grad_logits = logits;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    double p = std::exp(static_cast<double>(logits[i]) - log_z);
+    result.grad_logits[i] =
+        static_cast<float>(p - (i == label ? 1.0 : 0.0));
+  }
+  return result;
+}
+
+}  // namespace dpaudit

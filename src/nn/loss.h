@@ -1,0 +1,27 @@
+// Fused softmax + cross-entropy loss.
+
+#ifndef DPAUDIT_NN_LOSS_H_
+#define DPAUDIT_NN_LOSS_H_
+
+#include <cstddef>
+
+#include "tensor/tensor.h"
+
+namespace dpaudit {
+
+struct LossResult {
+  double loss;         // -log softmax(logits)[label]
+  Tensor grad_logits;  // softmax(logits) - onehot(label)
+};
+
+/// Computes cross-entropy of softmax(logits) against `label` and its exact
+/// gradient with respect to the logits. Requires 0 <= label < logits.size().
+/// Numerically stable via the log-sum-exp trick.
+LossResult SoftmaxCrossEntropy(const Tensor& logits, size_t label);
+
+/// Softmax probabilities of a rank-1 logits tensor (stable).
+Tensor SoftmaxProbabilities(const Tensor& logits);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_NN_LOSS_H_

@@ -1,0 +1,60 @@
+// Classification quality metrics beyond plain accuracy, for the utility-side
+// reporting of the experiments (Figure 7 and the examples).
+
+#ifndef DPAUDIT_NN_METRICS_H_
+#define DPAUDIT_NN_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+#include "tensor/tensor.h"
+
+namespace dpaudit {
+
+/// Row-major confusion matrix: entry (true_class, predicted_class).
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(size_t num_classes);
+
+  void Record(size_t true_class, size_t predicted_class);
+
+  size_t num_classes() const { return num_classes_; }
+  size_t count(size_t true_class, size_t predicted_class) const;
+  size_t total() const { return total_; }
+
+  /// Overall accuracy (0 when empty).
+  double Accuracy() const;
+
+  /// Recall of one class: TP / (TP + FN); 0 when the class never occurs.
+  double Recall(size_t cls) const;
+
+  /// Precision of one class: TP / (TP + FP); 0 when never predicted.
+  double Precision(size_t cls) const;
+
+  /// F1 of one class (harmonic mean of precision and recall).
+  double F1(size_t cls) const;
+
+  /// Unweighted mean of per-class F1 over classes that occur.
+  double MacroF1() const;
+
+  /// Multi-line text rendering (small matrices only).
+  std::string ToString() const;
+
+ private:
+  size_t num_classes_;
+  size_t total_ = 0;
+  std::vector<size_t> counts_;  // num_classes x num_classes
+};
+
+/// Runs `model` over the dataset and tallies a confusion matrix with
+/// `num_classes` classes (labels must be < num_classes).
+ConfusionMatrix EvaluateConfusion(Network& model,
+                                  const std::vector<Tensor>& inputs,
+                                  const std::vector<size_t>& labels,
+                                  size_t num_classes);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_NN_METRICS_H_

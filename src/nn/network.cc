@@ -1,0 +1,256 @@
+#include "nn/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "nn/activations.h"
+#include "nn/channel_norm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+#include "util/logging.h"
+
+namespace dpaudit {
+
+Network& Network::Add(std::unique_ptr<Layer> layer) {
+  DPAUDIT_CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+void Network::Initialize(Rng& rng) {
+  for (auto& layer : layers_) layer->Initialize(rng);
+}
+
+Network Network::Clone() const {
+  Network copy;
+  for (const auto& layer : layers_) copy.Add(layer->Clone());
+  return copy;
+}
+
+size_t Network::NumParams() const {
+  size_t n = 0;
+  for (const auto& layer : layers_) {
+    for (const Tensor* p : const_cast<Layer&>(*layer).Params()) {
+      n += p->size();
+    }
+  }
+  return n;
+}
+
+Tensor Network::Forward(const Tensor& input) {
+  Tensor activation = input;
+  for (auto& layer : layers_) activation = layer->Forward(activation);
+  return activation;
+}
+
+double Network::ExampleLoss(const Tensor& input, size_t label) {
+  Tensor logits = Forward(input);
+  return SoftmaxCrossEntropy(logits, label).loss;
+}
+
+size_t Network::Predict(const Tensor& input) {
+  Tensor logits = Forward(input);
+  DPAUDIT_CHECK_GT(logits.size(), 0u);
+  size_t best = 0;
+  for (size_t i = 1; i < logits.size(); ++i) {
+    if (logits[i] > logits[best]) best = i;
+  }
+  return best;
+}
+
+double Network::Accuracy(const std::vector<Tensor>& inputs,
+                         const std::vector<size_t>& labels) {
+  DPAUDIT_CHECK_EQ(inputs.size(), labels.size());
+  DPAUDIT_CHECK(!inputs.empty());
+  size_t correct = 0;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (Predict(inputs[i]) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(inputs.size());
+}
+
+void Network::Backward(const Tensor& grad_logits) {
+  Tensor grad = grad_logits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = (*it)->Backward(grad);
+  }
+}
+
+void Network::ZeroGrads() {
+  for (auto& layer : layers_) layer->ZeroGrads();
+}
+
+std::vector<float> Network::FlatGrads() const {
+  std::vector<float> flat;
+  flat.reserve(NumParams());
+  for (const auto& layer : layers_) {
+    for (Tensor* g : const_cast<Layer&>(*layer).Grads()) {
+      flat.insert(flat.end(), g->vec().begin(), g->vec().end());
+    }
+  }
+  return flat;
+}
+
+std::vector<float> Network::PerExampleGradient(const Tensor& input,
+                                               size_t label) {
+  ZeroGrads();
+  Tensor logits = Forward(input);
+  LossResult loss = SoftmaxCrossEntropy(logits, label);
+  Backward(loss.grad_logits);
+  return FlatGrads();
+}
+
+std::vector<float> Network::ClippedExampleGradient(const Tensor& input,
+                                                   size_t label,
+                                                   double clip_norm) {
+  DPAUDIT_CHECK_GT(clip_norm, 0.0);
+  std::vector<float> grad = PerExampleGradient(input, label);
+  double sq = 0.0;
+  for (float g : grad) sq += static_cast<double>(g) * g;
+  double norm = std::sqrt(sq);
+  if (norm > clip_norm) {
+    float scale = static_cast<float>(clip_norm / norm);
+    for (float& g : grad) g *= scale;
+  }
+  return grad;
+}
+
+std::vector<float> Network::ClippedGradientSum(
+    const std::vector<Tensor>& inputs, const std::vector<size_t>& labels,
+    double clip_norm, std::vector<double>* per_example_norms) {
+  DPAUDIT_CHECK_EQ(inputs.size(), labels.size());
+  DPAUDIT_CHECK_GT(clip_norm, 0.0);
+  std::vector<float> sum(NumParams(), 0.0f);
+  if (per_example_norms != nullptr) per_example_norms->clear();
+  for (size_t j = 0; j < inputs.size(); ++j) {
+    std::vector<float> grad = PerExampleGradient(inputs[j], labels[j]);
+    double sq = 0.0;
+    for (float g : grad) sq += static_cast<double>(g) * g;
+    double norm = std::sqrt(sq);
+    if (per_example_norms != nullptr) per_example_norms->push_back(norm);
+    double scale = norm > clip_norm ? clip_norm / norm : 1.0;
+    for (size_t i = 0; i < sum.size(); ++i) {
+      sum[i] += static_cast<float>(scale * grad[i]);
+    }
+  }
+  return sum;
+}
+
+std::vector<Network::ParamRange> Network::LayerParamRanges() const {
+  std::vector<ParamRange> ranges;
+  size_t offset = 0;
+  for (const auto& layer : layers_) {
+    size_t layer_size = 0;
+    for (Tensor* p : const_cast<Layer&>(*layer).Params()) {
+      layer_size += p->size();
+    }
+    if (layer_size > 0) ranges.push_back({offset, layer_size});
+    offset += layer_size;
+  }
+  return ranges;
+}
+
+std::vector<float> Network::PerLayerClippedGradientSum(
+    const std::vector<Tensor>& inputs, const std::vector<size_t>& labels,
+    double clip_norm) {
+  DPAUDIT_CHECK_EQ(inputs.size(), labels.size());
+  DPAUDIT_CHECK_GT(clip_norm, 0.0);
+  std::vector<ParamRange> ranges = LayerParamRanges();
+  DPAUDIT_CHECK(!ranges.empty());
+  double per_layer_clip =
+      clip_norm / std::sqrt(static_cast<double>(ranges.size()));
+  std::vector<float> sum(NumParams(), 0.0f);
+  for (size_t j = 0; j < inputs.size(); ++j) {
+    std::vector<float> grad = PerExampleGradient(inputs[j], labels[j]);
+    for (const ParamRange& range : ranges) {
+      double sq = 0.0;
+      for (size_t i = range.offset; i < range.offset + range.size; ++i) {
+        sq += static_cast<double>(grad[i]) * grad[i];
+      }
+      double norm = std::sqrt(sq);
+      double scale = norm > per_layer_clip ? per_layer_clip / norm : 1.0;
+      for (size_t i = range.offset; i < range.offset + range.size; ++i) {
+        sum[i] += static_cast<float>(scale * grad[i]);
+      }
+    }
+  }
+  return sum;
+}
+
+std::vector<float> Network::FlatParams() const {
+  std::vector<float> flat;
+  flat.reserve(NumParams());
+  for (const auto& layer : layers_) {
+    for (Tensor* p : const_cast<Layer&>(*layer).Params()) {
+      flat.insert(flat.end(), p->vec().begin(), p->vec().end());
+    }
+  }
+  return flat;
+}
+
+void Network::SetFlatParams(const std::vector<float>& flat) {
+  DPAUDIT_CHECK_EQ(flat.size(), NumParams());
+  size_t offset = 0;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->Params()) {
+      std::copy(flat.begin() + offset, flat.begin() + offset + p->size(),
+                p->vec().begin());
+      offset += p->size();
+    }
+  }
+}
+
+void Network::ApplyGradientStep(const std::vector<float>& flat_gradient,
+                                double lr) {
+  DPAUDIT_CHECK_EQ(flat_gradient.size(), NumParams());
+  size_t offset = 0;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->Params()) {
+      float* data = p->data();
+      for (size_t i = 0; i < p->size(); ++i) {
+        data[i] -= static_cast<float>(lr * flat_gradient[offset + i]);
+      }
+      offset += p->size();
+    }
+  }
+}
+
+std::string Network::Describe() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    if (i > 0) os << " -> ";
+    os << layers_[i]->Name();
+  }
+  return os.str();
+}
+
+Network BuildMnistNetwork(size_t image_size, size_t conv1_filters,
+                          size_t conv2_filters, size_t num_classes) {
+  DPAUDIT_CHECK_GE(image_size, 12u);
+  Network net;
+  net.Add(std::make_unique<Conv2d>(1, conv1_filters, 3));
+  net.Add(std::make_unique<ChannelNorm>(conv1_filters));
+  net.Add(std::make_unique<Relu>());
+  net.Add(std::make_unique<MaxPool2d>(2));
+  net.Add(std::make_unique<Conv2d>(conv1_filters, conv2_filters, 3));
+  net.Add(std::make_unique<ChannelNorm>(conv2_filters));
+  net.Add(std::make_unique<Relu>());
+  net.Add(std::make_unique<MaxPool2d>(2));
+  size_t s1 = (image_size - 2) / 2;  // after conv1 + pool
+  size_t s2 = (s1 - 2) / 2;          // after conv2 + pool
+  net.Add(std::make_unique<Dense>(conv2_filters * s2 * s2, num_classes));
+  return net;
+}
+
+Network BuildPurchaseNetwork(size_t input_features, size_t hidden_units,
+                             size_t num_classes) {
+  Network net;
+  net.Add(std::make_unique<Dense>(input_features, hidden_units));
+  net.Add(std::make_unique<Relu>());
+  net.Add(std::make_unique<Dense>(hidden_units, num_classes));
+  return net;
+}
+
+}  // namespace dpaudit

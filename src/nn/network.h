@@ -1,0 +1,132 @@
+// Sequential network container with the per-example-gradient operations that
+// DPSGD and the DP adversary need: flattened parameter access, per-example
+// clipped gradients, and clipped batch-gradient sums.
+
+#ifndef DPAUDIT_NN_NETWORK_H_
+#define DPAUDIT_NN_NETWORK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "nn/loss.h"
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace dpaudit {
+
+/// A stack of layers ending in logits (the softmax is fused into the loss).
+/// Move-only (layers hold state); use Clone() for deep copies.
+class Network {
+ public:
+  Network() = default;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Appends a layer; returns *this for builder-style chaining.
+  Network& Add(std::unique_ptr<Layer> layer);
+
+  /// Draws initial parameters for every layer.
+  void Initialize(Rng& rng);
+
+  /// Deep copy including current parameter values.
+  Network Clone() const;
+
+  size_t num_layers() const { return layers_.size(); }
+  const Layer& layer(size_t i) const { return *layers_[i]; }
+
+  /// Total number of scalar parameters.
+  size_t NumParams() const;
+
+  /// Runs the example through all layers and returns the logits.
+  Tensor Forward(const Tensor& input);
+
+  /// Cross-entropy loss of one example (no gradient side effects beyond the
+  /// layer forward caches).
+  double ExampleLoss(const Tensor& input, size_t label);
+
+  /// argmax class for one example.
+  size_t Predict(const Tensor& input);
+
+  /// Fraction of (inputs[i], labels[i]) classified correctly.
+  double Accuracy(const std::vector<Tensor>& inputs,
+                  const std::vector<size_t>& labels);
+
+  /// Gradient of the cross-entropy loss of ONE example with respect to all
+  /// parameters, flattened in layer order. Does not disturb accumulated
+  /// layer gradients beyond overwriting them.
+  std::vector<float> PerExampleGradient(const Tensor& input, size_t label);
+
+  /// Sum over the given examples of per-example gradients clipped to L2 norm
+  /// `clip_norm` (Abadi et al.): g_j * min(1, C / ||g_j||). Returns the flat
+  /// sum; if `per_example_norms` is non-null it receives each pre-clip norm.
+  std::vector<float> ClippedGradientSum(
+      const std::vector<Tensor>& inputs, const std::vector<size_t>& labels,
+      double clip_norm, std::vector<double>* per_example_norms = nullptr);
+
+  /// Clipped gradient of a single example: g * min(1, C / ||g||).
+  std::vector<float> ClippedExampleGradient(const Tensor& input, size_t label,
+                                            double clip_norm);
+
+  /// Per-layer clipping (Thakkar et al., the paper's Section 7 remark about
+  /// "setting C differently for each layer"): each parameterized layer's
+  /// slice of the per-example gradient is clipped to C / sqrt(L) where L is
+  /// the number of parameterized layers, so the whole clipped gradient still
+  /// has norm at most C and the global sensitivity analysis is unchanged.
+  std::vector<float> PerLayerClippedGradientSum(
+      const std::vector<Tensor>& inputs, const std::vector<size_t>& labels,
+      double clip_norm);
+
+  /// Flat [offset, size) ranges of each parameterized layer within the
+  /// flattened parameter/gradient vectors (layers without parameters are
+  /// omitted).
+  struct ParamRange {
+    size_t offset;
+    size_t size;
+  };
+  std::vector<ParamRange> LayerParamRanges() const;
+
+  /// Current parameters flattened in layer order.
+  std::vector<float> FlatParams() const;
+
+  /// Overwrites all parameters from a flat vector (size must match).
+  void SetFlatParams(const std::vector<float>& flat);
+
+  /// theta <- theta - lr * flat_gradient. Size must equal NumParams().
+  void ApplyGradientStep(const std::vector<float>& flat_gradient, double lr);
+
+  /// "conv2d(1->4, k=3) -> relu -> ..." summary.
+  std::string Describe() const;
+
+ private:
+  /// Backpropagates dLoss/dLogits through the stack, accumulating parameter
+  /// gradients in the layers.
+  void Backward(const Tensor& grad_logits);
+
+  void ZeroGrads();
+
+  /// Flattens accumulated layer gradients.
+  std::vector<float> FlatGrads() const;
+
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// The paper's MNIST architecture (Section 6.2): two 3x3 conv blocks with
+/// normalization and 2x2 max pooling, then a 10-way softmax head. Filter
+/// counts (4, 8) are chosen small for CPU experiment throughput; the paper
+/// does not specify them.
+Network BuildMnistNetwork(size_t image_size = 28, size_t conv1_filters = 4,
+                          size_t conv2_filters = 8, size_t num_classes = 10);
+
+/// The paper's Purchase-100 architecture (Section 6.2): 600-d input, one
+/// 128-unit ReLU hidden layer, 100-way softmax head.
+Network BuildPurchaseNetwork(size_t input_features = 600,
+                             size_t hidden_units = 128,
+                             size_t num_classes = 100);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_NN_NETWORK_H_

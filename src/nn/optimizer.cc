@@ -1,0 +1,104 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dpaudit {
+
+SgdOptimizer::SgdOptimizer(double learning_rate) : lr_(learning_rate) {
+  DPAUDIT_CHECK_GT(lr_, 0.0);
+}
+
+void SgdOptimizer::Step(Network& net, const std::vector<float>& gradient) {
+  net.ApplyGradientStep(gradient, lr_);
+}
+
+std::unique_ptr<Optimizer> SgdOptimizer::Clone() const {
+  return std::make_unique<SgdOptimizer>(lr_);
+}
+
+MomentumOptimizer::MomentumOptimizer(double learning_rate, double momentum)
+    : lr_(learning_rate), momentum_(momentum) {
+  DPAUDIT_CHECK_GT(lr_, 0.0);
+  DPAUDIT_CHECK_GE(momentum_, 0.0);
+  DPAUDIT_CHECK_LT(momentum_, 1.0);
+}
+
+void MomentumOptimizer::Step(Network& net,
+                             const std::vector<float>& gradient) {
+  if (velocity_.empty()) velocity_.assign(gradient.size(), 0.0f);
+  DPAUDIT_CHECK_EQ(velocity_.size(), gradient.size());
+  for (size_t i = 0; i < gradient.size(); ++i) {
+    velocity_[i] =
+        static_cast<float>(momentum_ * velocity_[i] + gradient[i]);
+  }
+  net.ApplyGradientStep(velocity_, lr_);
+}
+
+std::unique_ptr<Optimizer> MomentumOptimizer::Clone() const {
+  return std::make_unique<MomentumOptimizer>(lr_, momentum_);
+}
+
+AdamOptimizer::AdamOptimizer(double learning_rate, double beta1, double beta2,
+                             double epsilon)
+    : lr_(learning_rate), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {
+  DPAUDIT_CHECK_GT(lr_, 0.0);
+  DPAUDIT_CHECK_GE(beta1_, 0.0);
+  DPAUDIT_CHECK_LT(beta1_, 1.0);
+  DPAUDIT_CHECK_GE(beta2_, 0.0);
+  DPAUDIT_CHECK_LT(beta2_, 1.0);
+  DPAUDIT_CHECK_GT(epsilon_, 0.0);
+}
+
+void AdamOptimizer::Step(Network& net, const std::vector<float>& gradient) {
+  if (m_.empty()) {
+    m_.assign(gradient.size(), 0.0);
+    v_.assign(gradient.size(), 0.0);
+  }
+  DPAUDIT_CHECK_EQ(m_.size(), gradient.size());
+  ++t_;
+  double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  std::vector<float> update(gradient.size());
+  for (size_t i = 0; i < gradient.size(); ++i) {
+    double g = gradient[i];
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * g;
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * g * g;
+    double m_hat = m_[i] / bias1;
+    double v_hat = v_[i] / bias2;
+    update[i] = static_cast<float>(m_hat / (std::sqrt(v_hat) + epsilon_));
+  }
+  net.ApplyGradientStep(update, lr_);
+}
+
+std::unique_ptr<Optimizer> AdamOptimizer::Clone() const {
+  return std::make_unique<AdamOptimizer>(lr_, beta1_, beta2_, epsilon_);
+}
+
+const char* OptimizerKindToString(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kSgd:
+      return "sgd";
+    case OptimizerKind::kMomentum:
+      return "momentum";
+    case OptimizerKind::kAdam:
+      return "adam";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind,
+                                         double learning_rate) {
+  switch (kind) {
+    case OptimizerKind::kSgd:
+      return std::make_unique<SgdOptimizer>(learning_rate);
+    case OptimizerKind::kMomentum:
+      return std::make_unique<MomentumOptimizer>(learning_rate);
+    case OptimizerKind::kAdam:
+      return std::make_unique<AdamOptimizer>(learning_rate);
+  }
+  return std::make_unique<SgdOptimizer>(learning_rate);
+}
+
+}  // namespace dpaudit

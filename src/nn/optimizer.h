@@ -1,0 +1,96 @@
+// First-order optimizers over flat parameter vectors.
+//
+// DPSGD (Section 2.1) is "a differentially private version of an ML
+// optimizer such as Adam or SGD": privacy comes from clipping + noising the
+// gradient; the optimizer only decides how the noised gradient moves the
+// weights. Because the update rule is deterministic given the released
+// gradients, the DP adversary can track the weight trajectory for any
+// optimizer here.
+
+#ifndef DPAUDIT_NN_OPTIMIZER_H_
+#define DPAUDIT_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace dpaudit {
+
+/// Stateful update rule. Step() consumes the (mean, possibly noised)
+/// gradient for the current iterate and updates the network in place.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update. `gradient` must have NumParams() entries.
+  virtual void Step(Network& net, const std::vector<float>& gradient) = 0;
+
+  /// Fresh copy with RESET state (a new training run starts clean).
+  virtual std::unique_ptr<Optimizer> Clone() const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// Plain SGD: theta <- theta - lr * g.
+class SgdOptimizer : public Optimizer {
+ public:
+  explicit SgdOptimizer(double learning_rate);
+  void Step(Network& net, const std::vector<float>& gradient) override;
+  std::unique_ptr<Optimizer> Clone() const override;
+  std::string Name() const override { return "sgd"; }
+
+ private:
+  double lr_;
+};
+
+/// Heavy-ball momentum: v <- mu v + g; theta <- theta - lr v.
+class MomentumOptimizer : public Optimizer {
+ public:
+  MomentumOptimizer(double learning_rate, double momentum = 0.9);
+  void Step(Network& net, const std::vector<float>& gradient) override;
+  std::unique_ptr<Optimizer> Clone() const override;
+  std::string Name() const override { return "momentum"; }
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<float> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class AdamOptimizer : public Optimizer {
+ public:
+  explicit AdamOptimizer(double learning_rate, double beta1 = 0.9,
+                         double beta2 = 0.999, double epsilon = 1e-8);
+  void Step(Network& net, const std::vector<float>& gradient) override;
+  std::unique_ptr<Optimizer> Clone() const override;
+  std::string Name() const override { return "adam"; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  size_t t_ = 0;
+  std::vector<double> m_;
+  std::vector<double> v_;
+};
+
+/// Optimizer selection for configs.
+enum class OptimizerKind {
+  kSgd,
+  kMomentum,
+  kAdam,
+};
+
+const char* OptimizerKindToString(OptimizerKind kind);
+
+/// Factory from a config enum.
+std::unique_ptr<Optimizer> MakeOptimizer(OptimizerKind kind,
+                                         double learning_rate);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_NN_OPTIMIZER_H_

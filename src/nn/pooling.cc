@@ -1,0 +1,68 @@
+#include "nn/pooling.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dpaudit {
+
+MaxPool2d::MaxPool2d(size_t pool) : pool_(pool) {
+  DPAUDIT_CHECK_GT(pool_, 0u);
+}
+
+Tensor MaxPool2d::Forward(const Tensor& input) {
+  DPAUDIT_CHECK_EQ(input.rank(), 3u);
+  size_t c = input.dim(0);
+  size_t h = input.dim(1);
+  size_t w = input.dim(2);
+  DPAUDIT_CHECK_GE(h, pool_);
+  DPAUDIT_CHECK_GE(w, pool_);
+  size_t oh = h / pool_;
+  size_t ow = w / pool_;
+  input_shape_ = input.shape();
+  Tensor out({c, oh, ow});
+  argmax_.assign(c * oh * ow, 0);
+  const float* in = input.data();
+  float* o = out.data();
+  size_t out_idx = 0;
+  for (size_t ch = 0; ch < c; ++ch) {
+    const float* plane = in + ch * h * w;
+    for (size_t y = 0; y < oh; ++y) {
+      for (size_t x = 0; x < ow; ++x) {
+        size_t base = y * pool_ * w + x * pool_;
+        float best = plane[base];
+        size_t best_off = base;
+        for (size_t py = 0; py < pool_; ++py) {
+          const float* row = plane + base + py * w;
+          for (size_t px = 0; px < pool_; ++px) {
+            if (row[px] > best) {
+              best = row[px];
+              best_off = base + py * w + px;
+            }
+          }
+        }
+        o[out_idx] = best;
+        argmax_[out_idx++] = ch * h * w + best_off;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::Backward(const Tensor& grad_output) {
+  DPAUDIT_CHECK_EQ(grad_output.size(), argmax_.size())
+      << "Backward before Forward, or shape changed";
+  Tensor grad_input(input_shape_);
+  for (size_t i = 0; i < argmax_.size(); ++i) {
+    grad_input[argmax_[i]] += grad_output[i];
+  }
+  return grad_input;
+}
+
+std::string MaxPool2d::Name() const {
+  std::ostringstream os;
+  os << "maxpool(" << pool_ << "x" << pool_ << ")";
+  return os.str();
+}
+
+}  // namespace dpaudit

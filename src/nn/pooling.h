@@ -1,0 +1,36 @@
+// Max pooling.
+
+#ifndef DPAUDIT_NN_POOLING_H_
+#define DPAUDIT_NN_POOLING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace dpaudit {
+
+/// 2x2-style max pooling with stride equal to pool size, valid mode (a
+/// trailing row/column that does not fill a window is dropped, matching
+/// common framework defaults). Input [C, H, W] -> [C, H/p, W/p].
+class MaxPool2d : public Layer {
+ public:
+  explicit MaxPool2d(size_t pool);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<MaxPool2d>(pool_);
+  }
+  std::string Name() const override;
+
+ private:
+  size_t pool_;
+  std::vector<size_t> argmax_;  // flat input index chosen per output cell
+  std::vector<size_t> input_shape_;
+};
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_NN_POOLING_H_

@@ -1,0 +1,53 @@
+#include "stats/divergence.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace dpaudit {
+
+double GaussianRenyiDivergence(double alpha, double mean1, double mean2,
+                               double stddev) {
+  DPAUDIT_CHECK_GT(alpha, 1.0);
+  DPAUDIT_CHECK_GT(stddev, 0.0);
+  double d = mean1 - mean2;
+  return alpha * d * d / (2.0 * stddev * stddev);
+}
+
+double GaussianKlDivergence(double mean1, double mean2, double stddev) {
+  DPAUDIT_CHECK_GT(stddev, 0.0);
+  double d = mean1 - mean2;
+  return d * d / (2.0 * stddev * stddev);
+}
+
+StatusOr<double> EstimateRenyiDivergence(double alpha,
+                                         const std::vector<double>& samples_p,
+                                         const LogDensityFn& log_p,
+                                         const LogDensityFn& log_q) {
+  if (!(alpha > 1.0)) return Status::InvalidArgument("alpha must be > 1");
+  if (samples_p.empty()) {
+    return Status::InvalidArgument("need at least one sample");
+  }
+  std::vector<double> log_terms;
+  log_terms.reserve(samples_p.size());
+  for (double x : samples_p) {
+    log_terms.push_back((alpha - 1.0) * (log_p(x) - log_q(x)));
+  }
+  double log_mean =
+      LogSumExp(log_terms) - std::log(static_cast<double>(samples_p.size()));
+  return log_mean / (alpha - 1.0);
+}
+
+StatusOr<double> EstimateKlDivergence(const std::vector<double>& samples_p,
+                                      const LogDensityFn& log_p,
+                                      const LogDensityFn& log_q) {
+  if (samples_p.empty()) {
+    return Status::InvalidArgument("need at least one sample");
+  }
+  double sum = 0.0;
+  for (double x : samples_p) sum += log_p(x) - log_q(x);
+  return sum / static_cast<double>(samples_p.size());
+}
+
+}  // namespace dpaudit

@@ -1,0 +1,46 @@
+// Divergence estimators between mechanism output distributions.
+//
+// The RDP accountant asserts bounds on the Renyi divergence between M(D) and
+// M(D'). These helpers make that claim empirically checkable: closed forms
+// for the Gaussian case and Monte Carlo estimators that only need log
+// densities and samples — the same interface the adversary uses.
+
+#ifndef DPAUDIT_STATS_DIVERGENCE_H_
+#define DPAUDIT_STATS_DIVERGENCE_H_
+
+#include <functional>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dpaudit {
+
+/// Renyi divergence of order alpha between two Gaussians with equal stddev:
+/// D_alpha(N(mu1, s^2) || N(mu2, s^2)) = alpha (mu1 - mu2)^2 / (2 s^2).
+/// Requires alpha > 1, stddev > 0.
+double GaussianRenyiDivergence(double alpha, double mean1, double mean2,
+                               double stddev);
+
+/// KL divergence (the alpha -> 1 limit): (mu1 - mu2)^2 / (2 s^2).
+double GaussianKlDivergence(double mean1, double mean2, double stddev);
+
+/// Log-density of a distribution at a sample point.
+using LogDensityFn = std::function<double(double)>;
+
+/// Monte Carlo estimate of D_alpha(P || Q) from samples of P:
+///   D_alpha = ln( mean_i exp((alpha - 1) * (logP(x_i) - logQ(x_i))) )
+///             / (alpha - 1),
+/// computed stably in log space. Requires alpha > 1 and at least one sample.
+StatusOr<double> EstimateRenyiDivergence(double alpha,
+                                         const std::vector<double>& samples_p,
+                                         const LogDensityFn& log_p,
+                                         const LogDensityFn& log_q);
+
+/// Monte Carlo estimate of KL(P || Q) = mean_i (logP(x_i) - logQ(x_i)).
+StatusOr<double> EstimateKlDivergence(const std::vector<double>& samples_p,
+                                      const LogDensityFn& log_p,
+                                      const LogDensityFn& log_q);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_STATS_DIVERGENCE_H_

@@ -1,0 +1,34 @@
+// Standard normal distribution: density, log-density, CDF Phi, and quantile
+// Phi^{-1}. These are the numeric workhorses behind the rho_alpha score
+// (Theorem 2), the Gaussian mechanism likelihoods (Lemma 1), and the
+// advantage-based epsilon' estimator (Section 6.4).
+
+#ifndef DPAUDIT_STATS_NORMAL_H_
+#define DPAUDIT_STATS_NORMAL_H_
+
+namespace dpaudit {
+
+/// Density of N(0, 1) at x.
+double NormalPdf(double x);
+
+/// Density of N(mean, stddev^2) at x. Requires stddev > 0.
+double NormalPdf(double x, double mean, double stddev);
+
+/// Log-density of N(mean, stddev^2) at x. Requires stddev > 0. Stable for
+/// values far in the tails where NormalPdf underflows to zero.
+double NormalLogPdf(double x, double mean, double stddev);
+
+/// Phi(x) = P(Z <= x) for Z ~ N(0, 1). Accurate in both tails (erfc-based).
+double NormalCdf(double x);
+
+/// CDF of N(mean, stddev^2) at x. Requires stddev > 0.
+double NormalCdf(double x, double mean, double stddev);
+
+/// Phi^{-1}(p) for p in (0, 1). Acklam's rational approximation refined with
+/// one Halley step, giving ~1e-15 relative accuracy across the open interval.
+/// Returns -inf / +inf at p = 0 / 1.
+double NormalQuantile(double p);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_STATS_NORMAL_H_

@@ -1,0 +1,177 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace dpaudit {
+namespace {
+
+size_t Volume(const std::vector<size_t>& shape) {
+  size_t v = 1;
+  for (size_t d : shape) {
+    DPAUDIT_CHECK_GT(d, 0u) << "zero extent in tensor shape";
+    v *= d;
+  }
+  return v;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<size_t> shape)
+    : shape_(std::move(shape)), data_(Volume(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  DPAUDIT_CHECK_EQ(Volume(shape_), data_.size());
+}
+
+Tensor Tensor::Full(std::vector<size_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+size_t Tensor::Offset2(size_t i, size_t j) const {
+  DPAUDIT_CHECK_EQ(rank(), 2u);
+  DPAUDIT_CHECK_LT(i, shape_[0]);
+  DPAUDIT_CHECK_LT(j, shape_[1]);
+  return i * shape_[1] + j;
+}
+
+size_t Tensor::Offset3(size_t i, size_t j, size_t k) const {
+  DPAUDIT_CHECK_EQ(rank(), 3u);
+  DPAUDIT_CHECK_LT(i, shape_[0]);
+  DPAUDIT_CHECK_LT(j, shape_[1]);
+  DPAUDIT_CHECK_LT(k, shape_[2]);
+  return (i * shape_[1] + j) * shape_[2] + k;
+}
+
+size_t Tensor::Offset4(size_t i, size_t j, size_t k, size_t l) const {
+  DPAUDIT_CHECK_EQ(rank(), 4u);
+  DPAUDIT_CHECK_LT(i, shape_[0]);
+  DPAUDIT_CHECK_LT(j, shape_[1]);
+  DPAUDIT_CHECK_LT(k, shape_[2]);
+  DPAUDIT_CHECK_LT(l, shape_[3]);
+  return ((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l;
+}
+
+float& Tensor::At(size_t i, size_t j) { return data_[Offset2(i, j)]; }
+float Tensor::At(size_t i, size_t j) const { return data_[Offset2(i, j)]; }
+float& Tensor::At(size_t i, size_t j, size_t k) {
+  return data_[Offset3(i, j, k)];
+}
+float Tensor::At(size_t i, size_t j, size_t k) const {
+  return data_[Offset3(i, j, k)];
+}
+float& Tensor::At(size_t i, size_t j, size_t k, size_t l) {
+  return data_[Offset4(i, j, k, l)];
+}
+float Tensor::At(size_t i, size_t j, size_t k, size_t l) const {
+  return data_[Offset4(i, j, k, l)];
+}
+
+void Tensor::Reshape(std::vector<size_t> shape) {
+  DPAUDIT_CHECK_EQ(Volume(shape), data_.size());
+  shape_ = std::move(shape);
+}
+
+void Tensor::Fill(float value) {
+  for (float& x : data_) x = value;
+}
+
+void Tensor::Axpy(float alpha, const Tensor& other) {
+  DPAUDIT_CHECK(shape_ == other.shape_)
+      << "Axpy shape mismatch: " << ShapeString() << " vs "
+      << other.ShapeString();
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Tensor::Scale(float alpha) {
+  for (float& x : data_) x *= alpha;
+}
+
+double Tensor::L2Norm() const {
+  double sq = 0.0;
+  for (float x : data_) sq += static_cast<double>(x) * x;
+  return std::sqrt(sq);
+}
+
+double Tensor::Sum() const {
+  double s = 0.0;
+  for (float x : data_) s += x;
+  return s;
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  DPAUDIT_CHECK(a.shape() == b.shape());
+  Tensor out = a;
+  out.Axpy(1.0f, b);
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  DPAUDIT_CHECK(a.shape() == b.shape());
+  Tensor out = a;
+  out.Axpy(-1.0f, b);
+  return out;
+}
+
+double Dot(const Tensor& a, const Tensor& b) {
+  DPAUDIT_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (size_t i = 0; i < a.size(); ++i) {
+    s += static_cast<double>(pa[i]) * pb[i];
+  }
+  return s;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  DPAUDIT_CHECK_EQ(a.rank(), 2u);
+  DPAUDIT_CHECK_EQ(b.rank(), 2u);
+  DPAUDIT_CHECK_EQ(a.dim(1), b.dim(0));
+  size_t m = a.dim(0);
+  size_t k = a.dim(1);
+  size_t n = b.dim(1);
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // i-k-j loop order keeps the inner loop contiguous over both b and out.
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t kk = 0; kk < k; ++kk) {
+      float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* orow = po + i * n;
+      for (size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  DPAUDIT_CHECK_EQ(a.rank(), 2u);
+  size_t m = a.dim(0);
+  size_t n = a.dim(1);
+  Tensor out({n, m});
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) out.At(j, i) = a.At(i, j);
+  }
+  return out;
+}
+
+}  // namespace dpaudit

@@ -1,0 +1,104 @@
+#include "util/arg_parser.h"
+
+#include <cstdlib>
+
+namespace dpaudit {
+
+StatusOr<ArgParser> ArgParser::Parse(int argc, const char* const* argv) {
+  ArgParser parser;
+  bool seen_flag = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      seen_flag = true;
+      std::string key;
+      std::string value;
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        key = arg.substr(2, eq - 2);
+        value = arg.substr(eq + 1);
+      } else {
+        key = arg.substr(2);
+        if (i + 1 >= argc) {
+          return Status::InvalidArgument("flag --" + key + " needs a value");
+        }
+        value = argv[++i];
+      }
+      if (key.empty()) return Status::InvalidArgument("empty flag name");
+      if (parser.flags_.count(key) > 0) {
+        return Status::InvalidArgument("flag --" + key + " repeated");
+      }
+      parser.flags_[key] = value;
+    } else {
+      if (seen_flag) {
+        return Status::InvalidArgument(
+            "positional argument '" + arg + "' after flags");
+      }
+      parser.positional_.push_back(arg);
+    }
+  }
+  return parser;
+}
+
+bool ArgParser::Has(const std::string& key) const {
+  return flags_.count(key) > 0;
+}
+
+std::string ArgParser::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  consumed_.insert(key);
+  return it->second;
+}
+
+StatusOr<double> ArgParser::GetDouble(const std::string& key,
+                                      double fallback) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  consumed_.insert(key);
+  char* end = nullptr;
+  double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + key + " expects a number, got '" +
+                                   it->second + "'");
+  }
+  return value;
+}
+
+StatusOr<int64_t> ArgParser::GetInt(const std::string& key,
+                                    int64_t fallback) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  consumed_.insert(key);
+  char* end = nullptr;
+  long long value = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + key + " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  return static_cast<int64_t>(value);
+}
+
+StatusOr<bool> ArgParser::GetBool(const std::string& key,
+                                  bool fallback) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  consumed_.insert(key);
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return Status::InvalidArgument("--" + key + " expects true/false, got '" +
+                                 v + "'");
+}
+
+Status ArgParser::CheckAllConsumed() const {
+  for (const auto& [key, value] : flags_) {
+    if (consumed_.count(key) == 0) {
+      return Status::InvalidArgument("unknown flag --" + key);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dpaudit

@@ -1,0 +1,48 @@
+// Minimal command-line flag parser for the tools/ binaries.
+//
+// Accepts "--key value" and "--key=value"; everything before the first
+// "--flag" is a positional argument (e.g. a subcommand). Typed getters
+// return Status on parse failure, and unconsumed flags can be rejected so
+// typos surface instead of being ignored.
+
+#ifndef DPAUDIT_UTIL_ARG_PARSER_H_
+#define DPAUDIT_UTIL_ARG_PARSER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dpaudit {
+
+class ArgParser {
+ public:
+  /// Parses argv; returns InvalidArgument for malformed input such as a
+  /// flag without a value or a repeated flag.
+  static StatusOr<ArgParser> Parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool Has(const std::string& key) const;
+
+  /// Typed getters; the flag is marked consumed on success.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  StatusOr<double> GetDouble(const std::string& key, double fallback) const;
+  StatusOr<int64_t> GetInt(const std::string& key, int64_t fallback) const;
+  StatusOr<bool> GetBool(const std::string& key, bool fallback) const;
+
+  /// Non-OK if any parsed flag was never consumed by a getter (typo guard).
+  Status CheckAllConsumed() const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> flags_;
+  mutable std::set<std::string> consumed_;
+};
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_UTIL_ARG_PARSER_H_

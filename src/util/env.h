@@ -1,0 +1,38 @@
+// Environment-variable overrides for experiment binaries.
+//
+// Every bench default is chosen for a fast run; the paper-scale settings are
+// reachable through DPAUDIT_REPS, DPAUDIT_TRIALS, DPAUDIT_SEED, etc.
+
+#ifndef DPAUDIT_UTIL_ENV_H_
+#define DPAUDIT_UTIL_ENV_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace dpaudit {
+
+/// Reads an integer environment variable, falling back to `fallback` when the
+/// variable is unset or unparsable.
+inline int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  long long value = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return value;
+}
+
+/// Reads a double environment variable with a fallback.
+inline double EnvDouble(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  double value = std::strtod(raw, &end);
+  if (end == raw || *end != '\0') return fallback;
+  return value;
+}
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_UTIL_ENV_H_

@@ -1,0 +1,15 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dpaudit {
+namespace internal_logging {
+
+LogMessageFatal::~LogMessageFatal() {
+  std::fprintf(stderr, "[dpaudit fatal] %s\n", stream_.str().c_str());
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace dpaudit

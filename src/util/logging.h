@@ -1,0 +1,64 @@
+// Minimal logging and CHECK macros.
+//
+// CHECK-family macros guard internal invariants: they abort the process with a
+// file:line message on violation and are active in all build types. They are
+// for programmer errors; recoverable conditions use Status (util/status.h).
+
+#ifndef DPAUDIT_UTIL_LOGGING_H_
+#define DPAUDIT_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dpaudit {
+namespace internal_logging {
+
+// Accumulates the failure message; aborts in the destructor, i.e. at the end
+// of the full expression that streamed into it.
+class LogMessageFatal {
+ public:
+  LogMessageFatal(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+  [[noreturn]] ~LogMessageFatal();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// operator& has lower precedence than << but higher than ?:, which lets the
+// CHECK macro swallow a trailing stream chain and still yield void.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+#define DPAUDIT_CHECK(cond)                                      \
+  (cond) ? (void)0                                               \
+         : ::dpaudit::internal_logging::Voidify() &              \
+               ::dpaudit::internal_logging::LogMessageFatal(     \
+                   __FILE__, __LINE__, #cond)                    \
+                   .stream()
+
+#define DPAUDIT_CHECK_OP(op, a, b) DPAUDIT_CHECK((a)op(b))
+#define DPAUDIT_CHECK_EQ(a, b) DPAUDIT_CHECK_OP(==, a, b)
+#define DPAUDIT_CHECK_NE(a, b) DPAUDIT_CHECK_OP(!=, a, b)
+#define DPAUDIT_CHECK_LT(a, b) DPAUDIT_CHECK_OP(<, a, b)
+#define DPAUDIT_CHECK_LE(a, b) DPAUDIT_CHECK_OP(<=, a, b)
+#define DPAUDIT_CHECK_GT(a, b) DPAUDIT_CHECK_OP(>, a, b)
+#define DPAUDIT_CHECK_GE(a, b) DPAUDIT_CHECK_OP(>=, a, b)
+
+/// CHECKs that a Status expression is OK.
+#define DPAUDIT_CHECK_OK(expr)                                   \
+  do {                                                           \
+    const auto _st = (expr);                                     \
+    DPAUDIT_CHECK(_st.ok()) << _st.ToString();                   \
+  } while (0)
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_UTIL_LOGGING_H_

@@ -1,0 +1,52 @@
+#include "util/math_util.h"
+
+#include <limits>
+
+#include "util/logging.h"
+
+namespace dpaudit {
+
+double LogSumExp(const std::vector<double>& xs) {
+  if (xs.empty()) return -std::numeric_limits<double>::infinity();
+  double hi = *std::max_element(xs.begin(), xs.end());
+  if (std::isinf(hi)) return hi;
+  double sum = 0.0;
+  for (double x : xs) sum += std::exp(x - hi);
+  return hi + std::log(sum);
+}
+
+double KahanSum(const std::vector<double>& xs) {
+  double sum = 0.0;
+  double carry = 0.0;
+  for (double x : xs) {
+    double y = x - carry;
+    double t = sum + y;
+    carry = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double L2Norm(const std::vector<float>& v) {
+  double sq = 0.0;
+  for (float x : v) sq += static_cast<double>(x) * x;
+  return std::sqrt(sq);
+}
+
+double L2Norm(const std::vector<double>& v) {
+  double sq = 0.0;
+  for (double x : v) sq += x * x;
+  return std::sqrt(sq);
+}
+
+double L2Distance(const std::vector<float>& a, const std::vector<float>& b) {
+  DPAUDIT_CHECK_EQ(a.size(), b.size());
+  double sq = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    sq += d * d;
+  }
+  return std::sqrt(sq);
+}
+
+}  // namespace dpaudit

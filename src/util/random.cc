@@ -1,0 +1,35 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dpaudit {
+
+double Rng::Laplace(double scale) {
+  DPAUDIT_CHECK_GE(scale, 0.0);
+  // Inverse CDF: u ~ Uniform(-1/2, 1/2), x = -scale * sgn(u) * ln(1 - 2|u|).
+  double u = Uniform() - 0.5;
+  double sign = u < 0.0 ? -1.0 : 1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  // Fisher-Yates.
+  for (size_t i = n; i > 1; --i) {
+    size_t j = UniformInt(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  DPAUDIT_CHECK_LE(k, n);
+  std::vector<size_t> perm = Permutation(n);
+  perm.resize(k);
+  return perm;
+}
+
+}  // namespace dpaudit

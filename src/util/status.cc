@@ -1,0 +1,46 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dpaudit {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace internal_status {
+
+void DieStatus(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "[dpaudit fatal] %s: %s\n", what, detail.c_str());
+  std::abort();
+}
+
+}  // namespace internal_status
+}  // namespace dpaudit

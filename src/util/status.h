@@ -1,0 +1,170 @@
+// Status and StatusOr: exception-free error propagation for dpaudit.
+//
+// Library APIs that can fail return Status (or StatusOr<T> when a value is
+// produced). Internal invariant violations use the CHECK macros from
+// util/logging.h instead. The design follows the RocksDB/Abseil convention:
+// a Status is cheap to construct and copy, carries a code plus a free-form
+// message, and must be inspected by the caller (`ok()`), never thrown.
+
+#ifndef DPAUDIT_UTIL_STATUS_H_
+#define DPAUDIT_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dpaudit {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+};
+
+/// Returns a short human-readable name ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. Value-semantic, cheap to copy.
+class Status {
+ public:
+  /// Success.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or a non-OK Status explaining why there is none.
+/// Accessing the value of a non-OK StatusOr aborts the process (see
+/// util/logging.h); callers must test `ok()` first unless failure is a bug.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value and from error Status, mirroring absl::StatusOr, so
+  /// `return value;` and `return Status::InvalidArgument(...);` both work.
+  StatusOr(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : data_(std::move(status)) {  // NOLINT
+    DieIfOk();
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    DieIfNotOk();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    DieIfNotOk();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    DieIfNotOk();
+    return std::move(std::get<T>(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void DieIfNotOk() const;
+  void DieIfOk() const;
+
+  std::variant<Status, T> data_;
+};
+
+namespace internal_status {
+[[noreturn]] void DieStatus(const char* what, const std::string& detail);
+}  // namespace internal_status
+
+template <typename T>
+void StatusOr<T>::DieIfNotOk() const {
+  if (!ok()) {
+    internal_status::DieStatus("StatusOr::value() on error status",
+                               std::get<Status>(data_).ToString());
+  }
+}
+
+template <typename T>
+void StatusOr<T>::DieIfOk() const {
+  if (std::holds_alternative<Status>(data_) &&
+      std::get<Status>(data_).ok()) {
+    internal_status::DieStatus("StatusOr constructed from OK status",
+                               "an OK StatusOr must carry a value");
+  }
+}
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define DPAUDIT_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::dpaudit::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+/// Evaluates `rexpr` (a StatusOr expression); on error returns its status,
+/// otherwise move-assigns the value into `lhs`.
+#define DPAUDIT_ASSIGN_OR_RETURN(lhs, rexpr)         \
+  DPAUDIT_ASSIGN_OR_RETURN_IMPL_(                    \
+      DPAUDIT_STATUS_CONCAT_(_status_or, __LINE__), lhs, rexpr)
+
+#define DPAUDIT_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define DPAUDIT_STATUS_CONCAT_(a, b) DPAUDIT_STATUS_CONCAT_IMPL_(a, b)
+#define DPAUDIT_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_UTIL_STATUS_H_

@@ -1,0 +1,43 @@
+// Tabular output for experiment binaries: aligned text for the console and
+// optional CSV mirroring, so every bench reproduces a paper table/figure as
+// both a human-readable block and machine-readable rows.
+
+#ifndef DPAUDIT_UTIL_TABLE_WRITER_H_
+#define DPAUDIT_UTIL_TABLE_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dpaudit {
+
+/// Collects rows of string cells and renders them either as an aligned text
+/// table or as CSV. Cell helpers format doubles with a fixed precision.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends one row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with `digits` significant decimal places.
+  static std::string Cell(double value, int digits = 4);
+  static std::string Cell(int value);
+  static std::string Cell(size_t value);
+
+  /// Writes an aligned, boxed text table.
+  void RenderText(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (no quoting needed for our numeric cells).
+  void RenderCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_UTIL_TABLE_WRITER_H_

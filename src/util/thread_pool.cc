@@ -1,0 +1,85 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dpaudit {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> fn) {
+  DPAUDIT_CHECK(fn != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    DPAUDIT_CHECK(!shutting_down_) << "Schedule() after shutdown";
+    queue_.push(std::move(fn));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t num_threads,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (num_threads <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(std::min(num_threads, n));
+  for (size_t i = 0; i < n; ++i) {
+    pool.Schedule([&fn, i] { fn(i); });
+  }
+  pool.Wait();
+}
+
+size_t DefaultThreadCount() {
+  unsigned hc = std::thread::hardware_concurrency();
+  if (hc == 0) hc = 4;
+  return std::min<size_t>(16, std::max<size_t>(1, hc));
+}
+
+}  // namespace dpaudit

@@ -1,0 +1,62 @@
+// Fixed-size worker pool used to fan out independent experiment repetitions.
+//
+// Determinism contract: callers pass per-task seeds derived via Rng::Split, so
+// results do not depend on which worker executes which task.
+
+#ifndef DPAUDIT_UTIL_THREAD_POOL_H_
+#define DPAUDIT_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dpaudit {
+
+/// A minimal thread pool. Schedule() enqueues work; the destructor drains the
+/// queue and joins all workers. Not copyable or movable.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Enqueues `fn` for execution on some worker.
+  void Schedule(std::function<void()> fn);
+
+  /// Blocks until every scheduled task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// `fn` must be safe to invoke concurrently for distinct i.
+  static void ParallelFor(size_t n, size_t num_threads,
+                          const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Number of workers to use by default: hardware concurrency clamped to
+/// [1, 16] so experiment binaries behave on small containers.
+size_t DefaultThreadCount();
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_UTIL_THREAD_POOL_H_

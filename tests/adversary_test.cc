@@ -1,0 +1,120 @@
+#include "core/adversary.h"
+
+#include <gtest/gtest.h>
+
+#include "dp/mechanism.h"
+#include "tests/test_helpers.h"
+
+namespace dpaudit {
+namespace {
+
+using testing_helpers::BlobDataset;
+using testing_helpers::ExtremeBoundedNeighbor;
+using testing_helpers::TinyNetwork;
+
+TEST(DiAdversaryTest, StartsUndecided) {
+  DiAdversary adversary;
+  EXPECT_DOUBLE_EQ(adversary.FinalBeliefD(), 0.5);
+  EXPECT_DOUBLE_EQ(adversary.MaxBeliefD(), 0.5);
+}
+
+TEST(DiAdversaryTest, BelievesDWhenReleaseIsNearSumD) {
+  DiAdversary adversary;
+  std::vector<float> sum_d = {1.0f, 1.0f};
+  std::vector<float> sum_dprime = {-1.0f, -1.0f};
+  std::vector<float> released = {0.9f, 1.1f};  // clearly near D
+  adversary.OnStep(0, sum_d, sum_dprime, released, /*sigma=*/0.5);
+  EXPECT_GT(adversary.FinalBeliefD(), 0.9);
+  EXPECT_TRUE(adversary.DecideD());
+}
+
+TEST(DiAdversaryTest, BelievesDPrimeWhenReleaseIsNearSumDPrime) {
+  DiAdversary adversary;
+  adversary.OnStep(0, {1.0f, 1.0f}, {-1.0f, -1.0f}, {-0.9f, -1.1f}, 0.5);
+  EXPECT_LT(adversary.FinalBeliefD(), 0.1);
+  EXPECT_FALSE(adversary.DecideD());
+}
+
+TEST(DiAdversaryTest, HugeNoiseLeavesBeliefNearHalf) {
+  DiAdversary adversary;
+  adversary.OnStep(0, {1.0f}, {-1.0f}, {0.3f}, /*sigma=*/1e6);
+  EXPECT_NEAR(adversary.FinalBeliefD(), 0.5, 1e-3);
+}
+
+TEST(DiAdversaryTest, EvidenceAccumulatesOverSteps) {
+  DiAdversary adversary;
+  // Each step weakly favors D; the posterior compounds (Lemma 1).
+  double prev = 0.5;
+  for (int i = 0; i < 10; ++i) {
+    adversary.OnStep(i, {1.0f}, {-1.0f}, {0.4f}, /*sigma=*/3.0);
+    EXPECT_GT(adversary.FinalBeliefD(), prev);
+    prev = adversary.FinalBeliefD();
+  }
+  EXPECT_EQ(adversary.BeliefHistory().size(), 11u);
+}
+
+TEST(DiAdversaryTest, MaxBeliefTracksPeakNotFinal) {
+  DiAdversary adversary;
+  adversary.OnStep(0, {1.0f}, {-1.0f}, {2.0f}, 1.0);   // strong pro-D
+  double peak = adversary.FinalBeliefD();
+  adversary.OnStep(1, {1.0f}, {-1.0f}, {-0.5f}, 1.0);  // contradicting
+  EXPECT_LT(adversary.FinalBeliefD(), peak);
+  EXPECT_DOUBLE_EQ(adversary.MaxBeliefD(), peak);
+}
+
+TEST(DiAdversaryIntegrationTest, IdentifiesTrainingDatasetAtLowNoise) {
+  Rng rng(1);
+  Network net = TinyNetwork();
+  net.Initialize(rng);
+  Dataset d = BlobDataset(9, rng);
+  Dataset d_prime = ExtremeBoundedNeighbor(d, 8.0f);
+  DpSgdConfig config;
+  config.epochs = 10;
+  config.learning_rate = 0.05;
+  config.clip_norm = 1.0;
+  config.noise_multiplier = 0.05;  // nearly noiseless: adversary should win
+  config.sensitivity_mode = SensitivityMode::kLocalHat;
+
+  // Trained on D -> adversary says D.
+  {
+    DiAdversary adversary;
+    Rng run_rng(2);
+    auto result = RunDpSgd(net, d, d_prime, /*train_on_d=*/true, config,
+                           run_rng, &adversary);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(adversary.DecideD());
+    EXPECT_GT(adversary.FinalBeliefD(), 0.95);
+  }
+  // Trained on D' -> adversary says D'.
+  {
+    DiAdversary adversary;
+    Rng run_rng(3);
+    auto result = RunDpSgd(net, d, d_prime, /*train_on_d=*/false, config,
+                           run_rng, &adversary);
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(adversary.DecideD());
+    EXPECT_LT(adversary.FinalBeliefD(), 0.05);
+  }
+}
+
+TEST(DiAdversaryIntegrationTest, HighNoiseKeepsPlausibleDeniability) {
+  Rng rng(4);
+  Network net = TinyNetwork();
+  net.Initialize(rng);
+  Dataset d = BlobDataset(9, rng);
+  Dataset d_prime = ExtremeBoundedNeighbor(d, 8.0f);
+  DpSgdConfig config;
+  config.epochs = 10;
+  config.learning_rate = 0.05;
+  config.clip_norm = 1.0;
+  config.noise_multiplier = 50.0;  // drowning noise
+  DiAdversary adversary;
+  Rng run_rng(5);
+  auto result =
+      RunDpSgd(net, d, d_prime, true, config, run_rng, &adversary);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(adversary.FinalBeliefD(), 0.5, 0.2);
+}
+
+}  // namespace
+}  // namespace dpaudit

@@ -1,0 +1,119 @@
+#include "dp/analytic_gaussian.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dp/calibration.h"
+
+namespace dpaudit {
+namespace {
+
+TEST(AnalyticGaussianDeltaTest, DecreasesInSigma) {
+  double prev = 1.0;
+  for (double sigma : {0.3, 0.5, 1.0, 2.0, 5.0}) {
+    double delta = *AnalyticGaussianDelta(sigma, 1.0, 1.0);
+    EXPECT_LT(delta, prev);
+    prev = delta;
+  }
+}
+
+TEST(AnalyticGaussianDeltaTest, DecreasesInEpsilon) {
+  double prev = 1.0;
+  for (double eps : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    double delta = *AnalyticGaussianDelta(1.0, eps, 1.0);
+    EXPECT_LT(delta, prev);
+    prev = delta;
+  }
+}
+
+TEST(AnalyticGaussianDeltaTest, KnownValueAtEpsilonZero) {
+  // At eps = 0 the expression reduces to Phi(a) - Phi(-a) with a = Df/2sigma:
+  // the total variation distance between the two Gaussians.
+  double delta = *AnalyticGaussianDelta(1.0, 0.0, 1.0);
+  EXPECT_NEAR(delta, 2.0 * 0.6914624612740131 - 1.0, 1e-10);
+}
+
+TEST(AnalyticGaussianSigmaTest, SatisfiesTheDeltaConstraintTightly) {
+  for (double eps : {0.5, 1.0, 2.2, 4.6}) {
+    for (double delta : {1e-3, 1e-6}) {
+      double sigma = *AnalyticGaussianSigma({eps, delta}, 1.0);
+      double achieved = *AnalyticGaussianDelta(sigma, eps, 1.0);
+      EXPECT_LE(achieved, delta * 1.0001);
+      // Tight: 1% less noise must violate delta.
+      double violated = *AnalyticGaussianDelta(0.99 * sigma, eps, 1.0);
+      EXPECT_GT(violated, delta);
+    }
+  }
+}
+
+TEST(AnalyticGaussianSigmaTest, NeverWorseThanClassicCalibration) {
+  // The exact characterization dominates Eq. 1 wherever Eq. 1 applies.
+  for (double eps : {0.1, 0.5, 1.0, 2.2, 4.6}) {
+    for (double delta : {1e-3, 1e-5, 1e-8}) {
+      double classic = *GaussianSigma({eps, delta}, 1.0);
+      double analytic = *AnalyticGaussianSigma({eps, delta}, 1.0);
+      EXPECT_LE(analytic, classic * 1.0001)
+          << "eps=" << eps << " delta=" << delta;
+    }
+  }
+}
+
+TEST(AnalyticGaussianSigmaTest, SavingsAreSubstantialAcrossTheGrid) {
+  // Eq. 1 overshoots the exact requirement everywhere; the savings are
+  // largest in the small-epsilon regime where DPSGD budgets actually live.
+  for (double eps : {0.08, 0.5, 1.1, 2.2, 4.6}) {
+    double ratio = *GaussianSigma({eps, 1e-5}, 1.0) /
+                   *AnalyticGaussianSigma({eps, 1e-5}, 1.0);
+    EXPECT_GT(ratio, 1.05) << "eps=" << eps;
+  }
+  double ratio_small = *GaussianSigma({0.5, 1e-5}, 1.0) /
+                       *AnalyticGaussianSigma({0.5, 1e-5}, 1.0);
+  double ratio_large = *GaussianSigma({4.6, 1e-5}, 1.0) /
+                       *AnalyticGaussianSigma({4.6, 1e-5}, 1.0);
+  EXPECT_GT(ratio_small, ratio_large);
+  EXPECT_GT(ratio_small, 1.3);
+}
+
+TEST(AnalyticGaussianSigmaTest, ScalesLinearlyWithSensitivity) {
+  double s1 = *AnalyticGaussianSigma({1.0, 1e-4}, 1.0);
+  double s3 = *AnalyticGaussianSigma({1.0, 1e-4}, 3.0);
+  EXPECT_NEAR(s3, 3.0 * s1, 1e-6 * s3);
+}
+
+class AnalyticRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(AnalyticRoundTrip, EpsilonInvertsSigma) {
+  auto [eps, delta] = GetParam();
+  double sigma = *AnalyticGaussianSigma({eps, delta}, 1.0);
+  double recovered = *AnalyticGaussianEpsilon(sigma, delta, 1.0);
+  EXPECT_NEAR(recovered, eps, 1e-4 * eps + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AnalyticRoundTrip,
+    ::testing::Combine(::testing::Values(0.08, 1.1, 2.2, 4.6, 8.0),
+                       ::testing::Values(1e-3, 1e-6)));
+
+TEST(AnalyticGaussianEpsilonTest, MoreNoiseLessEpsilon) {
+  double high = *AnalyticGaussianEpsilon(0.5, 1e-5, 1.0);
+  double low = *AnalyticGaussianEpsilon(5.0, 1e-5, 1.0);
+  EXPECT_GT(high, low);
+}
+
+TEST(AnalyticGaussianEpsilonTest, HugeNoiseAuditsNearZero) {
+  EXPECT_LT(*AnalyticGaussianEpsilon(1e4, 1e-2, 1.0), 1e-3);
+}
+
+TEST(AnalyticGaussianTest, RejectsInvalidInputs) {
+  EXPECT_FALSE(AnalyticGaussianDelta(0.0, 1.0, 1.0).ok());
+  EXPECT_FALSE(AnalyticGaussianDelta(1.0, -1.0, 1.0).ok());
+  EXPECT_FALSE(AnalyticGaussianDelta(1.0, 1.0, 0.0).ok());
+  EXPECT_FALSE(AnalyticGaussianSigma({0.0, 1e-5}, 1.0).ok());
+  EXPECT_FALSE(AnalyticGaussianSigma({1.0, 0.0}, 1.0).ok());
+  EXPECT_FALSE(AnalyticGaussianEpsilon(1.0, 1.0, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace dpaudit

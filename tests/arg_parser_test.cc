@@ -1,0 +1,74 @@
+#include "util/arg_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace dpaudit {
+namespace {
+
+StatusOr<ArgParser> ParseArgs(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return ArgParser::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParserTest, PositionalAndFlags) {
+  auto args = ParseArgs({"experiment", "--epsilon", "2.2", "--reps=50"});
+  ASSERT_TRUE(args.ok());
+  ASSERT_EQ(args->positional().size(), 1u);
+  EXPECT_EQ(args->positional()[0], "experiment");
+  EXPECT_TRUE(args->Has("epsilon"));
+  EXPECT_TRUE(args->Has("reps"));
+  EXPECT_DOUBLE_EQ(*args->GetDouble("epsilon", 0.0), 2.2);
+  EXPECT_EQ(*args->GetInt("reps", 0), 50);
+}
+
+TEST(ArgParserTest, Fallbacks) {
+  auto args = ParseArgs({"cmd"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_DOUBLE_EQ(*args->GetDouble("missing", 1.5), 1.5);
+  EXPECT_EQ(*args->GetInt("missing", 7), 7);
+  EXPECT_EQ(args->GetString("missing", "x"), "x");
+  EXPECT_TRUE(*args->GetBool("missing", true));
+}
+
+TEST(ArgParserTest, BoolParsing) {
+  auto args = ParseArgs({"--a", "true", "--b=0", "--c", "yes", "--d", "maybe"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(*args->GetBool("a", false));
+  EXPECT_FALSE(*args->GetBool("b", true));
+  EXPECT_TRUE(*args->GetBool("c", false));
+  EXPECT_FALSE(args->GetBool("d", false).ok());
+}
+
+TEST(ArgParserTest, MalformedInputs) {
+  EXPECT_FALSE(ParseArgs({"--dangling"}).ok());  // flag without value
+  EXPECT_FALSE(ParseArgs({"--x", "1", "--x", "2"}).ok());  // repeated
+  EXPECT_FALSE(ParseArgs({"--x", "1", "positional"}).ok());  // after flags
+  EXPECT_FALSE(ParseArgs({"--=v"}).ok());  // empty name
+}
+
+TEST(ArgParserTest, TypeErrors) {
+  auto args = ParseArgs({"--num", "abc", "--int", "1.5"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_FALSE(args->GetDouble("num", 0.0).ok());
+  EXPECT_FALSE(args->GetInt("int", 0).ok());
+}
+
+TEST(ArgParserTest, UnconsumedFlagDetection) {
+  auto args = ParseArgs({"--used", "1", "--typo", "2"});
+  ASSERT_TRUE(args.ok());
+  (void)*args->GetInt("used", 0);
+  Status status = args->CheckAllConsumed();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("typo"), std::string::npos);
+  (void)*args->GetInt("typo", 0);
+  EXPECT_TRUE(args->CheckAllConsumed().ok());
+}
+
+TEST(ArgParserTest, EqualsFormWithEmptyValue) {
+  auto args = ParseArgs({"--name="});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args->GetString("name", "zz"), "");
+}
+
+}  // namespace
+}  // namespace dpaudit

@@ -1,0 +1,124 @@
+#include "core/belief.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/scores.h"
+#include "util/random.h"
+
+namespace dpaudit {
+namespace {
+
+TEST(BeliefTrackerTest, StartsAtPrior) {
+  PosteriorBeliefTracker tracker;
+  EXPECT_DOUBLE_EQ(tracker.belief_d(), 0.5);
+  EXPECT_EQ(tracker.steps(), 0u);
+  EXPECT_EQ(tracker.history().size(), 1u);
+  PosteriorBeliefTracker biased(0.8);
+  EXPECT_NEAR(biased.belief_d(), 0.8, 1e-12);
+}
+
+TEST(BeliefTrackerTest, EvidenceForDRaisesBelief) {
+  PosteriorBeliefTracker tracker;
+  tracker.Observe(/*log_density_d=*/-1.0, /*log_density_dprime=*/-2.0);
+  EXPECT_GT(tracker.belief_d(), 0.5);
+  EXPECT_TRUE(tracker.DecideD());
+}
+
+TEST(BeliefTrackerTest, EvidenceAgainstDLowersBelief) {
+  PosteriorBeliefTracker tracker;
+  tracker.Observe(-3.0, -1.0);
+  EXPECT_LT(tracker.belief_d(), 0.5);
+  EXPECT_FALSE(tracker.DecideD());
+}
+
+TEST(BeliefTrackerTest, EqualEvidenceIsNeutral) {
+  PosteriorBeliefTracker tracker;
+  tracker.Observe(-1.5, -1.5);
+  EXPECT_DOUBLE_EQ(tracker.belief_d(), 0.5);
+}
+
+TEST(BeliefTrackerTest, HistoryGrowsPerObservation) {
+  PosteriorBeliefTracker tracker;
+  for (int i = 0; i < 5; ++i) tracker.Observe(-1.0, -1.1);
+  EXPECT_EQ(tracker.steps(), 5u);
+  EXPECT_EQ(tracker.history().size(), 6u);
+  // Monotone when every observation favors D.
+  for (size_t i = 1; i < tracker.history().size(); ++i) {
+    EXPECT_GT(tracker.history()[i], tracker.history()[i - 1]);
+  }
+}
+
+// Lemma 1: the tracker's sequential update must equal the direct product
+// formula beta_k = 1 / (1 + prod p'_i / prod p_i).
+TEST(BeliefTrackerTest, MatchesLemmaOneProductForm) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    PosteriorBeliefTracker tracker;
+    double log_prod_p = 0.0;
+    double log_prod_pprime = 0.0;
+    int k = 1 + static_cast<int>(rng.UniformInt(10));
+    for (int i = 0; i < k; ++i) {
+      double lp = -rng.Uniform(0.0, 5.0);
+      double lpp = -rng.Uniform(0.0, 5.0);
+      tracker.Observe(lp, lpp);
+      log_prod_p += lp;
+      log_prod_pprime += lpp;
+    }
+    double direct =
+        1.0 / (1.0 + std::exp(log_prod_pprime - log_prod_p));
+    EXPECT_NEAR(tracker.belief_d(), direct, 1e-12);
+  }
+}
+
+// Theorem 1: if every per-step log-likelihood ratio is bounded by eps_i (the
+// eps-DP guarantee), the belief never exceeds rho_beta(sum eps_i).
+TEST(BeliefTrackerTest, RespectsTheoremOneBound) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    PosteriorBeliefTracker tracker;
+    double total_eps = 0.0;
+    int k = 1 + static_cast<int>(rng.UniformInt(30));
+    for (int i = 0; i < k; ++i) {
+      double eps_i = rng.Uniform(0.0, 0.3);
+      total_eps += eps_i;
+      // Worst case: the ratio saturates the DP bound.
+      tracker.Observe(eps_i, 0.0);
+    }
+    double bound = *RhoBeta(total_eps);
+    EXPECT_LE(tracker.belief_d(), bound + 1e-12);
+  }
+}
+
+TEST(BeliefTrackerTest, NonUniformPriorShiftsDecision) {
+  PosteriorBeliefTracker skeptic(0.01);
+  skeptic.Observe(-1.0, -2.0);  // one unit of evidence for D
+  EXPECT_LT(skeptic.belief_d(), 0.5);  // prior dominates
+  for (int i = 0; i < 10; ++i) skeptic.Observe(-1.0, -2.0);
+  EXPECT_GT(skeptic.belief_d(), 0.5);  // evidence eventually wins
+}
+
+TEST(BeliefTrackerTest, ExtremeEvidenceSaturatesWithoutNan) {
+  PosteriorBeliefTracker tracker;
+  tracker.Observe(0.0, -1e6);
+  EXPECT_NEAR(tracker.belief_d(), 1.0, 1e-12);
+  tracker.Observe(-1e7, 0.0);
+  EXPECT_NEAR(tracker.belief_d(), 0.0, 1e-12);
+  EXPECT_FALSE(std::isnan(tracker.belief_d()));
+}
+
+TEST(SingleObservationBeliefTest, MatchesTrackerSingleStep) {
+  PosteriorBeliefTracker tracker;
+  tracker.Observe(-1.2, -3.4);
+  EXPECT_NEAR(SingleObservationBelief(-1.2, -3.4), tracker.belief_d(),
+              1e-12);
+}
+
+TEST(BeliefTrackerDeathTest, InvalidPriorDies) {
+  EXPECT_DEATH(PosteriorBeliefTracker(0.0), "CHECK failed");
+  EXPECT_DEATH(PosteriorBeliefTracker(1.0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace dpaudit

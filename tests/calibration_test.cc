@@ -1,0 +1,75 @@
+#include "dp/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dpaudit {
+namespace {
+
+TEST(CalibrationFactorTest, KnownValues) {
+  // sqrt(2 ln(1.25/0.001)) = sqrt(2 * ln(1250)).
+  EXPECT_NEAR(GaussianCalibrationFactor(0.001),
+              std::sqrt(2.0 * std::log(1250.0)), 1e-12);
+  EXPECT_NEAR(GaussianCalibrationFactor(0.01),
+              std::sqrt(2.0 * std::log(125.0)), 1e-12);
+}
+
+TEST(GaussianSigmaTest, MatchesEquationOne) {
+  PrivacyParams params{2.2, 0.001};
+  StatusOr<double> sigma = GaussianSigma(params, 3.0);
+  ASSERT_TRUE(sigma.ok());
+  EXPECT_NEAR(*sigma, 3.0 * GaussianCalibrationFactor(0.001) / 2.2, 1e-12);
+}
+
+TEST(GaussianSigmaTest, ScalesLinearlyWithSensitivity) {
+  PrivacyParams params{1.0, 0.01};
+  double s1 = *GaussianSigma(params, 1.0);
+  double s3 = *GaussianSigma(params, 3.0);
+  EXPECT_NEAR(s3, 3.0 * s1, 1e-12);
+}
+
+TEST(GaussianSigmaTest, MoreNoiseForStrongerGuarantee) {
+  double weak = *GaussianSigma(PrivacyParams{4.6, 0.001}, 1.0);
+  double strong = *GaussianSigma(PrivacyParams{0.08, 0.001}, 1.0);
+  EXPECT_GT(strong, weak);
+}
+
+TEST(GaussianSigmaTest, RejectsInvalidInputs) {
+  EXPECT_FALSE(GaussianSigma(PrivacyParams{0.0, 0.001}, 1.0).ok());
+  EXPECT_FALSE(GaussianSigma(PrivacyParams{1.0, 0.0}, 1.0).ok());  // pure DP
+  EXPECT_FALSE(GaussianSigma(PrivacyParams{1.0, 0.001}, 0.0).ok());
+  EXPECT_FALSE(GaussianSigma(PrivacyParams{1.0, 0.001}, -1.0).ok());
+}
+
+class SigmaEpsilonRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(SigmaEpsilonRoundTrip, EquationTwoInvertsEquationOne) {
+  auto [epsilon, delta, sensitivity] = GetParam();
+  double sigma = *GaussianSigma(PrivacyParams{epsilon, delta}, sensitivity);
+  double recovered = *GaussianEpsilon(sigma, delta, sensitivity);
+  EXPECT_NEAR(recovered, epsilon, 1e-9 * epsilon);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SigmaEpsilonRoundTrip,
+    ::testing::Combine(::testing::Values(0.08, 1.1, 2.2, 4.6),
+                       ::testing::Values(0.001, 0.01, 1e-6),
+                       ::testing::Values(1.0, 3.0, 6.0)));
+
+TEST(GaussianEpsilonTest, RejectsInvalidInputs) {
+  EXPECT_FALSE(GaussianEpsilon(0.0, 0.001, 1.0).ok());
+  EXPECT_FALSE(GaussianEpsilon(1.0, 1.0, 1.0).ok());
+  EXPECT_FALSE(GaussianEpsilon(1.0, 0.001, 0.0).ok());
+}
+
+TEST(LaplaceScaleTest, Basics) {
+  EXPECT_DOUBLE_EQ(*LaplaceScale(2.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(*LaplaceScale(0.5, 3.0), 6.0);
+  EXPECT_FALSE(LaplaceScale(0.0, 1.0).ok());
+  EXPECT_FALSE(LaplaceScale(1.0, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace dpaudit

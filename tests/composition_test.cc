@@ -1,0 +1,67 @@
+#include "dp/composition.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dp/rdp_accountant.h"
+
+namespace dpaudit {
+namespace {
+
+TEST(SequentialComposeTest, SumsEpsilonAndDelta) {
+  PrivacyParams total = SequentialCompose(
+      {{1.0, 1e-5}, {0.5, 1e-5}, {0.25, 2e-5}});
+  EXPECT_DOUBLE_EQ(total.epsilon, 1.75);
+  EXPECT_DOUBLE_EQ(total.delta, 4e-5);
+}
+
+TEST(SequentialComposeTest, EmptyIsZero) {
+  PrivacyParams total = SequentialCompose({});
+  EXPECT_DOUBLE_EQ(total.epsilon, 0.0);
+  EXPECT_DOUBLE_EQ(total.delta, 0.0);
+}
+
+TEST(SequentialSplitTest, SplitsEvenly) {
+  StatusOr<PrivacyParams> step = SequentialSplit({3.0, 3e-4}, 30);
+  ASSERT_TRUE(step.ok());
+  EXPECT_DOUBLE_EQ(step->epsilon, 0.1);
+  EXPECT_DOUBLE_EQ(step->delta, 1e-5);
+}
+
+TEST(SequentialSplitTest, ComposeInvertsSplit) {
+  PrivacyParams total{2.2, 0.001};
+  PrivacyParams step = *SequentialSplit(total, 10);
+  PrivacyParams recomposed =
+      SequentialCompose(std::vector<PrivacyParams>(10, step));
+  EXPECT_NEAR(recomposed.epsilon, total.epsilon, 1e-12);
+  EXPECT_NEAR(recomposed.delta, total.delta, 1e-12);
+}
+
+TEST(SequentialSplitTest, RejectsInvalid) {
+  EXPECT_FALSE(SequentialSplit({0.0, 0.001}, 10).ok());
+  EXPECT_FALSE(SequentialSplit({1.0, 0.001}, 0).ok());
+}
+
+// Section 5.2: for the same total budget, RDP composition admits much less
+// noise (equivalently: for the same noise, RDP certifies a smaller epsilon
+// than basic composition would).
+TEST(CompositionComparisonTest, RdpBeatsSequentialForManySteps) {
+  const size_t k = 30;
+  const double delta = 0.001;
+  const double z = 2.0;  // per-step noise multiplier
+  // Basic composition: per-step epsilon from Eq. 2 at per-step delta/k.
+  double per_step_delta = delta / static_cast<double>(k);
+  double per_step_eps =
+      std::sqrt(2.0 * std::log(1.25 / per_step_delta)) / z;
+  double sequential_eps = per_step_eps * static_cast<double>(k);
+  // RDP composition of the same mechanism sequence.
+  RdpAccountant accountant;
+  accountant.AddGaussianSteps(z, k);
+  double rdp_eps = *accountant.GetEpsilon(delta);
+  EXPECT_LT(rdp_eps, sequential_eps);
+  EXPECT_LT(rdp_eps, 0.5 * sequential_eps);  // decisively better
+}
+
+}  // namespace
+}  // namespace dpaudit

@@ -1,0 +1,107 @@
+#include "data/dataset_sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include "data/dissimilarity.h"
+
+namespace dpaudit {
+namespace {
+
+// Records on a line so L2 dissimilarities are easy to reason about.
+Dataset LineDataset(std::vector<float> positions) {
+  Dataset d;
+  for (size_t i = 0; i < positions.size(); ++i) {
+    d.Add(Tensor({1}, {positions[i]}), i);
+  }
+  return d;
+}
+
+TEST(RankBoundedCandidatesTest, SortedDescendingAndComplete) {
+  Dataset d = LineDataset({0.0f, 1.0f});
+  Dataset pool = LineDataset({5.0f, -3.0f, 0.5f});
+  auto ranked = RankBoundedCandidates(d, pool, L2Dissimilarity);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 6u);
+  for (size_t i = 1; i < ranked->size(); ++i) {
+    EXPECT_GE((*ranked)[i - 1].dissimilarity, (*ranked)[i].dissimilarity);
+  }
+  // Max pair: record 1.0 in D against pool record -3.0 -> distance 4? No:
+  // |0 - (-3)| = 3, |1 - (-3)| = 4, |0 - 5| = 5, |1 - 5| = 4. Max is (0, 5).
+  EXPECT_EQ(ranked->front().index_in_d, 0u);
+  EXPECT_EQ(ranked->front().index_in_pool, 0u);
+  EXPECT_DOUBLE_EQ(ranked->front().dissimilarity, 5.0);
+  // Min pair: |1 - 0.5| = 0.5.
+  EXPECT_DOUBLE_EQ(ranked->back().dissimilarity, 0.5);
+}
+
+TEST(DatasetSensitivityTest, MatchesTopCandidate) {
+  Dataset d = LineDataset({0.0f, 1.0f});
+  Dataset pool = LineDataset({5.0f, -3.0f});
+  EXPECT_DOUBLE_EQ(*DatasetSensitivity(d, pool, L2Dissimilarity), 5.0);
+}
+
+TEST(MakeBoundedNeighborTest, ReplacesExactlyOneRecord) {
+  Dataset d = LineDataset({0.0f, 1.0f, 2.0f});
+  Dataset pool = LineDataset({9.0f});
+  BoundedCandidate candidate{1, 0, 8.0};
+  Dataset neighbor = MakeBoundedNeighbor(d, pool, candidate);
+  ASSERT_EQ(neighbor.size(), 3u);
+  EXPECT_EQ(neighbor.inputs[1][0], 9.0f);
+  EXPECT_EQ(neighbor.inputs[0][0], 0.0f);
+  EXPECT_EQ(neighbor.inputs[2][0], 2.0f);
+  // Label comes from the pool record.
+  EXPECT_EQ(neighbor.labels[1], pool.labels[0]);
+}
+
+TEST(RankUnboundedCandidatesTest, OutlierRanksFirst) {
+  // Records: cluster {0, 0.1, 0.2} plus outlier 10. Aggregate dissimilarity
+  // of the outlier dominates.
+  Dataset d = LineDataset({0.0f, 0.1f, 0.2f, 10.0f});
+  auto ranked = RankUnboundedCandidates(d, L2Dissimilarity);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 4u);
+  EXPECT_EQ(ranked->front().index_in_d, 3u);
+  for (size_t i = 1; i < ranked->size(); ++i) {
+    EXPECT_GE((*ranked)[i - 1].dissimilarity, (*ranked)[i].dissimilarity);
+  }
+}
+
+TEST(RankUnboundedCandidatesTest, AggregateMatchesManualSum) {
+  Dataset d = LineDataset({0.0f, 1.0f, 3.0f});
+  auto ranked = RankUnboundedCandidates(d, L2Dissimilarity);
+  ASSERT_TRUE(ranked.ok());
+  // Aggregates: r0: 1+3=4, r1: 1+2=3, r2: 3+2=5.
+  EXPECT_EQ(ranked->front().index_in_d, 2u);
+  EXPECT_DOUBLE_EQ(ranked->front().dissimilarity, 5.0);
+  EXPECT_DOUBLE_EQ(ranked->back().dissimilarity, 3.0);
+}
+
+TEST(MakeUnboundedNeighborTest, RemovesExactlyOneRecord) {
+  Dataset d = LineDataset({0.0f, 1.0f, 2.0f});
+  UnboundedCandidate candidate{1, 3.0};
+  Dataset neighbor = MakeUnboundedNeighbor(d, candidate);
+  ASSERT_EQ(neighbor.size(), 2u);
+  EXPECT_EQ(neighbor.inputs[0][0], 0.0f);
+  EXPECT_EQ(neighbor.inputs[1][0], 2.0f);
+}
+
+TEST(DatasetSensitivityTest, RejectsEmptyInputs) {
+  Dataset d = LineDataset({0.0f});
+  Dataset empty;
+  EXPECT_FALSE(RankBoundedCandidates(empty, d, L2Dissimilarity).ok());
+  EXPECT_FALSE(RankBoundedCandidates(d, empty, L2Dissimilarity).ok());
+  EXPECT_FALSE(RankUnboundedCandidates(d, L2Dissimilarity).ok());  // |D| < 2
+}
+
+TEST(RankBoundedCandidatesTest, StableForTies) {
+  Dataset d = LineDataset({0.0f});
+  Dataset pool = LineDataset({1.0f, 1.0f});
+  auto ranked = RankBoundedCandidates(d, pool, L2Dissimilarity);
+  ASSERT_TRUE(ranked.ok());
+  // Equal dissimilarities keep pool order (stable sort).
+  EXPECT_EQ((*ranked)[0].index_in_pool, 0u);
+  EXPECT_EQ((*ranked)[1].index_in_pool, 1u);
+}
+
+}  // namespace
+}  // namespace dpaudit

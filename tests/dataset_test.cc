@@ -1,0 +1,82 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dpaudit {
+namespace {
+
+Dataset ThreeRecords() {
+  Dataset d;
+  d.Add(Tensor({2}, {0.0f, 0.0f}), 0);
+  d.Add(Tensor({2}, {1.0f, 1.0f}), 1);
+  d.Add(Tensor({2}, {2.0f, 2.0f}), 2);
+  return d;
+}
+
+TEST(DatasetTest, AddAndSize) {
+  Dataset d = ThreeRecords();
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_FALSE(d.empty());
+  EXPECT_EQ(d.labels[1], 1u);
+  EXPECT_TRUE(Dataset{}.empty());
+}
+
+TEST(DatasetTest, SubsetPreservesOrder) {
+  Dataset d = ThreeRecords();
+  Dataset s = d.Subset({2, 0});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.labels[0], 2u);
+  EXPECT_EQ(s.labels[1], 0u);
+  EXPECT_EQ(s.inputs[0][0], 2.0f);
+}
+
+TEST(DatasetTest, WithRecordRemovedIsUnboundedNeighbor) {
+  Dataset d = ThreeRecords();
+  Dataset n = d.WithRecordRemoved(1);
+  ASSERT_EQ(n.size(), 2u);
+  EXPECT_EQ(n.labels[0], 0u);
+  EXPECT_EQ(n.labels[1], 2u);
+  // Original untouched.
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(DatasetTest, WithRecordReplacedIsBoundedNeighbor) {
+  Dataset d = ThreeRecords();
+  Dataset n = d.WithRecordReplaced(0, Tensor({2}, {9.0f, 9.0f}), 7);
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_EQ(n.labels[0], 7u);
+  EXPECT_EQ(n.inputs[0][0], 9.0f);
+  EXPECT_EQ(d.labels[0], 0u);
+}
+
+TEST(DatasetTest, SampleSplitPartitions) {
+  Dataset d;
+  for (size_t i = 0; i < 10; ++i) d.Add(Tensor({1}, {float(i)}), i);
+  Rng rng(5);
+  Dataset rest;
+  Dataset taken = d.SampleSplit(4, rng, &rest);
+  EXPECT_EQ(taken.size(), 4u);
+  EXPECT_EQ(rest.size(), 6u);
+  std::set<size_t> all;
+  for (size_t l : taken.labels) all.insert(l);
+  for (size_t l : rest.labels) all.insert(l);
+  EXPECT_EQ(all.size(), 10u);  // disjoint cover
+}
+
+TEST(DatasetTest, SampleSplitWithoutRemainder) {
+  Dataset d = ThreeRecords();
+  Rng rng(6);
+  Dataset taken = d.SampleSplit(2, rng, nullptr);
+  EXPECT_EQ(taken.size(), 2u);
+}
+
+TEST(DatasetDeathTest, OutOfRangeDies) {
+  Dataset d = ThreeRecords();
+  EXPECT_DEATH((void)d.WithRecordRemoved(3), "CHECK failed");
+  EXPECT_DEATH((void)d.Subset({5}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace dpaudit

@@ -1,0 +1,103 @@
+#include "data/dissimilarity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace dpaudit {
+namespace {
+
+TEST(HammingDistanceTest, CountsDifferingBits) {
+  Tensor a({4}, {0.0f, 1.0f, 1.0f, 0.0f});
+  Tensor b({4}, {0.0f, 0.0f, 1.0f, 1.0f});
+  EXPECT_DOUBLE_EQ(HammingDistance(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(HammingDistance(a, a), 0.0);
+}
+
+TEST(HammingDistanceTest, BinarizesAtHalf) {
+  Tensor a({2}, {0.4f, 0.6f});
+  Tensor b({2}, {0.0f, 1.0f});
+  EXPECT_DOUBLE_EQ(HammingDistance(a, b), 0.0);
+}
+
+TEST(HammingDistanceTest, Symmetric) {
+  Rng rng(1);
+  Tensor a({20});
+  Tensor b({20});
+  for (size_t i = 0; i < 20; ++i) {
+    a[i] = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+    b[i] = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+  }
+  EXPECT_DOUBLE_EQ(HammingDistance(a, b), HammingDistance(b, a));
+}
+
+TEST(SsimTest, IdenticalImagesScoreOne) {
+  Rng rng(2);
+  Tensor img({1, 8, 8});
+  for (float& v : img.vec()) v = static_cast<float>(rng.Uniform());
+  EXPECT_NEAR(Ssim(img, img), 1.0, 1e-9);
+}
+
+TEST(SsimTest, SymmetricAndBounded) {
+  Rng rng(3);
+  Tensor a({1, 8, 8});
+  Tensor b({1, 8, 8});
+  for (float& v : a.vec()) v = static_cast<float>(rng.Uniform());
+  for (float& v : b.vec()) v = static_cast<float>(rng.Uniform());
+  double s = Ssim(a, b);
+  EXPECT_NEAR(s, Ssim(b, a), 1e-12);
+  EXPECT_GE(s, -1.0 - 1e-9);
+  EXPECT_LE(s, 1.0 + 1e-9);
+}
+
+TEST(SsimTest, AnticorrelatedImagesScoreNegative) {
+  Tensor a({1, 2, 8});
+  Tensor b({1, 2, 8});
+  for (size_t i = 0; i < a.size(); ++i) {
+    float v = (i % 2 == 0) ? 1.0f : 0.0f;
+    a[i] = v;
+    b[i] = 1.0f - v;
+  }
+  EXPECT_LT(Ssim(a, b), 0.0);
+}
+
+TEST(SsimTest, DegradesWithNoise) {
+  Rng rng(4);
+  Tensor base({1, 8, 8});
+  for (float& v : base.vec()) v = static_cast<float>(rng.Uniform());
+  Tensor slightly = base;
+  Tensor heavily = base;
+  for (size_t i = 0; i < base.size(); ++i) {
+    slightly[i] += static_cast<float>(rng.Gaussian(0.0, 0.02));
+    heavily[i] += static_cast<float>(rng.Gaussian(0.0, 0.5));
+  }
+  EXPECT_GT(Ssim(base, slightly), Ssim(base, heavily));
+}
+
+TEST(NegativeSsimTest, IsNegationOfSsim) {
+  Rng rng(5);
+  Tensor a({1, 4, 4});
+  Tensor b({1, 4, 4});
+  for (float& v : a.vec()) v = static_cast<float>(rng.Uniform());
+  for (float& v : b.vec()) v = static_cast<float>(rng.Uniform());
+  EXPECT_DOUBLE_EQ(NegativeSsim(a, b), -Ssim(a, b));
+}
+
+TEST(L2DissimilarityTest, KnownValues) {
+  Tensor a({2}, {0.0f, 3.0f});
+  Tensor b({2}, {4.0f, 0.0f});
+  EXPECT_DOUBLE_EQ(L2Dissimilarity(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(L2Dissimilarity(a, a), 0.0);
+}
+
+TEST(DissimilarityDeathTest, SizeMismatchDies) {
+  Tensor a({2});
+  Tensor b({3});
+  EXPECT_DEATH((void)HammingDistance(a, b), "CHECK failed");
+  EXPECT_DEATH((void)L2Dissimilarity(a, b), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace dpaudit

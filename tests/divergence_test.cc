@@ -1,0 +1,107 @@
+#include "stats/divergence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dp/rdp_accountant.h"
+#include "stats/normal.h"
+#include "util/random.h"
+
+namespace dpaudit {
+namespace {
+
+TEST(GaussianRenyiDivergenceTest, ClosedForm) {
+  // D_alpha = alpha d^2 / (2 s^2).
+  EXPECT_DOUBLE_EQ(GaussianRenyiDivergence(2.0, 0.0, 1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(GaussianRenyiDivergence(4.0, 0.0, 3.0, 2.0),
+                   4.0 * 9.0 / 8.0);
+  EXPECT_DOUBLE_EQ(GaussianRenyiDivergence(2.0, 1.0, 1.0, 1.0), 0.0);
+}
+
+TEST(GaussianRenyiDivergenceTest, MatchesAccountantPerStepEpsilon) {
+  // The accountant's per-step eps_RDP(alpha) IS the Renyi divergence between
+  // N(0, sigma^2) and N(Df, sigma^2) with z = sigma / Df.
+  const double z = 1.7;
+  for (double alpha : {1.5, 2.0, 8.0}) {
+    EXPECT_NEAR(GaussianRenyiDivergence(alpha, 0.0, 1.0, z),
+                GaussianRdpEpsilonFromNoiseMultiplier(alpha, z), 1e-12);
+  }
+}
+
+TEST(GaussianKlDivergenceTest, ClosedForm) {
+  EXPECT_DOUBLE_EQ(GaussianKlDivergence(0.0, 2.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(GaussianKlDivergence(5.0, 5.0, 3.0), 0.0);
+}
+
+TEST(EstimateRenyiDivergenceTest, ConvergesToClosedForm) {
+  const double alpha = 2.0;
+  const double mean_p = 0.0;
+  const double mean_q = 1.0;
+  const double sigma = 2.0;
+  Rng rng(1);
+  std::vector<double> samples;
+  for (int i = 0; i < 200000; ++i) {
+    samples.push_back(rng.Gaussian(mean_p, sigma));
+  }
+  auto log_p = [&](double x) { return NormalLogPdf(x, mean_p, sigma); };
+  auto log_q = [&](double x) { return NormalLogPdf(x, mean_q, sigma); };
+  auto estimate = EstimateRenyiDivergence(alpha, samples, log_p, log_q);
+  ASSERT_TRUE(estimate.ok());
+  double exact = GaussianRenyiDivergence(alpha, mean_p, mean_q, sigma);
+  EXPECT_NEAR(*estimate, exact, 0.02);
+}
+
+TEST(EstimateKlDivergenceTest, ConvergesToClosedForm) {
+  const double sigma = 1.5;
+  Rng rng(2);
+  std::vector<double> samples;
+  for (int i = 0; i < 100000; ++i) samples.push_back(rng.Gaussian(0, sigma));
+  auto log_p = [&](double x) { return NormalLogPdf(x, 0.0, sigma); };
+  auto log_q = [&](double x) { return NormalLogPdf(x, 1.0, sigma); };
+  auto estimate = EstimateKlDivergence(samples, log_p, log_q);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(*estimate, GaussianKlDivergence(0.0, 1.0, sigma), 0.01);
+}
+
+TEST(EstimateRenyiDivergenceTest, ZeroForIdenticalDistributions) {
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(rng.Gaussian());
+  auto log_p = [](double x) { return NormalLogPdf(x, 0.0, 1.0); };
+  auto estimate = EstimateRenyiDivergence(2.0, samples, log_p, log_p);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(*estimate, 0.0, 1e-12);
+}
+
+TEST(EstimateRenyiDivergenceTest, RejectsBadInput) {
+  auto log_p = [](double) { return 0.0; };
+  EXPECT_FALSE(EstimateRenyiDivergence(1.0, {0.0}, log_p, log_p).ok());
+  EXPECT_FALSE(EstimateRenyiDivergence(2.0, {}, log_p, log_p).ok());
+  EXPECT_FALSE(EstimateKlDivergence({}, log_p, log_p).ok());
+}
+
+// The empirical claim behind the accountant: the measured Renyi divergence
+// between the two output distributions of a calibrated Gaussian mechanism
+// never exceeds the accountant's per-step budget.
+class AccountantSoundness : public ::testing::TestWithParam<double> {};
+
+TEST_P(AccountantSoundness, MeasuredDivergenceWithinBudget) {
+  const double alpha = GetParam();
+  const double z = 1.3;
+  Rng rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(rng.Gaussian(0.0, z));
+  auto log_p = [&](double x) { return NormalLogPdf(x, 0.0, z); };
+  auto log_q = [&](double x) { return NormalLogPdf(x, 1.0, z); };
+  double measured =
+      *EstimateRenyiDivergence(alpha, samples, log_p, log_q);
+  double budget = GaussianRdpEpsilonFromNoiseMultiplier(alpha, z);
+  EXPECT_LE(measured, budget * 1.1 + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, AccountantSoundness,
+                         ::testing::Values(1.5, 2.0, 3.0, 4.0));
+
+}  // namespace
+}  // namespace dpaudit

@@ -1,0 +1,167 @@
+#include "federated/federated.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_helpers.h"
+
+namespace dpaudit {
+namespace {
+
+using testing_helpers::BlobDataset;
+using testing_helpers::ExtremeBoundedNeighbor;
+using testing_helpers::TinyNetwork;
+
+struct FedFixture {
+  FedFixture() : rng(1), net(TinyNetwork()) {
+    net.Initialize(rng);
+    shards = {BlobDataset(6, rng), BlobDataset(6, rng)};
+    victim_d = BlobDataset(6, rng);
+    victim_d_prime = ExtremeBoundedNeighbor(victim_d, 7.0f);
+  }
+  Rng rng;
+  Network net;
+  std::vector<Dataset> shards;
+  Dataset victim_d;
+  Dataset victim_d_prime;
+};
+
+FederatedConfig FastFedConfig() {
+  FederatedConfig config;
+  config.rounds = 5;
+  config.learning_rate = 0.05;
+  config.clip_norm = 1.0;
+  config.noise_multiplier = 1.0;
+  return config;
+}
+
+TEST(FederatedConfigTest, Validation) {
+  EXPECT_TRUE(FastFedConfig().Validate().ok());
+  FederatedConfig bad = FastFedConfig();
+  bad.rounds = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = FastFedConfig();
+  bad.noise_multiplier = -1.0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(FederatedTest, RunsAndRecordsBeliefTrajectory) {
+  FedFixture f;
+  Rng run_rng(2);
+  auto result = RunFederatedTraining(f.net, f.shards, f.victim_d,
+                                     f.victim_d_prime, /*victim_has_d=*/true,
+                                     FastFedConfig(), run_rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->beliefs.size(), 6u);  // prior + 5 rounds
+  EXPECT_EQ(result->local_sensitivities.size(), 5u);
+  EXPECT_NE(result->model.FlatParams(), f.net.FlatParams());
+}
+
+TEST(FederatedTest, AdversaryWinsAtLowNoise) {
+  FedFixture f;
+  FederatedConfig config = FastFedConfig();
+  config.rounds = 8;
+  config.noise_multiplier = 0.05;
+  config.sensitivity_mode = SensitivityMode::kLocalHat;
+  Rng run_a(3);
+  auto with_d = RunFederatedTraining(f.net, f.shards, f.victim_d,
+                                     f.victim_d_prime, true, config, run_a);
+  ASSERT_TRUE(with_d.ok());
+  EXPECT_TRUE(with_d->adversary_says_victim_d);
+  Rng run_b(4);
+  auto with_dprime = RunFederatedTraining(f.net, f.shards, f.victim_d,
+                                          f.victim_d_prime, false, config,
+                                          run_b);
+  ASSERT_TRUE(with_dprime.ok());
+  EXPECT_FALSE(with_dprime->adversary_says_victim_d);
+}
+
+TEST(FederatedTest, HighNoiseProtectsVictim) {
+  FedFixture f;
+  FederatedConfig config = FastFedConfig();
+  config.noise_multiplier = 100.0;
+  Rng run_rng(5);
+  auto result = RunFederatedTraining(f.net, f.shards, f.victim_d,
+                                     f.victim_d_prime, true, config, run_rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->beliefs.back(), 0.5, 0.25);
+}
+
+TEST(FederatedTest, WorksWithNoHonestClients) {
+  // Degenerate case: the victim is the only participant; reduces to
+  // centralized DPSGD.
+  FedFixture f;
+  Rng run_rng(6);
+  auto result = RunFederatedTraining(f.net, {}, f.victim_d, f.victim_d_prime,
+                                     true, FastFedConfig(), run_rng);
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(FederatedTest, DeterministicGivenSeed) {
+  FedFixture f;
+  Rng a(11);
+  Rng b(11);
+  auto first = RunFederatedTraining(f.net, f.shards, f.victim_d,
+                                    f.victim_d_prime, true, FastFedConfig(),
+                                    a);
+  auto second = RunFederatedTraining(f.net, f.shards, f.victim_d,
+                                     f.victim_d_prime, true, FastFedConfig(),
+                                     b);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->beliefs, second->beliefs);
+  EXPECT_EQ(first->model.FlatParams(), second->model.FlatParams());
+}
+
+TEST(FederatedTest, LocalSensitivityModeScalesNoise) {
+  FedFixture f;
+  FederatedConfig config = FastFedConfig();
+  config.sensitivity_mode = SensitivityMode::kLocalHat;
+  Rng run_rng(12);
+  auto result = RunFederatedTraining(f.net, f.shards, f.victim_d,
+                                     f.victim_d_prime, true, config,
+                                     run_rng);
+  ASSERT_TRUE(result.ok());
+  // LS in the federated aggregate equals the victim-side gradient delta and
+  // must respect the bounded global cap.
+  for (double ls : result->local_sensitivities) {
+    EXPECT_GE(ls, 0.0);
+    EXPECT_LE(ls, 2.0 * config.clip_norm + 1e-6);
+  }
+}
+
+TEST(FederatedTest, HonestClientsDoNotChangeTheHypothesisGap) {
+  // The belief dynamics depend on S(D_v) - S(D_v') only; honest clients add
+  // identical mass under both hypotheses. With the same seed and noise, the
+  // adversary's decision should match the no-honest-client run in
+  // distribution — here we just check both runs produce valid beliefs and
+  // the gap (local sensitivity) is identical at step 0 where weights match.
+  FedFixture f;
+  Rng a(13);
+  Rng b(13);
+  auto with_honest = RunFederatedTraining(f.net, f.shards, f.victim_d,
+                                          f.victim_d_prime, true,
+                                          FastFedConfig(), a);
+  auto without = RunFederatedTraining(f.net, {}, f.victim_d,
+                                      f.victim_d_prime, true, FastFedConfig(),
+                                      b);
+  ASSERT_TRUE(with_honest.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_NEAR(with_honest->local_sensitivities[0],
+              without->local_sensitivities[0], 1e-6);
+}
+
+TEST(FederatedTest, RejectsEmptyShards) {
+  FedFixture f;
+  Rng run_rng(7);
+  Dataset empty;
+  EXPECT_FALSE(RunFederatedTraining(f.net, {empty}, f.victim_d,
+                                    f.victim_d_prime, true, FastFedConfig(),
+                                    run_rng)
+                   .ok());
+  EXPECT_FALSE(RunFederatedTraining(f.net, f.shards, empty, f.victim_d_prime,
+                                    true, FastFedConfig(), run_rng)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace dpaudit

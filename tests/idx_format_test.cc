@@ -1,0 +1,115 @@
+#include "data/idx_format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace dpaudit {
+namespace {
+
+IdxData SmallImages() {
+  // Two 2x3 "images".
+  IdxData images;
+  images.dims = {2, 2, 3};
+  images.values = {0,   51,  102, 153, 204, 255,
+                   255, 204, 153, 102, 51,  0};
+  return images;
+}
+
+IdxData SmallLabels() {
+  IdxData labels;
+  labels.dims = {2};
+  labels.values = {7, 3};
+  return labels;
+}
+
+TEST(IdxSerializeTest, RoundTripsThroughBytes) {
+  IdxData original = SmallImages();
+  auto bytes = SerializeIdx(original);
+  ASSERT_TRUE(bytes.ok());
+  auto parsed = ParseIdx(*bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->dims, original.dims);
+  EXPECT_EQ(parsed->values, original.values);
+}
+
+TEST(IdxSerializeTest, HeaderIsBigEndian) {
+  IdxData labels = SmallLabels();
+  auto bytes = SerializeIdx(labels);
+  ASSERT_TRUE(bytes.ok());
+  // magic: 00 00 08 01; extent 2 big-endian.
+  EXPECT_EQ((*bytes)[0], 0);
+  EXPECT_EQ((*bytes)[1], 0);
+  EXPECT_EQ((*bytes)[2], 0x08);
+  EXPECT_EQ((*bytes)[3], 1);
+  EXPECT_EQ((*bytes)[4], 0);
+  EXPECT_EQ((*bytes)[5], 0);
+  EXPECT_EQ((*bytes)[6], 0);
+  EXPECT_EQ((*bytes)[7], 2);
+}
+
+TEST(IdxParseTest, RejectsMalformedStreams) {
+  EXPECT_FALSE(ParseIdx({}).ok());
+  EXPECT_FALSE(ParseIdx({0, 0, 0x08}).ok());            // too short
+  EXPECT_FALSE(ParseIdx({1, 0, 0x08, 1, 0, 0, 0, 1, 9}).ok());  // bad magic
+  EXPECT_FALSE(ParseIdx({0, 0, 0x0D, 1, 0, 0, 0, 1, 9}).ok());  // float type
+  EXPECT_FALSE(ParseIdx({0, 0, 0x08, 0}).ok());          // rank 0
+  // Payload shorter than dims claim.
+  EXPECT_FALSE(ParseIdx({0, 0, 0x08, 1, 0, 0, 0, 5, 1, 2}).ok());
+}
+
+TEST(IdxParseTest, AcceptsMinimalValidStream) {
+  auto parsed = ParseIdx({0, 0, 0x08, 1, 0, 0, 0, 2, 42, 43});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->dims, std::vector<uint32_t>{2});
+  EXPECT_EQ(parsed->values, (std::vector<uint8_t>{42, 43}));
+}
+
+TEST(IdxToDatasetTest, ConvertsAndScales) {
+  auto dataset = IdxToDataset(SmallImages(), SmallLabels());
+  ASSERT_TRUE(dataset.ok());
+  ASSERT_EQ(dataset->size(), 2u);
+  EXPECT_EQ(dataset->labels[0], 7u);
+  EXPECT_EQ(dataset->labels[1], 3u);
+  EXPECT_EQ(dataset->inputs[0].shape(), (std::vector<size_t>{1, 2, 3}));
+  EXPECT_FLOAT_EQ(dataset->inputs[0][0], 0.0f);
+  EXPECT_FLOAT_EQ(dataset->inputs[0][5], 1.0f);
+  EXPECT_NEAR(dataset->inputs[0][1], 0.2, 0.001);
+}
+
+TEST(IdxToDatasetTest, LimitTruncates) {
+  auto dataset = IdxToDataset(SmallImages(), SmallLabels(), 1);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->size(), 1u);
+}
+
+TEST(IdxToDatasetTest, RejectsMismatches) {
+  IdxData labels = SmallLabels();
+  labels.dims = {3};
+  labels.values = {1, 2, 3};
+  EXPECT_FALSE(IdxToDataset(SmallImages(), labels).ok());
+  EXPECT_FALSE(IdxToDataset(SmallLabels(), SmallLabels()).ok());  // rank 1
+}
+
+TEST(IdxFileTest, WriteReadRoundTrip) {
+  std::string dir = ::testing::TempDir();
+  std::string images_path = dir + "/dpaudit_idx_images_test";
+  std::string labels_path = dir + "/dpaudit_idx_labels_test";
+  ASSERT_TRUE(WriteIdxFile(images_path, SmallImages()).ok());
+  ASSERT_TRUE(WriteIdxFile(labels_path, SmallLabels()).ok());
+  auto dataset = LoadIdxDataset(images_path, labels_path);
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  EXPECT_EQ(dataset->size(), 2u);
+  std::remove(images_path.c_str());
+  std::remove(labels_path.c_str());
+}
+
+TEST(IdxFileTest, MissingFileIsNotFound) {
+  auto result = ReadIdxFile("/nonexistent/dpaudit.idx");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dpaudit

@@ -1,0 +1,216 @@
+// End-to-end properties of the full pipeline: choose an identifiability
+// bound, calibrate noise through the RDP accountant, run the repeated Exp^DI
+// with the implemented adversary, and verify the paper's claims hold within
+// sampling error.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/auditor.h"
+#include "core/experiment.h"
+#include "core/scores.h"
+#include "dp/rdp_accountant.h"
+#include "mi/membership_inference.h"
+#include "stats/normal.h"
+#include "stats/summary.h"
+#include "tests/test_helpers.h"
+
+namespace dpaudit {
+namespace {
+
+using testing_helpers::BlobDataset;
+using testing_helpers::ExtremeBoundedNeighbor;
+using testing_helpers::TinyNetwork;
+
+struct Pipeline {
+  Pipeline() : rng(1), net(TinyNetwork()) {
+    net.Initialize(rng);
+    d = BlobDataset(9, rng);
+    d_prime = ExtremeBoundedNeighbor(d, 6.0f);
+  }
+  Rng rng;
+  Network net;
+  Dataset d;
+  Dataset d_prime;
+};
+
+// The exact expected advantage of the Bayes adversary when noise is scaled
+// to the realized local sensitivity at every step: each step contributes a
+// mean separation of exactly 1/z sigmas, k steps stack orthogonally in the
+// product space, so Adv = 2 Phi(sqrt(k) / (2 z)) - 1.
+TEST(IntegrationTest, LocalSensitivityAdvantageMatchesTheoryExactly) {
+  Pipeline p;
+  const double z = 2.0;
+  const size_t k = 6;
+  DiExperimentConfig config;
+  config.dpsgd.epochs = k;
+  config.dpsgd.learning_rate = 0.05;
+  config.dpsgd.clip_norm = 1.0;
+  config.dpsgd.noise_multiplier = z;
+  config.dpsgd.sensitivity_mode = SensitivityMode::kLocalHat;
+  config.repetitions = 400;
+  config.seed = 17;
+  auto summary = RunDiExperiment(p.net, p.d, p.d_prime, config);
+  ASSERT_TRUE(summary.ok());
+  double expected =
+      2.0 * NormalCdf(std::sqrt(static_cast<double>(k)) / (2.0 * z)) - 1.0;
+  // Binomial standard error on the success rate is ~0.025 at 400 trials;
+  // the advantage doubles it.
+  EXPECT_NEAR(summary->EmpiricalAdvantage(), expected, 0.11);
+}
+
+// When noise is scaled to the loose global sensitivity 2C but the factual
+// gradient difference is much smaller, the adversary's advantage falls well
+// short of the rho_alpha bound — the paper's core "GS is not tight" claim.
+TEST(IntegrationTest, GlobalSensitivityLeavesSlack) {
+  Pipeline p;
+  const double z = 1.0;
+  const size_t k = 6;
+  DiExperimentConfig base;
+  base.dpsgd.epochs = k;
+  base.dpsgd.learning_rate = 0.05;
+  base.dpsgd.clip_norm = 1.0;
+  base.dpsgd.noise_multiplier = z;
+  base.repetitions = 200;
+  base.seed = 23;
+
+  DiExperimentConfig gs = base;
+  gs.dpsgd.sensitivity_mode = SensitivityMode::kGlobal;
+  gs.dpsgd.neighbor_mode = NeighborMode::kBounded;
+  DiExperimentConfig ls = base;
+  ls.dpsgd.sensitivity_mode = SensitivityMode::kLocalHat;
+  ls.dpsgd.neighbor_mode = NeighborMode::kBounded;
+
+  auto gs_summary = RunDiExperiment(p.net, p.d, p.d_prime, gs);
+  auto ls_summary = RunDiExperiment(p.net, p.d, p.d_prime, ls);
+  ASSERT_TRUE(gs_summary.ok());
+  ASSERT_TRUE(ls_summary.ok());
+  EXPECT_LT(gs_summary->EmpiricalAdvantage(),
+            ls_summary->EmpiricalAdvantage());
+}
+
+// Theorem 1 as an empirical statement: with noise scaled to the true local
+// sensitivity and a total epsilon derived from rho_beta, the fraction of
+// runs whose final belief exceeds rho_beta stays near delta.
+TEST(IntegrationTest, BeliefBoundViolatedOnlyWithProbabilityDelta) {
+  Pipeline p;
+  const double rho_beta = 0.9;
+  const double delta = 0.05;
+  const size_t k = 6;
+  double epsilon = *EpsilonForRhoBeta(rho_beta);
+  double z = *NoiseMultiplierForTargetEpsilon(epsilon, delta, k);
+  DiExperimentConfig config;
+  config.dpsgd.epochs = k;
+  config.dpsgd.learning_rate = 0.05;
+  config.dpsgd.clip_norm = 1.0;
+  config.dpsgd.noise_multiplier = z;
+  config.dpsgd.sensitivity_mode = SensitivityMode::kLocalHat;
+  config.repetitions = 300;
+  config.seed = 31;
+  auto summary = RunDiExperiment(p.net, p.d, p.d_prime, config);
+  ASSERT_TRUE(summary.ok());
+  // The RDP-calibrated bound is conservative, so the violation rate should
+  // sit at or below delta (allow 3x for sampling noise at 300 trials).
+  EXPECT_LE(summary->EmpiricalDelta(rho_beta), 3.0 * delta);
+  // And the mechanism is not absurdly overcautious: beliefs do move.
+  RunningSummary beliefs;
+  for (double b : summary->FinalBeliefsInD()) beliefs.Add(b);
+  EXPECT_GT(beliefs.max(), 0.55);
+}
+
+// Auditing: with LS-scaled noise the sensitivity-based epsilon' equals the
+// target epsilon; with GS-scaled noise it falls below (Figure 8's shape).
+TEST(IntegrationTest, AuditRecoversTargetEpsilonUnderLocalSensitivity) {
+  Pipeline p;
+  const double target_eps = 2.2;
+  const double delta = 0.01;
+  const size_t k = 6;
+  double z = *NoiseMultiplierForTargetEpsilon(target_eps, delta, k);
+
+  DiExperimentConfig config;
+  config.dpsgd.epochs = k;
+  config.dpsgd.learning_rate = 0.05;
+  config.dpsgd.clip_norm = 1.0;
+  config.dpsgd.noise_multiplier = z;
+  config.dpsgd.sensitivity_mode = SensitivityMode::kLocalHat;
+  config.repetitions = 20;
+  config.seed = 41;
+  auto ls_summary = RunDiExperiment(p.net, p.d, p.d_prime, config);
+  ASSERT_TRUE(ls_summary.ok());
+  double eps_ls = *EpsilonFromSensitivities(*ls_summary, delta);
+  EXPECT_NEAR(eps_ls, target_eps, 1e-6);
+
+  config.dpsgd.sensitivity_mode = SensitivityMode::kGlobal;
+  auto gs_summary = RunDiExperiment(p.net, p.d, p.d_prime, config);
+  ASSERT_TRUE(gs_summary.ok());
+  double eps_gs = *EpsilonFromSensitivities(*gs_summary, delta);
+  EXPECT_LT(eps_gs, target_eps);
+}
+
+// Proposition 1, empirically: the DI adversary's advantage dominates the MI
+// adversary's under the same mechanism parameters.
+TEST(IntegrationTest, DiAdversaryDominatesMiAdversary) {
+  Pipeline p;
+  DpSgdConfig mechanism;
+  mechanism.epochs = 6;
+  mechanism.learning_rate = 0.1;
+  mechanism.clip_norm = 1.0;
+  mechanism.noise_multiplier = 0.3;  // weak privacy: attacks can succeed
+  mechanism.sensitivity_mode = SensitivityMode::kLocalHat;
+
+  DiExperimentConfig di;
+  di.dpsgd = mechanism;
+  di.repetitions = 100;
+  di.seed = 51;
+  auto di_summary = RunDiExperiment(p.net, p.d, p.d_prime, di);
+  ASSERT_TRUE(di_summary.ok());
+
+  MiExperimentConfig mi;
+  mi.dpsgd = mechanism;
+  mi.train_size = 9;
+  mi.trials = 100;
+  mi.seed = 51;
+  DistSampler sampler = [](size_t count, Rng& rng) {
+    return BlobDataset(count, rng);
+  };
+  auto mi_result = RunMiExperiment(TinyNetwork(), sampler, mi);
+  ASSERT_TRUE(mi_result.ok());
+
+  EXPECT_GE(di_summary->EmpiricalAdvantage(),
+            mi_result->advantage - 0.15);  // slack for sampling error
+  EXPECT_GT(di_summary->EmpiricalAdvantage(), 0.5);  // DI nearly certain
+}
+
+// Utility ordering (Figure 7's shape): training with noise scaled to the
+// loose bounded GS (2C every step) hurts accuracy at least as much as
+// noise scaled to the factual local sensitivity.
+TEST(IntegrationTest, LocalSensitivityPreservesMoreUtility) {
+  Pipeline p;
+  Rng test_rng(61);
+  Dataset test = BlobDataset(30, test_rng);
+  DiExperimentConfig base;
+  base.dpsgd.epochs = 10;
+  base.dpsgd.learning_rate = 0.3;
+  base.dpsgd.clip_norm = 1.0;
+  base.dpsgd.noise_multiplier = 1.0;
+  base.repetitions = 30;
+  base.seed = 71;
+
+  DiExperimentConfig ls = base;
+  ls.dpsgd.sensitivity_mode = SensitivityMode::kLocalHat;
+  DiExperimentConfig gs = base;
+  gs.dpsgd.sensitivity_mode = SensitivityMode::kGlobal;
+  gs.dpsgd.neighbor_mode = NeighborMode::kBounded;
+
+  auto ls_summary = RunDiExperiment(p.net, p.d, p.d_prime, ls, &test);
+  auto gs_summary = RunDiExperiment(p.net, p.d, p.d_prime, gs, &test);
+  ASSERT_TRUE(ls_summary.ok());
+  ASSERT_TRUE(gs_summary.ok());
+  double ls_acc = Mean(ls_summary->TestAccuracies());
+  double gs_acc = Mean(gs_summary->TestAccuracies());
+  EXPECT_GE(ls_acc, gs_acc - 0.05);
+}
+
+}  // namespace
+}  // namespace dpaudit

@@ -1,0 +1,44 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace dpaudit {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  DPAUDIT_CHECK(true);
+  DPAUDIT_CHECK_EQ(1, 1);
+  DPAUDIT_CHECK_NE(1, 2);
+  DPAUDIT_CHECK_LT(1, 2);
+  DPAUDIT_CHECK_LE(2, 2);
+  DPAUDIT_CHECK_GT(3, 2);
+  DPAUDIT_CHECK_GE(3, 3);
+  DPAUDIT_CHECK_OK(Status::Ok());
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ DPAUDIT_CHECK(1 == 2) << "math broke"; }, "math broke");
+}
+
+TEST(CheckDeathTest, FailingCheckEqAborts) {
+  int a = 3;
+  int b = 4;
+  EXPECT_DEATH({ DPAUDIT_CHECK_EQ(a, b); }, "CHECK failed");
+}
+
+TEST(CheckDeathTest, FailingCheckOkPrintsStatus) {
+  EXPECT_DEATH({ DPAUDIT_CHECK_OK(Status::Internal("bad state")); },
+               "bad state");
+}
+
+TEST(CheckTest, CheckDoesNotDoubleEvaluate) {
+  int calls = 0;
+  auto increment = [&calls] { return ++calls; };
+  DPAUDIT_CHECK_GT(increment(), 0);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace dpaudit

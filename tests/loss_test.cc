@@ -1,0 +1,75 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dpaudit {
+namespace {
+
+TEST(SoftmaxProbabilitiesTest, UniformLogits) {
+  Tensor p = SoftmaxProbabilities(Tensor({4}, {1.0f, 1.0f, 1.0f, 1.0f}));
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(p[i], 0.25, 1e-6);
+}
+
+TEST(SoftmaxProbabilitiesTest, InvariantToShift) {
+  Tensor a = SoftmaxProbabilities(Tensor({3}, {1.0f, 2.0f, 3.0f}));
+  Tensor b = SoftmaxProbabilities(Tensor({3}, {101.0f, 102.0f, 103.0f}));
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(a[i], b[i], 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, KnownValue) {
+  // Uniform logits over 10 classes: loss = ln(10).
+  Tensor logits({10});
+  LossResult r = SoftmaxCrossEntropy(logits, 3);
+  EXPECT_NEAR(r.loss, std::log(10.0), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, ConfidentCorrectHasLowLoss) {
+  Tensor logits({3}, {10.0f, -10.0f, -10.0f});
+  EXPECT_LT(SoftmaxCrossEntropy(logits, 0).loss, 1e-4);
+  EXPECT_GT(SoftmaxCrossEntropy(logits, 1).loss, 10.0);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientIsProbsMinusOneHot) {
+  Tensor logits({3}, {1.0f, 2.0f, 0.5f});
+  Tensor probs = SoftmaxProbabilities(logits);
+  LossResult r = SoftmaxCrossEntropy(logits, 1);
+  EXPECT_NEAR(r.grad_logits[0], probs[0], 1e-6);
+  EXPECT_NEAR(r.grad_logits[1], probs[1] - 1.0, 1e-6);
+  EXPECT_NEAR(r.grad_logits[2], probs[2], 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientSumsToZero) {
+  Tensor logits({5}, {0.3f, -1.2f, 2.0f, 0.0f, 1.1f});
+  LossResult r = SoftmaxCrossEntropy(logits, 4);
+  double sum = 0.0;
+  for (size_t i = 0; i < 5; ++i) sum += r.grad_logits[i];
+  EXPECT_NEAR(sum, 0.0, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, NumericGradientAgrees) {
+  Tensor logits({4}, {0.2f, -0.5f, 1.5f, 0.1f});
+  LossResult r = SoftmaxCrossEntropy(logits, 2);
+  const double h = 1e-4;
+  for (size_t i = 0; i < 4; ++i) {
+    Tensor plus = logits;
+    plus[i] += static_cast<float>(h);
+    Tensor minus = logits;
+    minus[i] -= static_cast<float>(h);
+    double numeric = (SoftmaxCrossEntropy(plus, 2).loss -
+                      SoftmaxCrossEntropy(minus, 2).loss) /
+                     (2.0 * h);
+    EXPECT_NEAR(r.grad_logits[i], numeric, 1e-4);
+  }
+}
+
+TEST(SoftmaxCrossEntropyTest, StableForExtremeLogits) {
+  Tensor logits({2}, {1000.0f, -1000.0f});
+  LossResult r = SoftmaxCrossEntropy(logits, 1);
+  EXPECT_TRUE(std::isfinite(r.loss));
+  EXPECT_NEAR(r.loss, 2000.0, 1.0);
+}
+
+}  // namespace
+}  // namespace dpaudit

@@ -1,0 +1,116 @@
+#include "dp/mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/normal.h"
+#include "stats/summary.h"
+#include "util/random.h"
+
+namespace dpaudit {
+namespace {
+
+TEST(GaussianMechanismTest, CreateValidates) {
+  EXPECT_TRUE(GaussianMechanism::Create(1.0).ok());
+  EXPECT_FALSE(GaussianMechanism::Create(0.0).ok());
+  EXPECT_FALSE(GaussianMechanism::Create(-1.0).ok());
+  EXPECT_FALSE(GaussianMechanism::Create(std::nan("")).ok());
+}
+
+TEST(GaussianMechanismTest, PerturbationMoments) {
+  GaussianMechanism mechanism(2.0);
+  Rng rng(1);
+  RunningSummary noise;
+  for (int i = 0; i < 50000; ++i) {
+    noise.Add(mechanism.PerturbScalar(5.0, rng) - 5.0);
+  }
+  EXPECT_NEAR(noise.mean(), 0.0, 0.05);
+  EXPECT_NEAR(noise.stddev(), 2.0, 0.05);
+}
+
+TEST(GaussianMechanismTest, PerturbVectorChangesEveryCoordinate) {
+  GaussianMechanism mechanism(1.0);
+  Rng rng(2);
+  std::vector<float> values(100, 0.0f);
+  mechanism.Perturb(values, rng);
+  int zeros = 0;
+  for (float v : values) {
+    if (v == 0.0f) ++zeros;
+  }
+  EXPECT_EQ(zeros, 0);
+}
+
+TEST(GaussianMechanismTest, LogDensityMatchesNormalLogPdfSum) {
+  GaussianMechanism mechanism(1.5);
+  std::vector<float> observed = {0.1f, -0.7f, 2.0f};
+  std::vector<float> center = {0.0f, 0.0f, 1.0f};
+  double expected = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    expected += NormalLogPdf(observed[i], center[i], 1.5);
+  }
+  EXPECT_NEAR(mechanism.LogDensity(observed, center), expected, 1e-12);
+}
+
+TEST(GaussianMechanismTest, LogDensityHigherNearCenter) {
+  GaussianMechanism mechanism(1.0);
+  std::vector<float> observed = {1.0f, 1.0f};
+  EXPECT_GT(mechanism.LogDensity(observed, {1.0f, 1.0f}),
+            mechanism.LogDensity(observed, {3.0f, 3.0f}));
+}
+
+// Statistical check of the DP inequality for the scalar Gaussian mechanism:
+// the likelihood ratio p(x|0) / p(x|1) must be <= e^eps except on a set of
+// probability <= delta (the classic analysis). We verify the tail mass where
+// the ratio exceeds e^eps is below delta for sigma from Eq. 1.
+TEST(GaussianMechanismTest, DpInequalityHoldsAtCalibratedSigma) {
+  const double eps = 1.0;
+  const double delta = 1e-5;
+  const double sensitivity = 1.0;
+  const double sigma =
+      sensitivity * std::sqrt(2.0 * std::log(1.25 / delta)) / eps;
+  // Ratio exceeds e^eps when x > sigma^2 eps / Df + Df / 2 (for means 0, -Df
+  // ordering); the mass of N(0, sigma^2) beyond that point must be < delta.
+  double threshold = sigma * sigma * eps / sensitivity - sensitivity / 2.0;
+  double tail = 1.0 - NormalCdf(threshold / sigma);
+  EXPECT_LT(tail, delta);
+}
+
+TEST(LaplaceMechanismTest, CreateValidates) {
+  EXPECT_TRUE(LaplaceMechanism::Create(0.5).ok());
+  EXPECT_FALSE(LaplaceMechanism::Create(0.0).ok());
+}
+
+TEST(LaplaceMechanismTest, PerturbationMoments) {
+  LaplaceMechanism mechanism(1.5);
+  Rng rng(3);
+  RunningSummary noise;
+  for (int i = 0; i < 50000; ++i) {
+    noise.Add(mechanism.PerturbScalar(0.0, rng));
+  }
+  EXPECT_NEAR(noise.mean(), 0.0, 0.05);
+  // Var of Laplace(b) is 2 b^2.
+  EXPECT_NEAR(noise.variance(), 2.0 * 1.5 * 1.5, 0.15);
+}
+
+TEST(LaplaceMechanismTest, LogDensityMatchesClosedForm) {
+  LaplaceMechanism mechanism(2.0);
+  EXPECT_NEAR(mechanism.LogDensityScalar(1.0, 0.0),
+              -0.5 - std::log(4.0), 1e-12);
+}
+
+TEST(LaplaceMechanismTest, LikelihoodRatioBoundedByEpsilon) {
+  // For the Laplace mechanism at scale Df/eps the log-likelihood ratio
+  // between neighboring centers is bounded by eps everywhere.
+  const double eps = 0.7;
+  const double sensitivity = 1.0;
+  LaplaceMechanism mechanism(sensitivity / eps);
+  for (double x : {-10.0, -1.0, 0.0, 0.3, 0.9, 1.5, 10.0}) {
+    double llr = mechanism.LogDensityScalar(x, 0.0) -
+                 mechanism.LogDensityScalar(x, sensitivity);
+    EXPECT_LE(std::fabs(llr), eps + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace dpaudit

@@ -1,0 +1,105 @@
+#include "nn/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/dense.h"
+#include "tests/test_helpers.h"
+
+namespace dpaudit {
+namespace {
+
+using testing_helpers::TinyNetwork;
+
+TEST(ConfusionMatrixTest, RecordsAndCounts) {
+  ConfusionMatrix m(3);
+  m.Record(0, 0);
+  m.Record(0, 1);
+  m.Record(1, 1);
+  m.Record(2, 2);
+  EXPECT_EQ(m.total(), 4u);
+  EXPECT_EQ(m.count(0, 0), 1u);
+  EXPECT_EQ(m.count(0, 1), 1u);
+  EXPECT_EQ(m.count(1, 0), 0u);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrixTest, EmptyMatrixSafeDefaults) {
+  ConfusionMatrix m(2);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(m.Recall(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.Precision(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.F1(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.MacroF1(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, PrecisionRecallF1) {
+  // class 0: TP=2, FN=1 (predicted 1), FP=1 (true 1 predicted 0).
+  ConfusionMatrix m(2);
+  m.Record(0, 0);
+  m.Record(0, 0);
+  m.Record(0, 1);
+  m.Record(1, 0);
+  m.Record(1, 1);
+  EXPECT_DOUBLE_EQ(m.Recall(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.Precision(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.F1(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.Recall(1), 0.5);
+  EXPECT_DOUBLE_EQ(m.Precision(1), 0.5);
+}
+
+TEST(ConfusionMatrixTest, MacroF1SkipsAbsentClasses) {
+  ConfusionMatrix m(3);
+  m.Record(0, 0);
+  m.Record(1, 1);
+  // Class 2 never occurs: macro F1 averages over classes 0 and 1 only.
+  EXPECT_DOUBLE_EQ(m.MacroF1(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, PerfectAndWorstClassifiers) {
+  ConfusionMatrix perfect(2);
+  perfect.Record(0, 0);
+  perfect.Record(1, 1);
+  EXPECT_DOUBLE_EQ(perfect.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(perfect.MacroF1(), 1.0);
+  ConfusionMatrix worst(2);
+  worst.Record(0, 1);
+  worst.Record(1, 0);
+  EXPECT_DOUBLE_EQ(worst.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(worst.MacroF1(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, ToStringContainsCounts) {
+  ConfusionMatrix m(2);
+  m.Record(0, 1);
+  std::string s = m.ToString();
+  EXPECT_NE(s.find("true\\pred"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+TEST(ConfusionMatrixDeathTest, OutOfRangeDies) {
+  ConfusionMatrix m(2);
+  EXPECT_DEATH(m.Record(2, 0), "CHECK failed");
+  EXPECT_DEATH((void)m.count(0, 2), "CHECK failed");
+}
+
+TEST(EvaluateConfusionTest, MatchesAccuracy) {
+  // Identity-weight network: prediction = argmax coordinate.
+  Network net;
+  auto dense = std::make_unique<Dense>(2, 2);
+  *dense->Params()[0] = Tensor({2, 2}, {1, 0, 0, 1});
+  *dense->Params()[1] = Tensor({2});
+  net.Add(std::move(dense));
+  std::vector<Tensor> inputs = {Tensor({2}, {3.0f, 1.0f}),
+                                Tensor({2}, {1.0f, 3.0f}),
+                                Tensor({2}, {2.0f, 0.0f})};
+  std::vector<size_t> labels = {0, 1, 1};
+  ConfusionMatrix m = EvaluateConfusion(net, inputs, labels, 2);
+  EXPECT_EQ(m.total(), 3u);
+  EXPECT_NEAR(m.Accuracy(), net.Accuracy(inputs, labels), 1e-12);
+  EXPECT_EQ(m.count(1, 0), 1u);  // the third example is misclassified
+}
+
+}  // namespace
+}  // namespace dpaudit

@@ -1,0 +1,163 @@
+#include "core/multi_world.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/belief.h"
+#include "tests/test_helpers.h"
+
+namespace dpaudit {
+namespace {
+
+using testing_helpers::BlobDataset;
+using testing_helpers::ExtremeBoundedNeighbor;
+using testing_helpers::TinyNetwork;
+
+TEST(MultiWorldPosteriorTest, StartsUniform) {
+  MultiWorldPosterior posterior(4);
+  std::vector<double> p = posterior.Posterior();
+  ASSERT_EQ(p.size(), 4u);
+  for (double pi : p) EXPECT_NEAR(pi, 0.25, 1e-12);
+  EXPECT_EQ(posterior.observations(), 0u);
+}
+
+TEST(MultiWorldPosteriorTest, ExplicitPriorNormalizes) {
+  MultiWorldPosterior posterior(std::vector<double>{1.0, 3.0});
+  EXPECT_NEAR(posterior.Belief(0), 0.25, 1e-12);
+  EXPECT_NEAR(posterior.Belief(1), 0.75, 1e-12);
+}
+
+TEST(MultiWorldPosteriorTest, BayesUpdateKnownValue) {
+  MultiWorldPosterior posterior(2);
+  // Likelihood ratio e^1 in favor of world 0.
+  posterior.Observe({0.0, -1.0});
+  EXPECT_NEAR(posterior.Belief(0), 1.0 / (1.0 + std::exp(-1.0)), 1e-12);
+  EXPECT_EQ(posterior.MapEstimate(), 0u);
+}
+
+TEST(MultiWorldPosteriorTest, TwoWorldsMatchesBinaryTracker) {
+  MultiWorldPosterior multi(2);
+  PosteriorBeliefTracker binary;
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    double lp0 = -rng.Uniform(0.0, 4.0);
+    double lp1 = -rng.Uniform(0.0, 4.0);
+    multi.Observe({lp0, lp1});
+    binary.Observe(lp0, lp1);
+  }
+  EXPECT_NEAR(multi.Belief(0), binary.belief_d(), 1e-9);
+}
+
+TEST(MultiWorldPosteriorTest, PosteriorSumsToOneUnderExtremeEvidence) {
+  MultiWorldPosterior posterior(3);
+  posterior.Observe({-1e6, 0.0, -2e6});
+  std::vector<double> p = posterior.Posterior();
+  double sum = 0.0;
+  for (double pi : p) {
+    EXPECT_FALSE(std::isnan(pi));
+    sum += pi;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(posterior.MapEstimate(), 1u);
+}
+
+TEST(MultiWorldPosteriorDeathTest, InvalidConstruction) {
+  EXPECT_DEATH(MultiWorldPosterior(1), "CHECK failed");
+  EXPECT_DEATH(MultiWorldPosterior(std::vector<double>{1.0, 0.0}),
+               "prior weights");
+}
+
+// Worlds must differ in gradient DIRECTION, not just magnitude (clipping
+// erases magnitude): world w's differing record activates a distinct
+// coordinate block and carries a distinct label.
+std::vector<Dataset> MakeLineup(size_t num_worlds, Rng& rng) {
+  Dataset base = BlobDataset(9, rng);
+  std::vector<Dataset> worlds;
+  worlds.push_back(base);
+  for (size_t w = 1; w < num_worlds; ++w) {
+    Tensor x({testing_helpers::kFeatures});
+    for (size_t j = 0; j < x.size(); ++j) {
+      x[j] = (j % num_worlds == w) ? 6.0f : -2.0f;
+    }
+    worlds.push_back(base.WithRecordReplaced(
+        0, std::move(x), w % testing_helpers::kClasses));
+  }
+  return worlds;
+}
+
+TEST(MultiWorldExperimentTest, IdentifiesTrueWorldAtLowNoise) {
+  Rng rng(2);
+  Network net = TinyNetwork();
+  net.Initialize(rng);
+  std::vector<Dataset> worlds = MakeLineup(4, rng);
+  MultiWorldExperimentConfig config;
+  config.dpsgd.epochs = 8;
+  config.dpsgd.learning_rate = 0.05;
+  config.dpsgd.clip_norm = 1.0;
+  config.dpsgd.noise_multiplier = 0.05;
+  config.repetitions = 20;
+  config.seed = 3;
+  auto summary = RunMultiWorldExperiment(net, worlds, /*true_world=*/2,
+                                         config);
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_EQ(summary->num_worlds, 4u);
+  EXPECT_GT(summary->identification_rate, 0.9);
+  EXPECT_GT(summary->mean_true_belief, 0.9);
+}
+
+TEST(MultiWorldExperimentTest, HighNoiseKeepsLineupAmbiguous) {
+  Rng rng(4);
+  Network net = TinyNetwork();
+  net.Initialize(rng);
+  std::vector<Dataset> worlds = MakeLineup(4, rng);
+  MultiWorldExperimentConfig config;
+  config.dpsgd.epochs = 8;
+  config.dpsgd.learning_rate = 0.05;
+  config.dpsgd.clip_norm = 1.0;
+  config.dpsgd.noise_multiplier = 50.0;
+  config.repetitions = 40;
+  config.seed = 5;
+  auto summary = RunMultiWorldExperiment(net, worlds, 0, config);
+  ASSERT_TRUE(summary.ok());
+  // Near-chance identification (1/4) and diluted beliefs.
+  EXPECT_LT(summary->identification_rate, 0.6);
+  EXPECT_LT(summary->mean_true_belief, 0.5);
+}
+
+TEST(MultiWorldExperimentTest, MoreWorldsDiluteTheBelief) {
+  Rng rng(6);
+  Network net = TinyNetwork();
+  net.Initialize(rng);
+  std::vector<Dataset> worlds = MakeLineup(8, rng);
+  MultiWorldExperimentConfig config;
+  config.dpsgd.epochs = 6;
+  config.dpsgd.learning_rate = 0.05;
+  config.dpsgd.clip_norm = 1.0;
+  config.dpsgd.noise_multiplier = 8.0;
+  config.repetitions = 30;
+  config.seed = 7;
+  std::vector<Dataset> two(worlds.begin(), worlds.begin() + 2);
+  auto small = RunMultiWorldExperiment(net, two, 0, config);
+  auto large = RunMultiWorldExperiment(net, worlds, 0, config);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(small->mean_true_belief, large->mean_true_belief);
+}
+
+TEST(MultiWorldExperimentTest, RejectsInvalid) {
+  Rng rng(8);
+  Network net = TinyNetwork();
+  net.Initialize(rng);
+  std::vector<Dataset> worlds = MakeLineup(2, rng);
+  MultiWorldExperimentConfig config;
+  config.dpsgd.epochs = 2;
+  EXPECT_FALSE(RunMultiWorldExperiment(net, {worlds[0]}, 0, config).ok());
+  EXPECT_FALSE(RunMultiWorldExperiment(net, worlds, 5, config).ok());
+  std::vector<Dataset> uneven = worlds;
+  uneven[1] = uneven[1].WithRecordRemoved(0);
+  EXPECT_FALSE(RunMultiWorldExperiment(net, uneven, 0, config).ok());
+}
+
+}  // namespace
+}  // namespace dpaudit

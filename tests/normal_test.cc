@@ -1,0 +1,93 @@
+#include "stats/normal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/math_util.h"
+
+namespace dpaudit {
+namespace {
+
+TEST(NormalPdfTest, KnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 1.0 / std::sqrt(2.0 * kPi), 1e-15);
+  EXPECT_NEAR(NormalPdf(1.0), 0.24197072451914337, 1e-14);
+  EXPECT_NEAR(NormalPdf(0.0, 0.0, 2.0), 0.5 / std::sqrt(2.0 * kPi), 1e-15);
+}
+
+TEST(NormalPdfTest, Symmetry) {
+  for (double x : {0.5, 1.0, 2.7, 5.0}) {
+    EXPECT_DOUBLE_EQ(NormalPdf(x), NormalPdf(-x));
+  }
+}
+
+TEST(NormalLogPdfTest, MatchesLogOfPdf) {
+  for (double x : {-3.0, -1.0, 0.0, 0.5, 2.0}) {
+    EXPECT_NEAR(NormalLogPdf(x, 0.0, 1.0), std::log(NormalPdf(x)), 1e-12);
+  }
+}
+
+TEST(NormalLogPdfTest, StableInFarTails) {
+  // pdf underflows at |x| ~ 40; log pdf must stay finite and exact.
+  double lp = NormalLogPdf(100.0, 0.0, 1.0);
+  EXPECT_TRUE(std::isfinite(lp));
+  EXPECT_NEAR(lp, -0.5 * 100.0 * 100.0 - 0.9189385332046727, 1e-9);
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(NormalCdf(0.0), 0.5);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(NormalCdf(-1.0), 1.0 - 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-12);
+}
+
+TEST(NormalCdfTest, TailAccuracy) {
+  // erfc-based CDF keeps relative accuracy deep in the lower tail.
+  EXPECT_NEAR(NormalCdf(-6.0) / 9.865876450376946e-10, 1.0, 1e-9);
+  EXPECT_NEAR((1.0 - NormalCdf(6.0)) / 9.865876450376946e-10, 1.0, 1e-6);
+}
+
+TEST(NormalCdfTest, ShiftScale) {
+  EXPECT_NEAR(NormalCdf(3.0, 1.0, 2.0), NormalCdf(1.0), 1e-15);
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-10);
+  EXPECT_NEAR(NormalQuantile(0.8413447460685429), 1.0, 1e-10);
+}
+
+TEST(NormalQuantileTest, Endpoints) {
+  EXPECT_TRUE(std::isinf(NormalQuantile(0.0)));
+  EXPECT_LT(NormalQuantile(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(NormalQuantile(1.0)));
+  EXPECT_GT(NormalQuantile(1.0), 0.0);
+}
+
+class QuantileRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileRoundTripTest, CdfOfQuantileIsIdentity) {
+  double p = GetParam();
+  EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-12 * std::max(p, 1e-3));
+}
+
+TEST_P(QuantileRoundTripTest, QuantileOfCdfIsIdentity) {
+  double p = GetParam();
+  double x = NormalQuantile(p);
+  EXPECT_NEAR(NormalQuantile(NormalCdf(x)), x,
+              1e-9 * std::max(1.0, std::fabs(x)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, QuantileRoundTripTest,
+                         ::testing::Values(1e-12, 1e-8, 1e-4, 0.01, 0.1, 0.25,
+                                           0.5, 0.75, 0.9, 0.99, 0.9999,
+                                           1.0 - 1e-8));
+
+TEST(NormalQuantileTest, Antisymmetry) {
+  for (double p : {0.01, 0.1, 0.3}) {
+    EXPECT_NEAR(NormalQuantile(p), -NormalQuantile(1.0 - p), 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace dpaudit

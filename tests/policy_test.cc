@@ -1,0 +1,97 @@
+#include "core/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scores.h"
+#include "dp/rdp_accountant.h"
+
+namespace dpaudit {
+namespace {
+
+TEST(MakePrivacyPlanTest, FromPosteriorBelief) {
+  IdentifiabilityRequirement req;
+  req.kind = RequirementKind::kMaxPosteriorBelief;
+  req.bound = 0.9;
+  req.delta = 0.001;
+  req.steps = 30;
+  auto plan = MakePrivacyPlan(req);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NEAR(plan->dp.epsilon, 2.1972, 1e-3);  // Table 1 row
+  EXPECT_NEAR(plan->rho_beta, 0.9, 1e-9);
+  EXPECT_NEAR(plan->rho_alpha, 0.229, 0.002);
+  EXPECT_EQ(plan->steps, 30u);
+  // The plan's noise multiplier must spend exactly epsilon over 30 steps.
+  double achieved = *ComposedEpsilonForNoiseMultiplier(
+      plan->noise_multiplier, req.delta, req.steps);
+  EXPECT_NEAR(achieved, plan->dp.epsilon, 1e-5);
+}
+
+TEST(MakePrivacyPlanTest, FromExpectedAdvantage) {
+  IdentifiabilityRequirement req;
+  req.kind = RequirementKind::kMaxExpectedAdvantage;
+  req.bound = 0.229;
+  req.delta = 0.001;
+  req.steps = 30;
+  auto plan = MakePrivacyPlan(req);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(plan->dp.epsilon, 2.2, 0.01);
+  EXPECT_NEAR(plan->rho_alpha, 0.229, 1e-6);
+  EXPECT_NEAR(plan->rho_beta, 0.9, 0.001);
+}
+
+TEST(MakePrivacyPlanTest, StricterRequirementMeansMoreNoise) {
+  IdentifiabilityRequirement strict;
+  strict.bound = 0.6;
+  IdentifiabilityRequirement lax;
+  lax.bound = 0.99;
+  auto strict_plan = MakePrivacyPlan(strict);
+  auto lax_plan = MakePrivacyPlan(lax);
+  ASSERT_TRUE(strict_plan.ok());
+  ASSERT_TRUE(lax_plan.ok());
+  EXPECT_LT(strict_plan->dp.epsilon, lax_plan->dp.epsilon);
+  EXPECT_GT(strict_plan->noise_multiplier, lax_plan->noise_multiplier);
+}
+
+TEST(MakePrivacyPlanTest, RejectsInvalid) {
+  IdentifiabilityRequirement req;
+  req.bound = 0.4;  // below coin flip
+  EXPECT_FALSE(MakePrivacyPlan(req).ok());
+  req.bound = 0.9;
+  req.steps = 0;
+  EXPECT_FALSE(MakePrivacyPlan(req).ok());
+  req.steps = 30;
+  req.delta = 0.0;
+  EXPECT_FALSE(MakePrivacyPlan(req).ok());
+}
+
+TEST(PlanFromPrivacyParamsTest, RoundTripsWithMakePlan) {
+  IdentifiabilityRequirement req;
+  req.bound = 0.9;
+  req.delta = 0.001;
+  req.steps = 30;
+  auto forward = MakePrivacyPlan(req);
+  ASSERT_TRUE(forward.ok());
+  auto reverse = PlanFromPrivacyParams(forward->dp, 30);
+  ASSERT_TRUE(reverse.ok());
+  EXPECT_NEAR(reverse->rho_beta, 0.9, 1e-9);
+  EXPECT_NEAR(reverse->noise_multiplier, forward->noise_multiplier, 1e-9);
+}
+
+TEST(PlanFromPrivacyParamsTest, RejectsPureDp) {
+  EXPECT_FALSE(PlanFromPrivacyParams({1.0, 0.0}, 30).ok());
+}
+
+TEST(PrivacyPlanTest, ToStringMentionsEverything) {
+  IdentifiabilityRequirement req;
+  req.bound = 0.9;
+  auto plan = MakePrivacyPlan(req);
+  ASSERT_TRUE(plan.ok());
+  std::string s = plan->ToString();
+  EXPECT_NE(s.find("rho_beta"), std::string::npos);
+  EXPECT_NE(s.find("rho_alpha"), std::string::npos);
+  EXPECT_NE(s.find("noise multiplier"), std::string::npos);
+  EXPECT_NE(s.find("30 steps"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpaudit

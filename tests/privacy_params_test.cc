@@ -1,0 +1,56 @@
+#include "dp/privacy_params.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dpaudit {
+namespace {
+
+TEST(PrivacyParamsTest, ValidParams) {
+  EXPECT_TRUE((PrivacyParams{2.2, 0.001}.Validate().ok()));
+  EXPECT_TRUE((PrivacyParams{0.01, 0.0}.Validate().ok()));  // pure DP
+}
+
+TEST(PrivacyParamsTest, InvalidEpsilon) {
+  EXPECT_FALSE((PrivacyParams{0.0, 0.001}.Validate().ok()));
+  EXPECT_FALSE((PrivacyParams{-1.0, 0.001}.Validate().ok()));
+  EXPECT_FALSE((PrivacyParams{std::nan(""), 0.001}.Validate().ok()));
+  EXPECT_FALSE((PrivacyParams{INFINITY, 0.001}.Validate().ok()));
+}
+
+TEST(PrivacyParamsTest, InvalidDelta) {
+  EXPECT_FALSE((PrivacyParams{1.0, -0.1}.Validate().ok()));
+  EXPECT_FALSE((PrivacyParams{1.0, 1.0}.Validate().ok()));
+  EXPECT_FALSE((PrivacyParams{1.0, 1.5}.Validate().ok()));
+}
+
+TEST(PrivacyParamsTest, ToStringMentionsBothParameters) {
+  std::string s = PrivacyParams{2.2, 0.001}.ToString();
+  EXPECT_NE(s.find("2.2"), std::string::npos);
+  EXPECT_NE(s.find("0.001"), std::string::npos);
+}
+
+TEST(NeighborModeTest, Strings) {
+  EXPECT_STREQ(NeighborModeToString(NeighborMode::kUnbounded), "unbounded");
+  EXPECT_STREQ(NeighborModeToString(NeighborMode::kBounded), "bounded");
+  EXPECT_STREQ(SensitivityModeToString(SensitivityMode::kGlobal), "GS");
+  EXPECT_STREQ(SensitivityModeToString(SensitivityMode::kLocalHat), "LS");
+}
+
+TEST(GlobalClipSensitivityTest, UnboundedIsC) {
+  EXPECT_DOUBLE_EQ(GlobalClipSensitivity(NeighborMode::kUnbounded, 3.0), 3.0);
+}
+
+TEST(GlobalClipSensitivityTest, BoundedIsTwoC) {
+  // Replacing a record can flip a clipped gradient to its negation: 2C.
+  EXPECT_DOUBLE_EQ(GlobalClipSensitivity(NeighborMode::kBounded, 3.0), 6.0);
+}
+
+TEST(GlobalClipSensitivityDeathTest, NonPositiveClipDies) {
+  EXPECT_DEATH(GlobalClipSensitivity(NeighborMode::kBounded, 0.0),
+               "CHECK failed");
+}
+
+}  // namespace
+}  // namespace dpaudit

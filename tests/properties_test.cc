@@ -1,0 +1,208 @@
+// Cross-module property sweeps: monotonicity and consistency relations that
+// must hold across the whole parameter space the experiments use.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/scores.h"
+#include "dp/analytic_gaussian.h"
+#include "dp/calibration.h"
+#include "dp/mechanism.h"
+#include "dp/rdp_accountant.h"
+#include "stats/normal.h"
+#include "util/random.h"
+
+namespace dpaudit {
+namespace {
+
+constexpr double kEpsilons[] = {0.05, 0.08, 0.12, 0.5, 1.1, 2.2, 4.6, 8.0};
+constexpr double kDeltas[] = {1e-2, 1e-3, 1e-5, 1e-8};
+
+class DeltaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DeltaSweep, RhoAlphaStrictlyIncreasesInEpsilon) {
+  double delta = GetParam();
+  double prev = 0.0;
+  for (double eps : kEpsilons) {
+    double rho = *RhoAlpha(eps, delta);
+    EXPECT_GT(rho, prev) << "eps=" << eps;
+    EXPECT_LT(rho, 1.0);
+    prev = rho;
+  }
+}
+
+TEST_P(DeltaSweep, RhoAlphaConsistentWithGaussianAdvantage) {
+  // Theorem 2's bound is the Bayes advantage at mean distance eps / F
+  // sigmas, F = sqrt(2 ln(1.25/delta)).
+  double delta = GetParam();
+  double factor = GaussianCalibrationFactor(delta);
+  for (double eps : kEpsilons) {
+    EXPECT_NEAR(*RhoAlpha(eps, delta), GaussianAdvantage(eps / factor),
+                1e-12);
+  }
+}
+
+TEST_P(DeltaSweep, CalibrationNoiseDecreasesInEpsilon) {
+  double delta = GetParam();
+  double prev = 1e18;
+  for (double eps : kEpsilons) {
+    double sigma = *GaussianSigma({eps, delta}, 1.0);
+    EXPECT_LT(sigma, prev);
+    prev = sigma;
+  }
+}
+
+TEST_P(DeltaSweep, AccountantNoiseMultiplierDecreasesInTargetEpsilon) {
+  double delta = GetParam();
+  double prev = 1e18;
+  for (double eps : kEpsilons) {
+    double z = *NoiseMultiplierForTargetEpsilon(eps, delta, 30);
+    EXPECT_LT(z, prev) << "eps=" << eps;
+    prev = z;
+  }
+}
+
+TEST_P(DeltaSweep, ClassicCalibrationSoundInsideItsValidityDomain) {
+  // Eq. 1's derivation covers eps <= 1; there the classic sigma must
+  // satisfy the exact characterization (with slack — that is its
+  // looseness), so the analytic sigma is never larger.
+  double delta = GetParam();
+  for (double eps : kEpsilons) {
+    if (eps > 1.0) continue;
+    double classic = *GaussianSigma({eps, delta}, 1.0);
+    EXPECT_LE(*AnalyticGaussianDelta(classic, eps, 1.0), delta * 1.0001);
+    EXPECT_LE(*AnalyticGaussianSigma({eps, delta}, 1.0), classic * 1.0001);
+  }
+}
+
+TEST(CalibrationValidityTest, ClassicUnderNoisesOutsideItsDomain) {
+  // Outside eps <= 1 the paper's Eq. 1 can FAIL to provide (eps, delta)-DP
+  // (Balle & Wang 2018): at eps = 8, delta = 0.01 the classic sigma is
+  // smaller than the exact requirement, and the exact delta it achieves
+  // exceeds the target. The analytic module detects this.
+  double classic = *GaussianSigma({8.0, 0.01}, 1.0);
+  double required = *AnalyticGaussianSigma({8.0, 0.01}, 1.0);
+  EXPECT_LT(classic, required);
+  EXPECT_GT(*AnalyticGaussianDelta(classic, 8.0, 1.0), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, DeltaSweep, ::testing::ValuesIn(kDeltas));
+
+class EpsilonSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EpsilonSweep, RhoAlphaIncreasesInDelta) {
+  double eps = GetParam();
+  double prev = 1.0;
+  // kDeltas is descending, so rho_alpha must descend too.
+  for (double delta : kDeltas) {
+    double rho = *RhoAlpha(eps, delta);
+    EXPECT_LT(rho, prev) << "delta=" << delta;
+    prev = rho;
+  }
+}
+
+TEST_P(EpsilonSweep, AccountantEpsilonDecreasesInDelta) {
+  double target = GetParam();
+  // Fixed noise from the strictest delta; certified epsilon must shrink as
+  // delta is relaxed.
+  double z = *NoiseMultiplierForTargetEpsilon(target, kDeltas[3], 30);
+  double prev = 0.0;
+  for (double delta : kDeltas) {  // descending deltas
+    double eps = *ComposedEpsilonForNoiseMultiplier(z, delta, 30);
+    EXPECT_GT(eps, prev) << "delta=" << delta;
+    prev = eps;
+  }
+}
+
+TEST_P(EpsilonSweep, RhoBetaRhoAlphaOrdering) {
+  // Both scores grow with epsilon and rho_alpha (an advantage in [0,1])
+  // stays below 2*rho_beta - 1 + 1 trivially; the meaningful relation:
+  // the generic Prop. 2 bound dominates the Gaussian-specific rho_alpha.
+  double eps = GetParam();
+  for (double delta : kDeltas) {
+    double generic = *GenericAdvantageBound(eps);
+    EXPECT_GE(generic, *RhoAlpha(eps, delta));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, EpsilonSweep,
+                         ::testing::ValuesIn(kEpsilons));
+
+class LaplaceEpsilonSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LaplaceEpsilonSweep, LogLikelihoodRatioBoundedByEpsilonEverywhere) {
+  double eps = GetParam();
+  LaplaceMechanism mechanism(*LaplaceScale(eps, 1.0));
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.Uniform(-20.0, 21.0);
+    double llr = mechanism.LogDensityScalar(x, 0.0) -
+                 mechanism.LogDensityScalar(x, 1.0);
+    EXPECT_LE(std::fabs(llr), eps + 1e-9);
+  }
+}
+
+TEST_P(LaplaceEpsilonSweep, BeliefNeverExceedsRhoBeta) {
+  double eps = GetParam();
+  LaplaceMechanism mechanism(*LaplaceScale(eps, 1.0));
+  double bound = *RhoBeta(eps);
+  Rng rng(43);
+  for (int i = 0; i < 200; ++i) {
+    double x = mechanism.PerturbScalar(0.0, rng);
+    double llr = mechanism.LogDensityScalar(x, 0.0) -
+                 mechanism.LogDensityScalar(x, 1.0);
+    double belief = 1.0 / (1.0 + std::exp(-llr));
+    EXPECT_LE(belief, bound + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, LaplaceEpsilonSweep,
+                         ::testing::Values(0.1, 0.5, 1.1, 2.2, 4.6));
+
+class SamplingRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SamplingRateSweep, SubsampledEpsilonBelowFullBatch) {
+  double q = GetParam();
+  const double z = 1.5;
+  const double delta = 1e-5;
+  double sampled =
+      *ComposedEpsilonForSampledNoiseMultiplier(q, z, delta, 30);
+  double full = *ComposedEpsilonForNoiseMultiplier(z, delta, 30);
+  EXPECT_LE(sampled, full * 1.0001);
+  EXPECT_GE(sampled, 0.0);
+}
+
+TEST_P(SamplingRateSweep, SubsampledRdpMonotoneInOrder) {
+  double q = GetParam();
+  double prev = 0.0;
+  for (size_t alpha : {2, 4, 8, 16, 32}) {
+    double eps = SampledGaussianRdpEpsilon(alpha, q, 1.5);
+    EXPECT_GE(eps, prev * 0.999) << "alpha=" << alpha;
+    prev = eps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SamplingRateSweep,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.5, 0.9, 1.0));
+
+// Round-trip chain across the whole stack: requirement -> epsilon -> noise
+// -> accountant -> epsilon -> score.
+class FullChainSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FullChainSweep, RequirementSurvivesTheRoundTrip) {
+  double rho_beta = GetParam();
+  const double delta = 1e-3;
+  const size_t k = 30;
+  double eps = *EpsilonForRhoBeta(rho_beta);
+  double z = *NoiseMultiplierForTargetEpsilon(eps, delta, k);
+  double eps_back = *ComposedEpsilonForNoiseMultiplier(z, delta, k);
+  double rho_back = *RhoBeta(eps_back);
+  EXPECT_NEAR(rho_back, rho_beta, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, FullChainSweep,
+                         ::testing::Values(0.52, 0.6, 0.75, 0.9, 0.99));
+
+}  // namespace
+}  // namespace dpaudit

@@ -1,0 +1,158 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace dpaudit {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+    EXPECT_DOUBLE_EQ(a.Gaussian(), b.Gaussian());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform() == b.Uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, SplitIsDeterministicAndIndependentOfParentUse) {
+  Rng parent1(7);
+  Rng parent2(7);
+  // Consuming numbers from one parent must not change its children.
+  for (int i = 0; i < 10; ++i) (void)parent1.Uniform();
+  Rng child1 = parent1.Split(3);
+  Rng child2 = parent2.Split(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(child1.Uniform(), child2.Uniform());
+  }
+}
+
+TEST(RngTest, SplitChildrenAreDistinct) {
+  Rng parent(7);
+  Rng a = parent.Split(0);
+  Rng b = parent.Split(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform() == b.Uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    double v = rng.Uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformInt(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Gaussian(2.0, 3.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, LaplaceMoments) {
+  Rng rng(19);
+  const int n = 100000;
+  const double scale = 1.5;
+  double sum = 0.0;
+  double sum_abs = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Laplace(scale);
+    sum += x;
+    sum_abs += std::fabs(x);
+  }
+  // Laplace(0, b): mean 0, E|X| = b.
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_abs / n, scale, 0.05);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(23);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+class PermutationTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PermutationTest, IsAPermutation) {
+  size_t n = GetParam();
+  Rng rng(29 + n);
+  std::vector<size_t> perm = rng.Permutation(n);
+  ASSERT_EQ(perm.size(), n);
+  std::vector<size_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST_P(PermutationTest, SampleWithoutReplacementIsDistinct) {
+  size_t n = GetParam();
+  if (n == 0) return;
+  size_t k = n / 2 + 1 > n ? n : n / 2 + 1;
+  Rng rng(31 + n);
+  std::vector<size_t> sample = rng.SampleWithoutReplacement(n, k);
+  ASSERT_EQ(sample.size(), k);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), k);
+  for (size_t idx : sample) EXPECT_LT(idx, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationTest,
+                         ::testing::Values(0, 1, 2, 5, 17, 100, 1000));
+
+TEST(RngTest, PermutationIsShuffled) {
+  Rng rng(37);
+  std::vector<size_t> perm = rng.Permutation(100);
+  size_t fixed_points = 0;
+  for (size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] == i) ++fixed_points;
+  }
+  // Expected ~1 fixed point for a uniform permutation.
+  EXPECT_LT(fixed_points, 10u);
+}
+
+}  // namespace
+}  // namespace dpaudit

@@ -1,0 +1,136 @@
+#include "dp/rdp_accountant.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace dpaudit {
+namespace {
+
+TEST(GaussianRdpTest, ClosedForm) {
+  // eps_RDP(alpha) = alpha Df^2 / (2 sigma^2)  (Eq. 3).
+  EXPECT_DOUBLE_EQ(GaussianRdpEpsilon(2.0, 1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(GaussianRdpEpsilon(4.0, 2.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(GaussianRdpEpsilon(4.0, 2.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(GaussianRdpEpsilonFromNoiseMultiplier(3.0, 1.5),
+                   3.0 / (2.0 * 2.25));
+}
+
+TEST(RdpAccountantTest, SingleStepMatchesManualMinimization) {
+  const double z = 1.3;
+  const double delta = 1e-5;
+  RdpAccountant accountant;
+  accountant.AddGaussianSteps(z);
+  double expected = std::numeric_limits<double>::infinity();
+  for (double alpha : accountant.orders()) {
+    double eps = alpha / (2.0 * z * z) + std::log(1.0 / delta) / (alpha - 1.0);
+    expected = std::min(expected, eps);
+  }
+  EXPECT_NEAR(*accountant.GetEpsilon(delta), expected, 1e-12);
+}
+
+TEST(RdpAccountantTest, CompositionIsAdditiveInRdp) {
+  RdpAccountant one;
+  one.AddGaussianSteps(1.0, 1);
+  RdpAccountant ten;
+  ten.AddGaussianSteps(1.0, 10);
+  for (size_t i = 0; i < one.orders().size(); ++i) {
+    EXPECT_NEAR(ten.accumulated_rdp()[i], 10.0 * one.accumulated_rdp()[i],
+                1e-12);
+  }
+  EXPECT_EQ(ten.steps(), 10u);
+}
+
+TEST(RdpAccountantTest, EpsilonGrowsSublinearlyInSteps) {
+  // RDP composition of k Gaussian steps costs ~sqrt(k), far below the k of
+  // basic composition — the Section 5.2 claim.
+  const double delta = 1e-5;
+  RdpAccountant one;
+  one.AddGaussianSteps(2.0, 1);
+  RdpAccountant hundred;
+  hundred.AddGaussianSteps(2.0, 100);
+  double eps1 = *one.GetEpsilon(delta);
+  double eps100 = *hundred.GetEpsilon(delta);
+  EXPECT_GT(eps100, eps1);
+  EXPECT_LT(eps100, 100.0 * eps1);
+  EXPECT_LT(eps100, 25.0 * eps1);  // strictly sublinear
+}
+
+TEST(RdpAccountantTest, MoreNoiseLessEpsilon) {
+  const double delta = 1e-5;
+  RdpAccountant low_noise;
+  low_noise.AddGaussianSteps(0.8, 30);
+  RdpAccountant high_noise;
+  high_noise.AddGaussianSteps(3.0, 30);
+  EXPECT_GT(*low_noise.GetEpsilon(delta), *high_noise.GetEpsilon(delta));
+}
+
+TEST(RdpAccountantTest, AddRdpHeterogeneousSteps) {
+  RdpAccountant a;
+  a.AddGaussianSteps(1.0);
+  a.AddGaussianSteps(2.0);
+  RdpAccountant b;
+  std::vector<double> rdp1;
+  std::vector<double> rdp2;
+  for (double alpha : b.orders()) {
+    rdp1.push_back(GaussianRdpEpsilonFromNoiseMultiplier(alpha, 1.0));
+    rdp2.push_back(GaussianRdpEpsilonFromNoiseMultiplier(alpha, 2.0));
+  }
+  b.AddRdp(rdp1);
+  b.AddRdp(rdp2);
+  EXPECT_NEAR(*a.GetEpsilon(1e-5), *b.GetEpsilon(1e-5), 1e-12);
+}
+
+TEST(RdpAccountantTest, GetDeltaInvertsGetEpsilon) {
+  RdpAccountant accountant;
+  accountant.AddGaussianSteps(1.5, 30);
+  const double delta = 1e-4;
+  double eps = *accountant.GetEpsilon(delta);
+  double recovered_delta = *accountant.GetDelta(eps);
+  EXPECT_LE(recovered_delta, delta * 1.0001);
+}
+
+TEST(RdpAccountantTest, OptimalOrderIsInGrid) {
+  RdpAccountant accountant;
+  accountant.AddGaussianSteps(1.1, 30);
+  double order = *accountant.GetOptimalOrder(1e-5);
+  bool found = false;
+  for (double a : accountant.orders()) {
+    if (a == order) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RdpAccountantTest, RejectsBadInputs) {
+  RdpAccountant accountant;
+  accountant.AddGaussianSteps(1.0);
+  EXPECT_FALSE(accountant.GetEpsilon(0.0).ok());
+  EXPECT_FALSE(accountant.GetEpsilon(1.0).ok());
+  EXPECT_FALSE(accountant.GetDelta(0.0).ok());
+  EXPECT_FALSE(ComposedEpsilonForNoiseMultiplier(0.0, 1e-5, 10).ok());
+  EXPECT_FALSE(ComposedEpsilonForNoiseMultiplier(1.0, 1e-5, 0).ok());
+  EXPECT_FALSE(NoiseMultiplierForTargetEpsilon(0.0, 1e-5, 10).ok());
+  EXPECT_FALSE(NoiseMultiplierForTargetEpsilon(1.0, 0.0, 10).ok());
+}
+
+class NoiseCalibrationRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double, size_t>> {};
+
+TEST_P(NoiseCalibrationRoundTrip, BisectionHitsTarget) {
+  auto [target_eps, delta, steps] = GetParam();
+  StatusOr<double> z = NoiseMultiplierForTargetEpsilon(target_eps, delta,
+                                                       steps);
+  ASSERT_TRUE(z.ok()) << z.status();
+  double achieved = *ComposedEpsilonForNoiseMultiplier(*z, delta, steps);
+  EXPECT_NEAR(achieved, target_eps, 1e-6 * target_eps + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, NoiseCalibrationRoundTrip,
+    ::testing::Combine(::testing::Values(0.08, 0.12, 1.1, 2.2, 4.6),
+                       ::testing::Values(0.001, 0.01),
+                       ::testing::Values(size_t{1}, size_t{30})));
+
+}  // namespace
+}  // namespace dpaudit

@@ -1,0 +1,177 @@
+#include "core/scores.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dp/rdp_accountant.h"
+
+namespace dpaudit {
+namespace {
+
+// ---------- rho_beta (Theorem 1 / Eq. 10) ----------
+
+TEST(RhoBetaTest, PaperTableOneValues) {
+  // Table 1 lists (rho_beta, epsilon) pairs; check both datasets' rows.
+  EXPECT_NEAR(*RhoBeta(0.08), 0.52, 0.005);
+  EXPECT_NEAR(*RhoBeta(0.12), 0.53, 0.005);
+  EXPECT_NEAR(*RhoBeta(1.1), 0.75, 0.005);
+  EXPECT_NEAR(*RhoBeta(2.2), 0.90, 0.005);
+  EXPECT_NEAR(*RhoBeta(4.6), 0.99, 0.005);
+}
+
+TEST(RhoBetaTest, ZeroEpsilonIsCoinFlip) {
+  EXPECT_DOUBLE_EQ(*RhoBeta(0.0), 0.5);
+}
+
+TEST(RhoBetaTest, MonotonicIncreasing) {
+  double prev = 0.0;
+  for (double eps : {0.01, 0.1, 1.0, 2.0, 5.0, 10.0}) {
+    double rb = *RhoBeta(eps);
+    EXPECT_GT(rb, prev);
+    prev = rb;
+  }
+}
+
+TEST(RhoBetaTest, RejectsInvalid) {
+  EXPECT_FALSE(RhoBeta(-0.1).ok());
+  EXPECT_FALSE(RhoBeta(std::nan("")).ok());
+}
+
+TEST(EpsilonForRhoBetaTest, RejectsOutOfRange) {
+  EXPECT_FALSE(EpsilonForRhoBeta(0.5).ok());
+  EXPECT_FALSE(EpsilonForRhoBeta(0.3).ok());
+  EXPECT_FALSE(EpsilonForRhoBeta(1.0).ok());
+}
+
+class RhoBetaRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(RhoBetaRoundTrip, InverseIsExact) {
+  double eps = GetParam();
+  double rho = *RhoBeta(eps);
+  EXPECT_NEAR(*EpsilonForRhoBeta(rho), eps, 1e-9 * std::max(1.0, eps));
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsilonGrid, RhoBetaRoundTrip,
+                         ::testing::Values(0.08, 0.12, 0.5, 1.1, 2.2, 4.6,
+                                           8.0));
+
+// ---------- rho_alpha (Theorem 2 / Eq. 15) ----------
+
+TEST(RhoAlphaTest, PaperTableOneValuesMnist) {
+  // MNIST rows: delta = 0.001.
+  EXPECT_NEAR(*RhoAlpha(0.08, 0.001), 0.008, 0.002);
+  EXPECT_NEAR(*RhoAlpha(1.1, 0.001), 0.12, 0.005);
+  EXPECT_NEAR(*RhoAlpha(2.2, 0.001), 0.23, 0.005);
+  EXPECT_NEAR(*RhoAlpha(4.6, 0.001), 0.46, 0.005);
+}
+
+TEST(RhoAlphaTest, PaperTableOneValuesPurchase) {
+  // Purchase-100 rows: delta = 0.01.
+  EXPECT_NEAR(*RhoAlpha(0.12, 0.01), 0.015, 0.003);
+  EXPECT_NEAR(*RhoAlpha(1.1, 0.01), 0.14, 0.005);
+  EXPECT_NEAR(*RhoAlpha(2.2, 0.01), 0.28, 0.005);
+  EXPECT_NEAR(*RhoAlpha(4.6, 0.01), 0.54, 0.005);
+}
+
+TEST(RhoAlphaTest, IncreasesWithEpsilonAndDelta) {
+  EXPECT_LT(*RhoAlpha(1.0, 1e-6), *RhoAlpha(2.0, 1e-6));
+  // Larger delta -> smaller calibration factor -> larger advantage.
+  EXPECT_LT(*RhoAlpha(1.0, 1e-6), *RhoAlpha(1.0, 1e-2));
+}
+
+TEST(RhoAlphaTest, RejectsInvalid) {
+  EXPECT_FALSE(RhoAlpha(0.0, 0.001).ok());
+  EXPECT_FALSE(RhoAlpha(1.0, 0.0).ok());
+  EXPECT_FALSE(RhoAlpha(1.0, 1.0).ok());
+}
+
+class RhoAlphaRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RhoAlphaRoundTrip, InverseIsExact) {
+  auto [eps, delta] = GetParam();
+  double rho = *RhoAlpha(eps, delta);
+  EXPECT_NEAR(*EpsilonForRhoAlpha(rho, delta), eps,
+              1e-7 * std::max(1.0, eps));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RhoAlphaRoundTrip,
+    ::testing::Combine(::testing::Values(0.08, 1.1, 2.2, 4.6),
+                       ::testing::Values(0.001, 0.01, 1e-6)));
+
+// ---------- RDP-composed rho_alpha (Section 5.2) ----------
+
+TEST(RhoAlphaRdpTest, InvariantToSplittingAcrossSteps) {
+  // k steps at eps_i compose to the same rho_alpha as one step at k * eps_i.
+  const double alpha = 8.0;
+  const double eps_i = 0.05;
+  const size_t k = 30;
+  double composed = *RhoAlphaRdp(static_cast<double>(k) * eps_i, alpha);
+  double single = *RhoAlphaRdp(static_cast<double>(k) * eps_i, alpha);
+  EXPECT_DOUBLE_EQ(composed, single);
+  // And splitting differently changes nothing as long as the total matches.
+  EXPECT_NEAR(*RhoAlphaRdp(1.5, alpha),
+              *RhoAlphaRdp(0.5 + 0.5 + 0.5, alpha), 1e-12);
+}
+
+TEST(RhoAlphaRdpTest, ZeroBudgetMeansNoAdvantage) {
+  EXPECT_DOUBLE_EQ(*RhoAlphaRdp(0.0, 2.0), 0.0);
+}
+
+TEST(RhoAlphaRdpTest, MatchesGaussianAdvantageForSingleRelease) {
+  // One Gaussian release with noise multiplier z: eps_RDP(alpha) =
+  // alpha/(2z^2), and the Bayes advantage is 2 Phi(1/(2z)) - 1. The RDP form
+  // 2 Phi(sqrt(eps_RDP / (2 alpha))) - 1 must agree for every alpha.
+  const double z = 1.7;
+  double direct = GaussianAdvantage(1.0 / z);
+  for (double alpha : {1.5, 2.0, 8.0, 64.0}) {
+    double rdp_eps = GaussianRdpEpsilonFromNoiseMultiplier(alpha, z);
+    EXPECT_NEAR(*RhoAlphaRdp(rdp_eps, alpha), direct, 1e-12);
+  }
+}
+
+TEST(RhoAlphaRdpTest, RejectsInvalid) {
+  EXPECT_FALSE(RhoAlphaRdp(-1.0, 2.0).ok());
+  EXPECT_FALSE(RhoAlphaRdp(1.0, 1.0).ok());
+}
+
+// ---------- generic bounds and helpers ----------
+
+TEST(GaussianAdvantageTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(GaussianAdvantage(0.0), 0.0);
+  // Means 2 sigma apart: 2 Phi(1) - 1 ~ 0.6827 (the 68% rule).
+  EXPECT_NEAR(GaussianAdvantage(2.0), 0.6827, 0.0005);
+}
+
+TEST(GenericAdvantageBoundTest, PropositionTwoShape) {
+  // Adv <= (e^eps - 1) * Pr[A=1 | b=0].
+  EXPECT_NEAR(*GenericAdvantageBound(1.0, 0.1),
+              (std::exp(1.0) - 1.0) * 0.1, 1e-12);
+  EXPECT_NEAR(*GenericAdvantageBound(1.0), std::exp(1.0) - 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(*GenericAdvantageBound(0.0, 0.5), 0.0);
+}
+
+TEST(GenericAdvantageBoundTest, LooserThanGaussianBound) {
+  // The paper's motivation for Theorem 2: the generic bound is far above the
+  // Gaussian-specific expected advantage.
+  double generic = *GenericAdvantageBound(2.2);
+  double gaussian = *RhoAlpha(2.2, 0.001);
+  EXPECT_GT(generic, 10.0 * gaussian);
+}
+
+TEST(AdvantageFromSuccessRateTest, Linear) {
+  EXPECT_DOUBLE_EQ(AdvantageFromSuccessRate(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(AdvantageFromSuccessRate(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(AdvantageFromSuccessRate(0.0), -1.0);
+  EXPECT_DOUBLE_EQ(AdvantageFromSuccessRate(0.615), 0.23);
+}
+
+TEST(RhoBetaSequentialTest, MatchesRhoBetaOfSum) {
+  EXPECT_NEAR(*RhoBetaSequential(0.1, 22), *RhoBeta(2.2), 1e-12);
+  EXPECT_DOUBLE_EQ(*RhoBetaSequential(0.0, 100), 0.5);
+}
+
+}  // namespace
+}  // namespace dpaudit

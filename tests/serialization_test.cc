@@ -1,0 +1,156 @@
+#include "io/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "tests/test_helpers.h"
+
+namespace dpaudit {
+namespace {
+
+using testing_helpers::BlobDataset;
+using testing_helpers::TinyNetwork;
+
+TEST(Fnv1aTest, KnownValues) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(Fnv1a64(nullptr, 0), 0xcbf29ce484222325ULL);
+  const uint8_t a[] = {'a'};
+  EXPECT_EQ(Fnv1a64(a, 1), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(WeightsSerializationTest, RoundTrip) {
+  Rng rng(1);
+  Network net = TinyNetwork();
+  net.Initialize(rng);
+  auto bytes = SerializeWeights(net);
+  ASSERT_TRUE(bytes.ok());
+  Network restored = TinyNetwork();  // different (zero) weights
+  Rng rng2(99);
+  restored.Initialize(rng2);
+  ASSERT_NE(restored.FlatParams(), net.FlatParams());
+  ASSERT_TRUE(DeserializeWeights(*bytes, restored).ok());
+  EXPECT_EQ(restored.FlatParams(), net.FlatParams());
+}
+
+TEST(WeightsSerializationTest, RejectsWrongArchitecture) {
+  Rng rng(2);
+  Network net = TinyNetwork();
+  net.Initialize(rng);
+  auto bytes = SerializeWeights(net);
+  ASSERT_TRUE(bytes.ok());
+  Network different = BuildPurchaseNetwork(10, 4, 3);
+  Status status = DeserializeWeights(*bytes, different);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WeightsSerializationTest, DetectsCorruption) {
+  Rng rng(3);
+  Network net = TinyNetwork();
+  net.Initialize(rng);
+  auto bytes = SerializeWeights(net);
+  ASSERT_TRUE(bytes.ok());
+  std::vector<uint8_t> corrupted = *bytes;
+  corrupted[corrupted.size() / 2] ^= 0xFF;  // flip payload bits
+  Network target = TinyNetwork();
+  Status status = DeserializeWeights(corrupted, target);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(WeightsSerializationTest, RejectsWrongKindAndGarbage) {
+  Rng rng(4);
+  Dataset d = BlobDataset(3, rng);
+  auto dataset_bytes = SerializeDataset(d);
+  ASSERT_TRUE(dataset_bytes.ok());
+  Network net = TinyNetwork();
+  // A dataset blob is not a weights blob.
+  EXPECT_FALSE(DeserializeWeights(*dataset_bytes, net).ok());
+  EXPECT_FALSE(DeserializeWeights({1, 2, 3}, net).ok());
+  std::vector<uint8_t> bad_magic(40, 0);
+  EXPECT_FALSE(DeserializeWeights(bad_magic, net).ok());
+}
+
+TEST(WeightsSerializationTest, ConvNetworkRoundTrip) {
+  // The MNIST conv/norm/pool stack exercises multi-tensor layers.
+  Rng rng(9);
+  Network net = BuildMnistNetwork(14, 2, 4);
+  net.Initialize(rng);
+  auto bytes = SerializeWeights(net);
+  ASSERT_TRUE(bytes.ok());
+  Network restored = BuildMnistNetwork(14, 2, 4);
+  ASSERT_TRUE(DeserializeWeights(*bytes, restored).ok());
+  EXPECT_EQ(restored.FlatParams(), net.FlatParams());
+  // Restored model computes identical predictions.
+  Tensor x({1, 14, 14});
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(i % 7) / 7.0f;
+  }
+  EXPECT_EQ(net.Predict(x), restored.Predict(x));
+}
+
+TEST(DatasetSerializationTest, RoundTrip) {
+  Rng rng(5);
+  Dataset d = BlobDataset(7, rng);
+  auto bytes = SerializeDataset(d);
+  ASSERT_TRUE(bytes.ok());
+  auto restored = DeserializeDataset(*bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ASSERT_EQ(restored->size(), d.size());
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(restored->labels[i], d.labels[i]);
+    EXPECT_TRUE(restored->inputs[i] == d.inputs[i]);
+  }
+}
+
+TEST(DatasetSerializationTest, RoundTripMultiRankTensors) {
+  Dataset d;
+  d.Add(Tensor({2, 3, 4}), 1);
+  d.Add(Tensor({5}), 2);
+  d.Add(Tensor({1, 28, 28}), 0);
+  auto bytes = SerializeDataset(d);
+  ASSERT_TRUE(bytes.ok());
+  auto restored = DeserializeDataset(*bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->inputs[0].shape(), (std::vector<size_t>{2, 3, 4}));
+  EXPECT_EQ(restored->inputs[1].shape(), (std::vector<size_t>{5}));
+}
+
+TEST(DatasetSerializationTest, EmptyDataset) {
+  Dataset empty;
+  auto bytes = SerializeDataset(empty);
+  ASSERT_TRUE(bytes.ok());
+  auto restored = DeserializeDataset(*bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->empty());
+}
+
+TEST(FileRoundTripTest, WeightsAndDatasets) {
+  std::string dir = ::testing::TempDir();
+  std::string weights_path = dir + "/dpaudit_weights_test.dpau";
+  std::string dataset_path = dir + "/dpaudit_dataset_test.dpau";
+  Rng rng(6);
+  Network net = TinyNetwork();
+  net.Initialize(rng);
+  Dataset d = BlobDataset(4, rng);
+  ASSERT_TRUE(SaveWeights(weights_path, net).ok());
+  ASSERT_TRUE(SaveDataset(dataset_path, d).ok());
+  Network restored_net = TinyNetwork();
+  ASSERT_TRUE(LoadWeights(weights_path, restored_net).ok());
+  EXPECT_EQ(restored_net.FlatParams(), net.FlatParams());
+  auto restored_data = LoadDataset(dataset_path);
+  ASSERT_TRUE(restored_data.ok());
+  EXPECT_EQ(restored_data->size(), 4u);
+  std::remove(weights_path.c_str());
+  std::remove(dataset_path.c_str());
+}
+
+TEST(FileRoundTripTest, MissingFileIsNotFound) {
+  Network net = TinyNetwork();
+  EXPECT_EQ(LoadWeights("/nonexistent/x.dpau", net).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(LoadDataset("/nonexistent/x.dpau").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dpaudit

@@ -1,0 +1,100 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dpaudit {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad epsilon");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad epsilon");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad epsilon");
+}
+
+TEST(StatusTest, AllCodesStringify) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "Unimplemented");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+  EXPECT_FALSE(Status::Internal("x") == Status::NotFound("x"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StatusOrTest, ValueOnErrorDies) {
+  StatusOr<int> v = Status::Internal("boom");
+  EXPECT_DEATH({ (void)v.value(); }, "boom");
+}
+
+TEST(StatusOrTest, OkStatusConstructionDies) {
+  EXPECT_DEATH({ StatusOr<int> v = Status::Ok(); (void)v; },
+               "OK StatusOr must carry a value");
+}
+
+StatusOr<double> HalveIfPositive(double x) {
+  if (x <= 0) return Status::InvalidArgument("non-positive");
+  return x / 2.0;
+}
+
+Status UseMacros(double x, double* out) {
+  DPAUDIT_ASSIGN_OR_RETURN(double half, HalveIfPositive(x));
+  DPAUDIT_RETURN_IF_ERROR(Status::Ok());
+  *out = half;
+  return Status::Ok();
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagatesValue) {
+  double out = 0.0;
+  ASSERT_TRUE(UseMacros(8.0, &out).ok());
+  EXPECT_DOUBLE_EQ(out, 4.0);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagatesError) {
+  double out = 0.0;
+  Status s = UseMacros(-1.0, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_DOUBLE_EQ(out, 0.0);
+}
+
+}  // namespace
+}  // namespace dpaudit

@@ -1,0 +1,285 @@
+#include "core/subsampling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/adversary.h"
+#include "core/scores.h"
+#include "dp/rdp_accountant.h"
+#include "tests/test_helpers.h"
+
+namespace dpaudit {
+namespace {
+
+using testing_helpers::BlobDataset;
+using testing_helpers::TinyNetwork;
+
+// ---------- subsampled RDP accountant ----------
+
+TEST(SampledGaussianRdpTest, ReducesToGaussianAtFullSampling) {
+  for (size_t alpha : {2, 4, 16}) {
+    EXPECT_NEAR(SampledGaussianRdpEpsilon(alpha, 1.0, 1.3),
+                GaussianRdpEpsilonFromNoiseMultiplier(
+                    static_cast<double>(alpha), 1.3),
+                1e-12);
+  }
+}
+
+TEST(SampledGaussianRdpTest, AmplificationBySubsampling) {
+  // q < 1 must cost strictly less than q = 1 at every integer order.
+  for (size_t alpha : {2, 3, 8, 32}) {
+    double full = SampledGaussianRdpEpsilon(alpha, 1.0, 1.5);
+    double half = SampledGaussianRdpEpsilon(alpha, 0.5, 1.5);
+    double tenth = SampledGaussianRdpEpsilon(alpha, 0.1, 1.5);
+    EXPECT_LT(half, full);
+    EXPECT_LT(tenth, half);
+    EXPECT_GE(tenth, 0.0);
+  }
+}
+
+TEST(SampledGaussianRdpTest, MatchesManualAlphaTwoComputation) {
+  // alpha = 2: eps = ln((1-q)^2 + 2q(1-q) + q^2 e^{1/z^2}).
+  const double q = 0.3;
+  const double z = 1.7;
+  double manual = std::log((1 - q) * (1 - q) + 2 * q * (1 - q) +
+                           q * q * std::exp(1.0 / (z * z)));
+  EXPECT_NEAR(SampledGaussianRdpEpsilon(2, q, z), manual, 1e-12);
+}
+
+TEST(SampledGaussianRdpTest, SmallQScalesQuadratically) {
+  // For small q the leading term is ~ alpha q^2 / z^2-ish: quartering q
+  // should shrink eps by roughly 16x.
+  double e1 = SampledGaussianRdpEpsilon(4, 0.04, 2.0);
+  double e2 = SampledGaussianRdpEpsilon(4, 0.01, 2.0);
+  EXPECT_NEAR(e1 / e2, 16.0, 3.0);
+}
+
+TEST(RdpAccountantTest, SampledStepsExcludeFractionalOrders) {
+  RdpAccountant accountant;
+  accountant.AddSampledGaussianSteps(0.2, 1.5, 10);
+  // Conversion still works (integer orders remain finite).
+  auto eps = accountant.GetEpsilon(1e-5);
+  ASSERT_TRUE(eps.ok());
+  EXPECT_TRUE(std::isfinite(*eps));
+  // The optimal order must be an integer.
+  double order = *accountant.GetOptimalOrder(1e-5);
+  EXPECT_NEAR(order, std::round(order), 1e-9);
+}
+
+TEST(RdpAccountantTest, SubsamplingSavesEpsilonOverFullBatch) {
+  const double delta = 1e-5;
+  RdpAccountant full;
+  full.AddGaussianSteps(1.5, 100);
+  RdpAccountant sampled;
+  sampled.AddSampledGaussianSteps(0.1, 1.5, 100);
+  EXPECT_LT(*sampled.GetEpsilon(delta), *full.GetEpsilon(delta));
+}
+
+TEST(SampledCalibrationTest, BisectionHitsTarget) {
+  const double target = 2.2;
+  const double delta = 1e-4;
+  const size_t steps = 50;
+  const double q = 0.25;
+  auto z = SampledNoiseMultiplierForTargetEpsilon(target, delta, steps, q);
+  ASSERT_TRUE(z.ok()) << z.status();
+  double achieved =
+      *ComposedEpsilonForSampledNoiseMultiplier(q, *z, delta, steps);
+  EXPECT_NEAR(achieved, target, 1e-5 * target);
+  // Subsampling lets the same budget run with less noise than full batch.
+  double z_full = *NoiseMultiplierForTargetEpsilon(target, delta, steps);
+  EXPECT_LT(*z, z_full);
+}
+
+TEST(SampledCalibrationTest, RejectsInvalid) {
+  EXPECT_FALSE(
+      SampledNoiseMultiplierForTargetEpsilon(1.0, 1e-4, 10, 0.0).ok());
+  EXPECT_FALSE(
+      SampledNoiseMultiplierForTargetEpsilon(1.0, 1e-4, 10, 1.5).ok());
+  EXPECT_FALSE(
+      ComposedEpsilonForSampledNoiseMultiplier(0.5, 0.0, 1e-4, 10).ok());
+}
+
+// ---------- subsampled DPSGD + mixture adversary ----------
+
+SampledDpSgdConfig FastSampledConfig() {
+  SampledDpSgdConfig config;
+  config.steps = 8;
+  config.learning_rate = 0.05;
+  config.clip_norm = 1.0;
+  config.noise_multiplier = 1.0;
+  config.sampling_rate = 0.4;
+  return config;
+}
+
+TEST(SampledDpSgdTest, ConfigValidation) {
+  EXPECT_TRUE(FastSampledConfig().Validate().ok());
+  SampledDpSgdConfig bad = FastSampledConfig();
+  bad.sampling_rate = 0.0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad.sampling_rate = 1.2;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(SampledDpSgdTest, RunsAndRecordsSampling) {
+  Rng rng(1);
+  Network net = TinyNetwork();
+  net.Initialize(rng);
+  Dataset d = BlobDataset(12, rng);
+  Rng run_rng(2);
+  auto result = RunSampledDpSgd(net, d, /*differing_index=*/0,
+                                /*train_on_d=*/true, FastSampledConfig(),
+                                run_rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->differing_sampled.size(), 8u);
+  EXPECT_EQ(result->sigmas.size(), 8u);
+  for (double s : result->sigmas) EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(SampledDpSgdTest, DifferingNeverSampledWhenTrainingOnDPrime) {
+  Rng rng(3);
+  Network net = TinyNetwork();
+  net.Initialize(rng);
+  Dataset d = BlobDataset(12, rng);
+  Rng run_rng(4);
+  auto result = RunSampledDpSgd(net, d, 0, /*train_on_d=*/false,
+                                FastSampledConfig(), run_rng);
+  ASSERT_TRUE(result.ok());
+  for (bool sampled : result->differing_sampled) EXPECT_FALSE(sampled);
+}
+
+TEST(SampledDpSgdTest, RejectsBadArguments) {
+  Rng rng(5);
+  Network net = TinyNetwork();
+  net.Initialize(rng);
+  Dataset d = BlobDataset(4, rng);
+  Rng run_rng(6);
+  EXPECT_FALSE(
+      RunSampledDpSgd(net, d, 99, true, FastSampledConfig(), run_rng).ok());
+  Dataset tiny = BlobDataset(1, rng);
+  EXPECT_FALSE(
+      RunSampledDpSgd(net, tiny, 0, true, FastSampledConfig(), run_rng)
+          .ok());
+}
+
+TEST(SampledDiAdversaryTest, MixtureBeliefMovesTowardTruth) {
+  // Strong signal, deterministic evidence: released exactly at S + g1 with
+  // small noise must push belief toward D; released at S toward D' (though
+  // less decisively, since under D the record might simply not have been
+  // sampled).
+  SampledDiAdversary toward_d;
+  std::vector<float> s = {0.0f, 0.0f};
+  std::vector<float> g1 = {2.0f, 2.0f};
+  toward_d.OnStep(0, s, g1, {2.0f, 2.0f}, /*sigma=*/0.2,
+                  /*sampling_rate=*/0.5);
+  EXPECT_GT(toward_d.FinalBeliefD(), 0.9);
+
+  SampledDiAdversary toward_dprime;
+  toward_dprime.OnStep(0, s, g1, {0.0f, 0.0f}, 0.2, 0.5);
+  EXPECT_LT(toward_dprime.FinalBeliefD(), 0.5);
+  // But bounded below: belief cannot drop past (1-q) prior odds ratio.
+  EXPECT_GT(toward_dprime.FinalBeliefD(), 0.2);
+}
+
+TEST(SampledDiAdversaryTest, BeliefAgainstDBoundedByMissProbability) {
+  // Under the mixture, log p_D >= log(1-q) + log p_D', so one observation
+  // can push the belief no lower than sigmoid(log(1-q)) = (1-q)/(2-q).
+  const double q = 0.3;
+  SampledDiAdversary adversary;
+  adversary.OnStep(0, {0.0f}, {5.0f}, {0.0f}, 0.1, q);
+  double floor = (1.0 - q) / (2.0 - q);
+  EXPECT_GE(adversary.FinalBeliefD(), floor - 1e-9);
+  EXPECT_NEAR(adversary.FinalBeliefD(), floor, 0.01);
+}
+
+TEST(SampledDiAdversaryTest, FullSamplingMatchesBinaryAdversary) {
+  // At q = 1 the mixture collapses: the sampled adversary must produce the
+  // same belief as the two-hypothesis tracker on the same evidence.
+  std::vector<float> s = {0.5f, -0.25f};
+  std::vector<float> g1 = {1.0f, 0.5f};
+  std::vector<float> released = {1.2f, 0.1f};
+  const double sigma = 0.8;
+
+  SampledDiAdversary sampled;
+  sampled.OnStep(0, s, g1, released, sigma, /*sampling_rate=*/1.0);
+
+  std::vector<float> with = s;
+  for (size_t i = 0; i < with.size(); ++i) with[i] += g1[i];
+  DiAdversary binary;
+  binary.OnStep(0, with, s, released, sigma);
+
+  EXPECT_NEAR(sampled.FinalBeliefD(), binary.FinalBeliefD(), 1e-12);
+}
+
+TEST(SampledDpSgdTest, OptimizerChoiceIsHonored) {
+  Rng rng(31);
+  Network net = TinyNetwork();
+  net.Initialize(rng);
+  Dataset d = BlobDataset(10, rng);
+  SampledDpSgdConfig config = FastSampledConfig();
+  auto run = [&](OptimizerKind kind) {
+    SampledDpSgdConfig c = config;
+    c.optimizer = kind;
+    Rng run_rng(32);
+    auto result = RunSampledDpSgd(net, d, 0, true, c, run_rng);
+    EXPECT_TRUE(result.ok());
+    return result->model.FlatParams();
+  };
+  EXPECT_NE(run(OptimizerKind::kSgd), run(OptimizerKind::kAdam));
+  EXPECT_EQ(run(OptimizerKind::kAdam), run(OptimizerKind::kAdam));
+}
+
+TEST(SampledExperimentTest, BeliefBoundHoldsUnderSubsampledAccounting) {
+  Rng rng(7);
+  Network net = TinyNetwork();
+  net.Initialize(rng);
+  Dataset d = BlobDataset(12, rng);
+  const double rho_beta = 0.9;
+  const double delta = 0.05;
+  SampledDpSgdConfig config = FastSampledConfig();
+  config.steps = 10;
+  double epsilon = *EpsilonForRhoBeta(rho_beta);
+  config.noise_multiplier = *SampledNoiseMultiplierForTargetEpsilon(
+      epsilon, delta, config.steps, config.sampling_rate);
+  auto summary =
+      RunSampledDiExperiment(net, d, 0, config, /*repetitions=*/200,
+                             /*seed=*/11);
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  // Theorem 1 with the subsampled accountant's epsilon: violations of the
+  // belief bound are rare (delta-scale; allow 3x sampling slack).
+  EXPECT_LE(summary->FractionAboveBelief(rho_beta), 3.0 * delta);
+}
+
+TEST(SampledExperimentTest, LowerSamplingRateLowersAdvantage) {
+  Rng rng(8);
+  Network net = TinyNetwork();
+  net.Initialize(rng);
+  Dataset d = BlobDataset(12, rng);
+  SampledDpSgdConfig config = FastSampledConfig();
+  config.noise_multiplier = 0.5;  // weak noise: sampling does the protecting
+  config.sampling_rate = 1.0;
+  auto full = RunSampledDiExperiment(net, d, 0, config, 120, 13);
+  config.sampling_rate = 0.1;
+  auto sparse = RunSampledDiExperiment(net, d, 0, config, 120, 13);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(sparse.ok());
+  EXPECT_GT(full->EmpiricalAdvantage(),
+            sparse->EmpiricalAdvantage() + 0.05);
+}
+
+TEST(SampledExperimentTest, DeterministicAcrossThreadCounts) {
+  Rng rng(9);
+  Network net = TinyNetwork();
+  net.Initialize(rng);
+  Dataset d = BlobDataset(8, rng);
+  SampledDpSgdConfig config = FastSampledConfig();
+  config.steps = 4;
+  auto serial = RunSampledDiExperiment(net, d, 0, config, 12, 17, 1);
+  auto parallel = RunSampledDiExperiment(net, d, 0, config, 12, 17, 8);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial->final_beliefs, parallel->final_beliefs);
+}
+
+}  // namespace
+}  // namespace dpaudit

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/dissimilarity.h"
+#include "data/synthetic_mnist.h"
+#include "data/synthetic_purchase.h"
+#include "stats/summary.h"
+
+namespace dpaudit {
+namespace {
+
+// ---------- synthetic MNIST ----------
+
+TEST(SyntheticMnistTest, ShapeAndRange) {
+  SyntheticMnistConfig config;
+  Rng rng(1);
+  Tensor image = RenderSyntheticDigit(7, config, rng);
+  ASSERT_EQ(image.rank(), 3u);
+  EXPECT_EQ(image.dim(0), 1u);
+  EXPECT_EQ(image.dim(1), 28u);
+  EXPECT_EQ(image.dim(2), 28u);
+  for (float v : image.vec()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(SyntheticMnistTest, DigitsHaveInk) {
+  SyntheticMnistConfig config;
+  Rng rng(2);
+  for (size_t digit = 0; digit < 10; ++digit) {
+    Tensor image = RenderSyntheticDigit(digit, config, rng);
+    EXPECT_GT(image.Sum(), 5.0) << "digit " << digit << " rendered blank";
+  }
+}
+
+TEST(SyntheticMnistTest, DeterministicGivenSeed) {
+  SyntheticMnistConfig config;
+  Rng a(3);
+  Rng b(3);
+  Tensor x = RenderSyntheticDigit(4, config, a);
+  Tensor y = RenderSyntheticDigit(4, config, b);
+  EXPECT_TRUE(x == y);
+}
+
+TEST(SyntheticMnistTest, JitterMakesSamplesDiffer) {
+  SyntheticMnistConfig config;
+  Rng rng(4);
+  Tensor x = RenderSyntheticDigit(4, config, rng);
+  Tensor y = RenderSyntheticDigit(4, config, rng);
+  EXPECT_FALSE(x == y);
+  // Still structurally similar: same digit class.
+  EXPECT_GT(Ssim(x, y), 0.3);
+}
+
+TEST(SyntheticMnistTest, IntraClassMoreSimilarThanInterClass) {
+  SyntheticMnistConfig config;
+  Rng rng(5);
+  RunningSummary intra;
+  RunningSummary inter;
+  for (int rep = 0; rep < 20; ++rep) {
+    Tensor one_a = RenderSyntheticDigit(1, config, rng);
+    Tensor one_b = RenderSyntheticDigit(1, config, rng);
+    Tensor eight = RenderSyntheticDigit(8, config, rng);
+    intra.Add(Ssim(one_a, one_b));
+    inter.Add(Ssim(one_a, eight));
+  }
+  EXPECT_GT(intra.mean(), inter.mean());
+}
+
+TEST(SyntheticMnistTest, GenerateIsBalancedAndShuffled) {
+  SyntheticMnistConfig config;
+  Rng rng(6);
+  Dataset data = GenerateSyntheticMnist(100, config, rng);
+  ASSERT_EQ(data.size(), 100u);
+  std::vector<size_t> counts(10, 0);
+  for (size_t label : data.labels) {
+    ASSERT_LT(label, 10u);
+    ++counts[label];
+  }
+  for (size_t c : counts) EXPECT_EQ(c, 10u);
+  // Shuffled: the first ten labels should not be 0..9 in order.
+  bool in_order = true;
+  for (size_t i = 0; i < 10; ++i) {
+    if (data.labels[i] != i) in_order = false;
+  }
+  EXPECT_FALSE(in_order);
+}
+
+// ---------- synthetic Purchase-100 ----------
+
+TEST(SyntheticPurchaseTest, BinaryFeatures) {
+  SyntheticPurchaseGenerator generator(SyntheticPurchaseConfig{}, 11);
+  Rng rng(7);
+  Tensor record = generator.Sample(42, rng);
+  ASSERT_EQ(record.size(), 600u);
+  for (float v : record.vec()) {
+    EXPECT_TRUE(v == 0.0f || v == 1.0f);
+  }
+}
+
+TEST(SyntheticPurchaseTest, PrototypesFixedBySeed) {
+  SyntheticPurchaseConfig config;
+  SyntheticPurchaseGenerator g1(config, 11);
+  SyntheticPurchaseGenerator g2(config, 11);
+  Rng a(8);
+  Rng b(8);
+  EXPECT_TRUE(g1.Sample(5, a) == g2.Sample(5, b));
+}
+
+TEST(SyntheticPurchaseTest, IntraClassCloserInHamming) {
+  SyntheticPurchaseGenerator generator(SyntheticPurchaseConfig{}, 11);
+  Rng rng(9);
+  RunningSummary intra;
+  RunningSummary inter;
+  for (int rep = 0; rep < 20; ++rep) {
+    Tensor a1 = generator.Sample(3, rng);
+    Tensor a2 = generator.Sample(3, rng);
+    Tensor b = generator.Sample(60, rng);
+    intra.Add(HammingDistance(a1, a2));
+    inter.Add(HammingDistance(a1, b));
+  }
+  EXPECT_LT(intra.mean(), inter.mean());
+}
+
+TEST(SyntheticPurchaseTest, GenerateBalancedOverHundredClasses) {
+  SyntheticPurchaseGenerator generator(SyntheticPurchaseConfig{}, 11);
+  Rng rng(10);
+  Dataset data = generator.Generate(200, rng);
+  ASSERT_EQ(data.size(), 200u);
+  std::vector<size_t> counts(100, 0);
+  for (size_t label : data.labels) {
+    ASSERT_LT(label, 100u);
+    ++counts[label];
+  }
+  for (size_t c : counts) EXPECT_EQ(c, 2u);
+}
+
+TEST(SyntheticPurchaseTest, FlipProbabilityControlsNoise) {
+  SyntheticPurchaseConfig clean;
+  clean.flip_probability = 0.0;
+  SyntheticPurchaseGenerator generator(clean, 11);
+  Rng rng(12);
+  Tensor a = generator.Sample(7, rng);
+  Tensor b = generator.Sample(7, rng);
+  EXPECT_DOUBLE_EQ(HammingDistance(a, b), 0.0);  // exact prototype copies
+}
+
+}  // namespace
+}  // namespace dpaudit

@@ -1,0 +1,55 @@
+#include "util/table_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace dpaudit {
+namespace {
+
+TEST(TableWriterTest, CellFormatting) {
+  EXPECT_EQ(TableWriter::Cell(1.23456, 2), "1.23");
+  EXPECT_EQ(TableWriter::Cell(1.23456, 4), "1.2346");
+  EXPECT_EQ(TableWriter::Cell(-0.5, 1), "-0.5");
+  EXPECT_EQ(TableWriter::Cell(42), "42");
+  EXPECT_EQ(TableWriter::Cell(size_t{7}), "7");
+  EXPECT_EQ(TableWriter::Cell(std::nan(""), 3), "nan");
+  EXPECT_EQ(TableWriter::Cell(INFINITY, 3), "inf");
+  EXPECT_EQ(TableWriter::Cell(-INFINITY, 3), "-inf");
+}
+
+TEST(TableWriterTest, CsvOutput) {
+  TableWriter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"3", "4"});
+  std::ostringstream os;
+  table.RenderCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TableWriterTest, TextOutputAligned) {
+  TableWriter table({"metric", "v"});
+  table.AddRow({"epsilon", "2.2"});
+  std::ostringstream os;
+  table.RenderText(os);
+  std::string text = os.str();
+  EXPECT_NE(text.find("| metric  | v   |"), std::string::npos);
+  EXPECT_NE(text.find("| epsilon | 2.2 |"), std::string::npos);
+}
+
+TEST(TableWriterTest, RowCount) {
+  TableWriter table({"x"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"1"});
+  table.AddRow({"2"});
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableWriterDeathTest, MismatchedRowDies) {
+  TableWriter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only one"}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace dpaudit

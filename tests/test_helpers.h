@@ -1,0 +1,59 @@
+// Shared fixtures for the DPSGD / adversary / experiment tests: a tiny
+// two-class dense network and small synthetic datasets that keep per-test
+// wall clock in the tens of milliseconds.
+
+#ifndef DPAUDIT_TESTS_TEST_HELPERS_H_
+#define DPAUDIT_TESTS_TEST_HELPERS_H_
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/network.h"
+#include "util/random.h"
+
+namespace dpaudit {
+namespace testing_helpers {
+
+constexpr size_t kFeatures = 8;
+constexpr size_t kClasses = 3;
+
+/// 8 -> 6 -> 3 dense network.
+inline Network TinyNetwork() {
+  Network net;
+  net.Add(std::make_unique<Dense>(kFeatures, 6));
+  net.Add(std::make_unique<Relu>());
+  net.Add(std::make_unique<Dense>(6, kClasses));
+  return net;
+}
+
+/// Gaussian blobs in distinct directions: coordinate j has mean 2 when
+/// j % kClasses == label, else 0 — one-hot-style class centers that a small
+/// dense net separates easily.
+inline Dataset BlobDataset(size_t count, Rng& rng) {
+  Dataset d;
+  for (size_t i = 0; i < count; ++i) {
+    size_t label = i % kClasses;
+    Tensor x({kFeatures});
+    for (size_t j = 0; j < kFeatures; ++j) {
+      double mean = (j % kClasses == label) ? 2.0 : 0.0;
+      x[j] = static_cast<float>(rng.Gaussian(mean, 0.5));
+    }
+    d.Add(std::move(x), label);
+  }
+  return d;
+}
+
+/// A bounded neighbor of `d`: record 0 replaced by an out-of-distribution
+/// point (all coordinates at `value`).
+inline Dataset ExtremeBoundedNeighbor(const Dataset& d, float value) {
+  Tensor x({kFeatures});
+  x.Fill(value);
+  return d.WithRecordReplaced(0, std::move(x), kClasses - 1);
+}
+
+}  // namespace testing_helpers
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_TESTS_TEST_HELPERS_H_

@@ -1,0 +1,264 @@
+// dpaudit command-line tool.
+//
+//   dpaudit_cli scores --epsilon 2.2 --delta 0.001
+//       Print the identifiability scores for a DP guarantee.
+//
+//   dpaudit_cli plan --rho-beta 0.9 --delta 0.001 --steps 30
+//   dpaudit_cli plan --rho-alpha 0.23 --delta 0.001 --steps 30
+//       Turn an identifiability requirement into a full privacy plan.
+//
+//   dpaudit_cli experiment --dataset mnist|purchase --epsilon 2.2
+//       [--reps 20] [--sensitivity ls|gs] [--neighbors bounded|unbounded]
+//       [--epochs 30] [--n 30] [--seed 42] [--save-model weights.dpau]
+//       Run the repeated Exp^DI with the DP adversary and print the audit.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/auditor.h"
+#include "core/experiment.h"
+#include "core/policy.h"
+#include "core/report.h"
+#include "core/scores.h"
+#include "data/dataset_sensitivity.h"
+#include "data/synthetic_mnist.h"
+#include "data/synthetic_purchase.h"
+#include "dp/rdp_accountant.h"
+#include "io/serialization.h"
+#include "nn/network.h"
+#include "util/arg_parser.h"
+
+namespace dpaudit {
+namespace {
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: dpaudit_cli <scores|plan|experiment> [--flags]\n"
+               "  scores     --epsilon E --delta D\n"
+               "  plan       (--rho-beta B | --rho-alpha A) --delta D "
+               "[--steps K]\n"
+               "  experiment --dataset mnist|purchase [--epsilon E] "
+               "[--reps R]\n"
+               "             [--sensitivity ls|gs] [--neighbors "
+               "bounded|unbounded]\n"
+               "             [--epochs K] [--n N] [--seed S]\n"
+               "             [--save-model PATH] [--report PATH.md]\n");
+}
+
+Status RunScores(const ArgParser& args) {
+  DPAUDIT_ASSIGN_OR_RETURN(double epsilon, args.GetDouble("epsilon", 2.2));
+  DPAUDIT_ASSIGN_OR_RETURN(double delta, args.GetDouble("delta", 1e-3));
+  DPAUDIT_RETURN_IF_ERROR(args.CheckAllConsumed());
+  DPAUDIT_ASSIGN_OR_RETURN(double rho_beta, RhoBeta(epsilon));
+  DPAUDIT_ASSIGN_OR_RETURN(double rho_alpha, RhoAlpha(epsilon, delta));
+  std::printf("(%g, %g)-DP corresponds to:\n", epsilon, delta);
+  std::printf("  rho_beta  (max posterior belief)     = %.4f\n", rho_beta);
+  std::printf("  rho_alpha (expected adv., Gaussian)  = %.4f\n", rho_alpha);
+  return Status::Ok();
+}
+
+Status RunPlan(const ArgParser& args) {
+  IdentifiabilityRequirement requirement;
+  DPAUDIT_ASSIGN_OR_RETURN(double delta, args.GetDouble("delta", 1e-3));
+  DPAUDIT_ASSIGN_OR_RETURN(int64_t steps, args.GetInt("steps", 30));
+  requirement.delta = delta;
+  requirement.steps = static_cast<size_t>(steps);
+  bool has_beta = args.Has("rho-beta");
+  bool has_alpha = args.Has("rho-alpha");
+  if (has_beta == has_alpha) {
+    return Status::InvalidArgument(
+        "pass exactly one of --rho-beta / --rho-alpha");
+  }
+  if (has_beta) {
+    requirement.kind = RequirementKind::kMaxPosteriorBelief;
+    DPAUDIT_ASSIGN_OR_RETURN(requirement.bound,
+                             args.GetDouble("rho-beta", 0.9));
+  } else {
+    requirement.kind = RequirementKind::kMaxExpectedAdvantage;
+    DPAUDIT_ASSIGN_OR_RETURN(requirement.bound,
+                             args.GetDouble("rho-alpha", 0.2));
+  }
+  DPAUDIT_RETURN_IF_ERROR(args.CheckAllConsumed());
+  DPAUDIT_ASSIGN_OR_RETURN(PrivacyPlan plan, MakePrivacyPlan(requirement));
+  std::printf("%s\n", plan.ToString().c_str());
+  return Status::Ok();
+}
+
+Status RunExperiment(const ArgParser& args) {
+  std::string dataset_name = args.GetString("dataset", "mnist");
+  DPAUDIT_ASSIGN_OR_RETURN(double epsilon, args.GetDouble("epsilon", 2.2));
+  DPAUDIT_ASSIGN_OR_RETURN(int64_t reps, args.GetInt("reps", 20));
+  DPAUDIT_ASSIGN_OR_RETURN(int64_t epochs, args.GetInt("epochs", 30));
+  DPAUDIT_ASSIGN_OR_RETURN(int64_t n, args.GetInt("n", 30));
+  DPAUDIT_ASSIGN_OR_RETURN(int64_t seed, args.GetInt("seed", 42));
+  std::string sensitivity = args.GetString("sensitivity", "ls");
+  std::string neighbors = args.GetString("neighbors", "bounded");
+  std::string save_model = args.GetString("save-model", "");
+  std::string report_path = args.GetString("report", "");
+  DPAUDIT_RETURN_IF_ERROR(args.CheckAllConsumed());
+
+  if (n < 4) return Status::InvalidArgument("--n must be >= 4");
+  NeighborMode neighbor_mode;
+  if (neighbors == "bounded") {
+    neighbor_mode = NeighborMode::kBounded;
+  } else if (neighbors == "unbounded") {
+    neighbor_mode = NeighborMode::kUnbounded;
+  } else {
+    return Status::InvalidArgument("--neighbors must be bounded|unbounded");
+  }
+  SensitivityMode sensitivity_mode;
+  if (sensitivity == "ls") {
+    sensitivity_mode = SensitivityMode::kLocalHat;
+  } else if (sensitivity == "gs") {
+    sensitivity_mode = SensitivityMode::kGlobal;
+  } else {
+    return Status::InvalidArgument("--sensitivity must be ls|gs");
+  }
+
+  // Build the task.
+  Rng rng(static_cast<uint64_t>(seed));
+  Dataset d;
+  Dataset pool;
+  DissimilarityFn dissimilarity;
+  Network architecture;
+  double delta;
+  if (dataset_name == "mnist") {
+    SyntheticMnistConfig config;
+    Dataset all =
+        GenerateSyntheticMnist(2 * static_cast<size_t>(n), config, rng);
+    d = all.SampleSplit(static_cast<size_t>(n), rng, &pool);
+    dissimilarity = NegativeSsim;
+    architecture = BuildMnistNetwork(config.image_size, 4, 8);
+    delta = 1.0 / static_cast<double>(n);
+  } else if (dataset_name == "purchase") {
+    SyntheticPurchaseConfig config;
+    config.num_classes = 30;
+    SyntheticPurchaseGenerator generator(config,
+                                         static_cast<uint64_t>(seed) ^ 0x77);
+    Dataset all = generator.Generate(2 * static_cast<size_t>(n), rng);
+    d = all.SampleSplit(static_cast<size_t>(n), rng, &pool);
+    dissimilarity = HammingDistance;
+    architecture =
+        BuildPurchaseNetwork(config.num_features, 48, config.num_classes);
+    delta = 1.0 / static_cast<double>(n);
+  } else {
+    return Status::InvalidArgument("--dataset must be mnist|purchase");
+  }
+
+  // Worst-case neighbor via dataset sensitivity.
+  Dataset d_prime;
+  if (neighbor_mode == NeighborMode::kBounded) {
+    DPAUDIT_ASSIGN_OR_RETURN(std::vector<BoundedCandidate> ranked,
+                             RankBoundedCandidates(d, pool, dissimilarity));
+    d_prime = MakeBoundedNeighbor(d, pool, ranked.front());
+  } else {
+    DPAUDIT_ASSIGN_OR_RETURN(std::vector<UnboundedCandidate> ranked,
+                             RankUnboundedCandidates(d, dissimilarity));
+    d_prime = MakeUnboundedNeighbor(d, ranked.front());
+  }
+
+  DiExperimentConfig config;
+  config.dpsgd.epochs = static_cast<size_t>(epochs);
+  config.dpsgd.learning_rate = 0.005;
+  config.dpsgd.clip_norm = 3.0;
+  DPAUDIT_ASSIGN_OR_RETURN(
+      config.dpsgd.noise_multiplier,
+      NoiseMultiplierForTargetEpsilon(epsilon, delta,
+                                      static_cast<size_t>(epochs)));
+  config.dpsgd.sensitivity_mode = sensitivity_mode;
+  config.dpsgd.neighbor_mode = neighbor_mode;
+  config.repetitions = static_cast<size_t>(reps);
+  config.seed = static_cast<uint64_t>(seed);
+
+  std::printf("running Exp^DI: %s, |D|=%lld, eps=%g, delta=%g, k=%lld, "
+              "z=%.3f, %s/%s, %lld reps\n",
+              dataset_name.c_str(), static_cast<long long>(n), epsilon,
+              delta, static_cast<long long>(epochs),
+              config.dpsgd.noise_multiplier,
+              SensitivityModeToString(sensitivity_mode),
+              NeighborModeToString(neighbor_mode),
+              static_cast<long long>(reps));
+
+  DPAUDIT_ASSIGN_OR_RETURN(DiExperimentSummary summary,
+                           RunDiExperiment(architecture, d, d_prime, config));
+  DPAUDIT_ASSIGN_OR_RETURN(AuditReport report,
+                           AuditExperiment(summary, delta));
+  DPAUDIT_ASSIGN_OR_RETURN(double rho_alpha, RhoAlpha(epsilon, delta));
+  DPAUDIT_ASSIGN_OR_RETURN(double rho_beta, RhoBeta(epsilon));
+
+  std::printf("\nresults over %zu runs:\n", summary.trials.size());
+  std::printf("  empirical advantage     = %.3f   (rho_alpha %.3f)\n",
+              summary.EmpiricalAdvantage(), rho_alpha);
+  std::printf("  max posterior belief    = %.3f   (rho_beta  %.3f)\n",
+              summary.MaxBeliefInD(), rho_beta);
+  std::printf("  empirical delta         = %.4f  (delta      %.4f)\n",
+              summary.EmpiricalDelta(rho_beta), delta);
+  std::printf("  eps' from sensitivities = %.3f   (target eps %.3f)\n",
+              report.epsilon_from_sensitivities, epsilon);
+  std::printf("  eps' from max belief    = %.3f\n",
+              report.epsilon_from_belief);
+  std::printf("  eps' from advantage     = %.3f\n",
+              report.epsilon_from_advantage);
+  DPAUDIT_ASSIGN_OR_RETURN(EpsilonInterval interval,
+                           EpsilonIntervalFromAdvantage(summary, delta));
+  std::printf("  eps' 95%% interval (adv) = [%.3f, %.3f]\n", interval.lo,
+              interval.hi);
+
+  if (!report_path.empty()) {
+    DPAUDIT_ASSIGN_OR_RETURN(
+        PrivacyPlan plan,
+        PlanFromPrivacyParams({epsilon, delta},
+                              static_cast<size_t>(epochs)));
+    DPAUDIT_ASSIGN_OR_RETURN(
+        AuditReportDocument document,
+        BuildAuditReport(plan, summary,
+                         dataset_name + " (synthetic), |D| = " +
+                             std::to_string(n)));
+    DPAUDIT_RETURN_IF_ERROR(WriteAuditReport(report_path, document));
+    std::printf("  markdown report saved to %s\n", report_path.c_str());
+  }
+
+  if (!save_model.empty()) {
+    // Retrain once (same seed, trial 0 settings) and persist the weights.
+    Rng model_rng(static_cast<uint64_t>(seed));
+    Network model = architecture.Clone();
+    model.Initialize(model_rng);
+    DPAUDIT_ASSIGN_OR_RETURN(
+        DpSgdResult trained,
+        RunDpSgd(model, d, d_prime, /*train_on_d=*/true, config.dpsgd,
+                 model_rng));
+    DPAUDIT_RETURN_IF_ERROR(SaveWeights(save_model, trained.model));
+    std::printf("  model weights saved to %s\n", save_model.c_str());
+  }
+  return Status::Ok();
+}
+
+int Main(int argc, char** argv) {
+  StatusOr<ArgParser> args = ArgParser::Parse(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "error: %s\n", args.status().ToString().c_str());
+    PrintUsage();
+    return 2;
+  }
+  if (args->positional().size() != 1) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string& command = args->positional()[0];
+  Status status = Status::InvalidArgument("unknown command: " + command);
+  if (command == "scores") status = RunScores(*args);
+  if (command == "plan") status = RunPlan(*args);
+  if (command == "experiment") status = RunExperiment(*args);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    if (status.code() == StatusCode::kInvalidArgument) PrintUsage();
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dpaudit
+
+int main(int argc, char** argv) { return dpaudit::Main(argc, argv); }
