@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_adaptive_clip.dir/bench_ablation_adaptive_clip.cc.o"
+  "CMakeFiles/bench_ablation_adaptive_clip.dir/bench_ablation_adaptive_clip.cc.o.d"
+  "bench_ablation_adaptive_clip"
+  "bench_ablation_adaptive_clip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_adaptive_clip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_composition.dir/bench_ablation_composition.cc.o"
+  "CMakeFiles/bench_ablation_composition.dir/bench_ablation_composition.cc.o.d"
+  "bench_ablation_composition"
+  "bench_ablation_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_di_vs_mi.dir/bench_ablation_di_vs_mi.cc.o"
+  "CMakeFiles/bench_ablation_di_vs_mi.dir/bench_ablation_di_vs_mi.cc.o.d"
+  "bench_ablation_di_vs_mi"
+  "bench_ablation_di_vs_mi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_di_vs_mi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

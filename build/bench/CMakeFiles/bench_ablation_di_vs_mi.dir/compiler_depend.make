@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_di_vs_mi.
+# This may be replaced when dependencies are built.

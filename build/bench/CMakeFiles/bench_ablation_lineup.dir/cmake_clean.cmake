@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lineup.dir/bench_ablation_lineup.cc.o"
+  "CMakeFiles/bench_ablation_lineup.dir/bench_ablation_lineup.cc.o.d"
+  "bench_ablation_lineup"
+  "bench_ablation_lineup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lineup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

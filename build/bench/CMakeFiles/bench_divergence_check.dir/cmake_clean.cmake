@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_divergence_check.dir/bench_divergence_check.cc.o"
+  "CMakeFiles/bench_divergence_check.dir/bench_divergence_check.cc.o.d"
+  "bench_divergence_check"
+  "bench_divergence_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_divergence_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_decision_boundary.dir/bench_fig01_decision_boundary.cc.o"
+  "CMakeFiles/bench_fig01_decision_boundary.dir/bench_fig01_decision_boundary.cc.o.d"
+  "bench_fig01_decision_boundary"
+  "bench_fig01_decision_boundary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_decision_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_sensitivity_course.dir/bench_fig05_sensitivity_course.cc.o"
+  "CMakeFiles/bench_fig05_sensitivity_course.dir/bench_fig05_sensitivity_course.cc.o.d"
+  "bench_fig05_sensitivity_course"
+  "bench_fig05_sensitivity_course.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_sensitivity_course.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_eps_from_belief.dir/bench_fig09_eps_from_belief.cc.o"
+  "CMakeFiles/bench_fig09_eps_from_belief.dir/bench_fig09_eps_from_belief.cc.o.d"
+  "bench_fig09_eps_from_belief"
+  "bench_fig09_eps_from_belief.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_eps_from_belief.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

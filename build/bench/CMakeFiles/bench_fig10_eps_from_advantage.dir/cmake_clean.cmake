@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_eps_from_advantage.dir/bench_fig10_eps_from_advantage.cc.o"
+  "CMakeFiles/bench_fig10_eps_from_advantage.dir/bench_fig10_eps_from_advantage.cc.o.d"
+  "bench_fig10_eps_from_advantage"
+  "bench_fig10_eps_from_advantage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_eps_from_advantage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_laplace_reference.dir/bench_laplace_reference.cc.o"
+  "CMakeFiles/bench_laplace_reference.dir/bench_laplace_reference.cc.o.d"
+  "bench_laplace_reference"
+  "bench_laplace_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_laplace_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_advantage.dir/bench_tab2_advantage.cc.o"
+  "CMakeFiles/bench_tab2_advantage.dir/bench_tab2_advantage.cc.o.d"
+  "bench_tab2_advantage"
+  "bench_tab2_advantage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_advantage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

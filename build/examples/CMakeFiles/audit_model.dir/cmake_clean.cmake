@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_model.dir/audit_model.cpp.o"
+  "CMakeFiles/audit_model.dir/audit_model.cpp.o.d"
+  "audit_model"
+  "audit_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choose_epsilon.dir/choose_epsilon.cpp.o"
+  "CMakeFiles/choose_epsilon.dir/choose_epsilon.cpp.o.d"
+  "choose_epsilon"
+  "choose_epsilon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choose_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_audit.dir/federated_audit.cpp.o"
+  "CMakeFiles/federated_audit.dir/federated_audit.cpp.o.d"
+  "federated_audit"
+  "federated_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

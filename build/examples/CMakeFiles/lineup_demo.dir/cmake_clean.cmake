@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lineup_demo.dir/lineup_demo.cpp.o"
+  "CMakeFiles/lineup_demo.dir/lineup_demo.cpp.o.d"
+  "lineup_demo"
+  "lineup_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lineup_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

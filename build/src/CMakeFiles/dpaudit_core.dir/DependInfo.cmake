@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adversary.cc" "src/CMakeFiles/dpaudit_core.dir/core/adversary.cc.o" "gcc" "src/CMakeFiles/dpaudit_core.dir/core/adversary.cc.o.d"
+  "/root/repo/src/core/auditor.cc" "src/CMakeFiles/dpaudit_core.dir/core/auditor.cc.o" "gcc" "src/CMakeFiles/dpaudit_core.dir/core/auditor.cc.o.d"
+  "/root/repo/src/core/belief.cc" "src/CMakeFiles/dpaudit_core.dir/core/belief.cc.o" "gcc" "src/CMakeFiles/dpaudit_core.dir/core/belief.cc.o.d"
+  "/root/repo/src/core/dpsgd.cc" "src/CMakeFiles/dpaudit_core.dir/core/dpsgd.cc.o" "gcc" "src/CMakeFiles/dpaudit_core.dir/core/dpsgd.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/dpaudit_core.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/dpaudit_core.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/multi_world.cc" "src/CMakeFiles/dpaudit_core.dir/core/multi_world.cc.o" "gcc" "src/CMakeFiles/dpaudit_core.dir/core/multi_world.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/CMakeFiles/dpaudit_core.dir/core/policy.cc.o" "gcc" "src/CMakeFiles/dpaudit_core.dir/core/policy.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/dpaudit_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/dpaudit_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/scores.cc" "src/CMakeFiles/dpaudit_core.dir/core/scores.cc.o" "gcc" "src/CMakeFiles/dpaudit_core.dir/core/scores.cc.o.d"
+  "/root/repo/src/core/subsampling.cc" "src/CMakeFiles/dpaudit_core.dir/core/subsampling.cc.o" "gcc" "src/CMakeFiles/dpaudit_core.dir/core/subsampling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpaudit_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

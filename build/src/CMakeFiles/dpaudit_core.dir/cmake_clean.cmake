@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaudit_core.dir/core/adversary.cc.o"
+  "CMakeFiles/dpaudit_core.dir/core/adversary.cc.o.d"
+  "CMakeFiles/dpaudit_core.dir/core/auditor.cc.o"
+  "CMakeFiles/dpaudit_core.dir/core/auditor.cc.o.d"
+  "CMakeFiles/dpaudit_core.dir/core/belief.cc.o"
+  "CMakeFiles/dpaudit_core.dir/core/belief.cc.o.d"
+  "CMakeFiles/dpaudit_core.dir/core/dpsgd.cc.o"
+  "CMakeFiles/dpaudit_core.dir/core/dpsgd.cc.o.d"
+  "CMakeFiles/dpaudit_core.dir/core/experiment.cc.o"
+  "CMakeFiles/dpaudit_core.dir/core/experiment.cc.o.d"
+  "CMakeFiles/dpaudit_core.dir/core/multi_world.cc.o"
+  "CMakeFiles/dpaudit_core.dir/core/multi_world.cc.o.d"
+  "CMakeFiles/dpaudit_core.dir/core/policy.cc.o"
+  "CMakeFiles/dpaudit_core.dir/core/policy.cc.o.d"
+  "CMakeFiles/dpaudit_core.dir/core/report.cc.o"
+  "CMakeFiles/dpaudit_core.dir/core/report.cc.o.d"
+  "CMakeFiles/dpaudit_core.dir/core/scores.cc.o"
+  "CMakeFiles/dpaudit_core.dir/core/scores.cc.o.d"
+  "CMakeFiles/dpaudit_core.dir/core/subsampling.cc.o"
+  "CMakeFiles/dpaudit_core.dir/core/subsampling.cc.o.d"
+  "libdpaudit_core.a"
+  "libdpaudit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaudit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

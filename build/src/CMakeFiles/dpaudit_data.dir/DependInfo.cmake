@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/dpaudit_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/dpaudit_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/dataset_sensitivity.cc" "src/CMakeFiles/dpaudit_data.dir/data/dataset_sensitivity.cc.o" "gcc" "src/CMakeFiles/dpaudit_data.dir/data/dataset_sensitivity.cc.o.d"
+  "/root/repo/src/data/dissimilarity.cc" "src/CMakeFiles/dpaudit_data.dir/data/dissimilarity.cc.o" "gcc" "src/CMakeFiles/dpaudit_data.dir/data/dissimilarity.cc.o.d"
+  "/root/repo/src/data/idx_format.cc" "src/CMakeFiles/dpaudit_data.dir/data/idx_format.cc.o" "gcc" "src/CMakeFiles/dpaudit_data.dir/data/idx_format.cc.o.d"
+  "/root/repo/src/data/synthetic_mnist.cc" "src/CMakeFiles/dpaudit_data.dir/data/synthetic_mnist.cc.o" "gcc" "src/CMakeFiles/dpaudit_data.dir/data/synthetic_mnist.cc.o.d"
+  "/root/repo/src/data/synthetic_purchase.cc" "src/CMakeFiles/dpaudit_data.dir/data/synthetic_purchase.cc.o" "gcc" "src/CMakeFiles/dpaudit_data.dir/data/synthetic_purchase.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpaudit_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaudit_data.dir/data/dataset.cc.o"
+  "CMakeFiles/dpaudit_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/dpaudit_data.dir/data/dataset_sensitivity.cc.o"
+  "CMakeFiles/dpaudit_data.dir/data/dataset_sensitivity.cc.o.d"
+  "CMakeFiles/dpaudit_data.dir/data/dissimilarity.cc.o"
+  "CMakeFiles/dpaudit_data.dir/data/dissimilarity.cc.o.d"
+  "CMakeFiles/dpaudit_data.dir/data/idx_format.cc.o"
+  "CMakeFiles/dpaudit_data.dir/data/idx_format.cc.o.d"
+  "CMakeFiles/dpaudit_data.dir/data/synthetic_mnist.cc.o"
+  "CMakeFiles/dpaudit_data.dir/data/synthetic_mnist.cc.o.d"
+  "CMakeFiles/dpaudit_data.dir/data/synthetic_purchase.cc.o"
+  "CMakeFiles/dpaudit_data.dir/data/synthetic_purchase.cc.o.d"
+  "libdpaudit_data.a"
+  "libdpaudit_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaudit_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/analytic_gaussian.cc" "src/CMakeFiles/dpaudit_dp.dir/dp/analytic_gaussian.cc.o" "gcc" "src/CMakeFiles/dpaudit_dp.dir/dp/analytic_gaussian.cc.o.d"
+  "/root/repo/src/dp/calibration.cc" "src/CMakeFiles/dpaudit_dp.dir/dp/calibration.cc.o" "gcc" "src/CMakeFiles/dpaudit_dp.dir/dp/calibration.cc.o.d"
+  "/root/repo/src/dp/composition.cc" "src/CMakeFiles/dpaudit_dp.dir/dp/composition.cc.o" "gcc" "src/CMakeFiles/dpaudit_dp.dir/dp/composition.cc.o.d"
+  "/root/repo/src/dp/mechanism.cc" "src/CMakeFiles/dpaudit_dp.dir/dp/mechanism.cc.o" "gcc" "src/CMakeFiles/dpaudit_dp.dir/dp/mechanism.cc.o.d"
+  "/root/repo/src/dp/privacy_params.cc" "src/CMakeFiles/dpaudit_dp.dir/dp/privacy_params.cc.o" "gcc" "src/CMakeFiles/dpaudit_dp.dir/dp/privacy_params.cc.o.d"
+  "/root/repo/src/dp/rdp_accountant.cc" "src/CMakeFiles/dpaudit_dp.dir/dp/rdp_accountant.cc.o" "gcc" "src/CMakeFiles/dpaudit_dp.dir/dp/rdp_accountant.cc.o.d"
+  "/root/repo/src/dp/sensitivity.cc" "src/CMakeFiles/dpaudit_dp.dir/dp/sensitivity.cc.o" "gcc" "src/CMakeFiles/dpaudit_dp.dir/dp/sensitivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpaudit_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaudit_dp.dir/dp/analytic_gaussian.cc.o"
+  "CMakeFiles/dpaudit_dp.dir/dp/analytic_gaussian.cc.o.d"
+  "CMakeFiles/dpaudit_dp.dir/dp/calibration.cc.o"
+  "CMakeFiles/dpaudit_dp.dir/dp/calibration.cc.o.d"
+  "CMakeFiles/dpaudit_dp.dir/dp/composition.cc.o"
+  "CMakeFiles/dpaudit_dp.dir/dp/composition.cc.o.d"
+  "CMakeFiles/dpaudit_dp.dir/dp/mechanism.cc.o"
+  "CMakeFiles/dpaudit_dp.dir/dp/mechanism.cc.o.d"
+  "CMakeFiles/dpaudit_dp.dir/dp/privacy_params.cc.o"
+  "CMakeFiles/dpaudit_dp.dir/dp/privacy_params.cc.o.d"
+  "CMakeFiles/dpaudit_dp.dir/dp/rdp_accountant.cc.o"
+  "CMakeFiles/dpaudit_dp.dir/dp/rdp_accountant.cc.o.d"
+  "CMakeFiles/dpaudit_dp.dir/dp/sensitivity.cc.o"
+  "CMakeFiles/dpaudit_dp.dir/dp/sensitivity.cc.o.d"
+  "libdpaudit_dp.a"
+  "libdpaudit_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaudit_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaudit_federated.dir/federated/federated.cc.o"
+  "CMakeFiles/dpaudit_federated.dir/federated/federated.cc.o.d"
+  "libdpaudit_federated.a"
+  "libdpaudit_federated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaudit_federated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

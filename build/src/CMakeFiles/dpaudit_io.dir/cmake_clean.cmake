@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaudit_io.dir/io/serialization.cc.o"
+  "CMakeFiles/dpaudit_io.dir/io/serialization.cc.o.d"
+  "libdpaudit_io.a"
+  "libdpaudit_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaudit_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpaudit_io.a"
+)

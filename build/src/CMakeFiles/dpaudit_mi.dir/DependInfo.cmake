@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mi/membership_inference.cc" "src/CMakeFiles/dpaudit_mi.dir/mi/membership_inference.cc.o" "gcc" "src/CMakeFiles/dpaudit_mi.dir/mi/membership_inference.cc.o.d"
+  "/root/repo/src/mi/shadow_attack.cc" "src/CMakeFiles/dpaudit_mi.dir/mi/shadow_attack.cc.o" "gcc" "src/CMakeFiles/dpaudit_mi.dir/mi/shadow_attack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpaudit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaudit_mi.dir/mi/membership_inference.cc.o"
+  "CMakeFiles/dpaudit_mi.dir/mi/membership_inference.cc.o.d"
+  "CMakeFiles/dpaudit_mi.dir/mi/shadow_attack.cc.o"
+  "CMakeFiles/dpaudit_mi.dir/mi/shadow_attack.cc.o.d"
+  "libdpaudit_mi.a"
+  "libdpaudit_mi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaudit_mi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/CMakeFiles/dpaudit_nn.dir/nn/activations.cc.o" "gcc" "src/CMakeFiles/dpaudit_nn.dir/nn/activations.cc.o.d"
+  "/root/repo/src/nn/channel_norm.cc" "src/CMakeFiles/dpaudit_nn.dir/nn/channel_norm.cc.o" "gcc" "src/CMakeFiles/dpaudit_nn.dir/nn/channel_norm.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "src/CMakeFiles/dpaudit_nn.dir/nn/conv2d.cc.o" "gcc" "src/CMakeFiles/dpaudit_nn.dir/nn/conv2d.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/CMakeFiles/dpaudit_nn.dir/nn/dense.cc.o" "gcc" "src/CMakeFiles/dpaudit_nn.dir/nn/dense.cc.o.d"
+  "/root/repo/src/nn/gradient_check.cc" "src/CMakeFiles/dpaudit_nn.dir/nn/gradient_check.cc.o" "gcc" "src/CMakeFiles/dpaudit_nn.dir/nn/gradient_check.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/dpaudit_nn.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/dpaudit_nn.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/metrics.cc" "src/CMakeFiles/dpaudit_nn.dir/nn/metrics.cc.o" "gcc" "src/CMakeFiles/dpaudit_nn.dir/nn/metrics.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/CMakeFiles/dpaudit_nn.dir/nn/network.cc.o" "gcc" "src/CMakeFiles/dpaudit_nn.dir/nn/network.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/dpaudit_nn.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/dpaudit_nn.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/pooling.cc" "src/CMakeFiles/dpaudit_nn.dir/nn/pooling.cc.o" "gcc" "src/CMakeFiles/dpaudit_nn.dir/nn/pooling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpaudit_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaudit_nn.dir/nn/activations.cc.o"
+  "CMakeFiles/dpaudit_nn.dir/nn/activations.cc.o.d"
+  "CMakeFiles/dpaudit_nn.dir/nn/channel_norm.cc.o"
+  "CMakeFiles/dpaudit_nn.dir/nn/channel_norm.cc.o.d"
+  "CMakeFiles/dpaudit_nn.dir/nn/conv2d.cc.o"
+  "CMakeFiles/dpaudit_nn.dir/nn/conv2d.cc.o.d"
+  "CMakeFiles/dpaudit_nn.dir/nn/dense.cc.o"
+  "CMakeFiles/dpaudit_nn.dir/nn/dense.cc.o.d"
+  "CMakeFiles/dpaudit_nn.dir/nn/gradient_check.cc.o"
+  "CMakeFiles/dpaudit_nn.dir/nn/gradient_check.cc.o.d"
+  "CMakeFiles/dpaudit_nn.dir/nn/loss.cc.o"
+  "CMakeFiles/dpaudit_nn.dir/nn/loss.cc.o.d"
+  "CMakeFiles/dpaudit_nn.dir/nn/metrics.cc.o"
+  "CMakeFiles/dpaudit_nn.dir/nn/metrics.cc.o.d"
+  "CMakeFiles/dpaudit_nn.dir/nn/network.cc.o"
+  "CMakeFiles/dpaudit_nn.dir/nn/network.cc.o.d"
+  "CMakeFiles/dpaudit_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/dpaudit_nn.dir/nn/optimizer.cc.o.d"
+  "CMakeFiles/dpaudit_nn.dir/nn/pooling.cc.o"
+  "CMakeFiles/dpaudit_nn.dir/nn/pooling.cc.o.d"
+  "libdpaudit_nn.a"
+  "libdpaudit_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaudit_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

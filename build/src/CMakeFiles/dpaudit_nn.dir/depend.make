@@ -1,0 +1,2 @@
+# Empty dependencies file for dpaudit_nn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/divergence.cc" "src/CMakeFiles/dpaudit_stats.dir/stats/divergence.cc.o" "gcc" "src/CMakeFiles/dpaudit_stats.dir/stats/divergence.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/dpaudit_stats.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/dpaudit_stats.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/normal.cc" "src/CMakeFiles/dpaudit_stats.dir/stats/normal.cc.o" "gcc" "src/CMakeFiles/dpaudit_stats.dir/stats/normal.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/CMakeFiles/dpaudit_stats.dir/stats/summary.cc.o" "gcc" "src/CMakeFiles/dpaudit_stats.dir/stats/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpaudit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

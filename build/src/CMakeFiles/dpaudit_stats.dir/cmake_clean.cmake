@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaudit_stats.dir/stats/divergence.cc.o"
+  "CMakeFiles/dpaudit_stats.dir/stats/divergence.cc.o.d"
+  "CMakeFiles/dpaudit_stats.dir/stats/histogram.cc.o"
+  "CMakeFiles/dpaudit_stats.dir/stats/histogram.cc.o.d"
+  "CMakeFiles/dpaudit_stats.dir/stats/normal.cc.o"
+  "CMakeFiles/dpaudit_stats.dir/stats/normal.cc.o.d"
+  "CMakeFiles/dpaudit_stats.dir/stats/summary.cc.o"
+  "CMakeFiles/dpaudit_stats.dir/stats/summary.cc.o.d"
+  "libdpaudit_stats.a"
+  "libdpaudit_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaudit_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

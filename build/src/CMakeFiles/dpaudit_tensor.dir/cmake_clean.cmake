@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaudit_tensor.dir/tensor/tensor.cc.o"
+  "CMakeFiles/dpaudit_tensor.dir/tensor/tensor.cc.o.d"
+  "libdpaudit_tensor.a"
+  "libdpaudit_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaudit_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaudit_util.dir/util/arg_parser.cc.o"
+  "CMakeFiles/dpaudit_util.dir/util/arg_parser.cc.o.d"
+  "CMakeFiles/dpaudit_util.dir/util/logging.cc.o"
+  "CMakeFiles/dpaudit_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/dpaudit_util.dir/util/math_util.cc.o"
+  "CMakeFiles/dpaudit_util.dir/util/math_util.cc.o.d"
+  "CMakeFiles/dpaudit_util.dir/util/random.cc.o"
+  "CMakeFiles/dpaudit_util.dir/util/random.cc.o.d"
+  "CMakeFiles/dpaudit_util.dir/util/status.cc.o"
+  "CMakeFiles/dpaudit_util.dir/util/status.cc.o.d"
+  "CMakeFiles/dpaudit_util.dir/util/table_writer.cc.o"
+  "CMakeFiles/dpaudit_util.dir/util/table_writer.cc.o.d"
+  "CMakeFiles/dpaudit_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/dpaudit_util.dir/util/thread_pool.cc.o.d"
+  "libdpaudit_util.a"
+  "libdpaudit_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaudit_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_gaussian_test.dir/analytic_gaussian_test.cc.o"
+  "CMakeFiles/analytic_gaussian_test.dir/analytic_gaussian_test.cc.o.d"
+  "analytic_gaussian_test"
+  "analytic_gaussian_test.pdb"
+  "analytic_gaussian_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_gaussian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

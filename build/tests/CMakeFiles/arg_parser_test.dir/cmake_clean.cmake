@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arg_parser_test.dir/arg_parser_test.cc.o"
+  "CMakeFiles/arg_parser_test.dir/arg_parser_test.cc.o.d"
+  "arg_parser_test"
+  "arg_parser_test.pdb"
+  "arg_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arg_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/belief_test.dir/belief_test.cc.o"
+  "CMakeFiles/belief_test.dir/belief_test.cc.o.d"
+  "belief_test"
+  "belief_test.pdb"
+  "belief_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/belief_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

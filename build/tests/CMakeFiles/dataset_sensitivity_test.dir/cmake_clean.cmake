@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_sensitivity_test.dir/dataset_sensitivity_test.cc.o"
+  "CMakeFiles/dataset_sensitivity_test.dir/dataset_sensitivity_test.cc.o.d"
+  "dataset_sensitivity_test"
+  "dataset_sensitivity_test.pdb"
+  "dataset_sensitivity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_sensitivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

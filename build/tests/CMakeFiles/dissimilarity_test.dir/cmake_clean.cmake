@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dissimilarity_test.dir/dissimilarity_test.cc.o"
+  "CMakeFiles/dissimilarity_test.dir/dissimilarity_test.cc.o.d"
+  "dissimilarity_test"
+  "dissimilarity_test.pdb"
+  "dissimilarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dissimilarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/divergence_test.cc" "tests/CMakeFiles/divergence_test.dir/divergence_test.cc.o" "gcc" "tests/CMakeFiles/divergence_test.dir/divergence_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpaudit_mi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_federated.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpaudit_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

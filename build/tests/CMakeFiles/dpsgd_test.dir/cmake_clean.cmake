@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpsgd_test.dir/dpsgd_test.cc.o"
+  "CMakeFiles/dpsgd_test.dir/dpsgd_test.cc.o.d"
+  "dpsgd_test"
+  "dpsgd_test.pdb"
+  "dpsgd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpsgd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idx_format_test.dir/idx_format_test.cc.o"
+  "CMakeFiles/idx_format_test.dir/idx_format_test.cc.o.d"
+  "idx_format_test"
+  "idx_format_test.pdb"
+  "idx_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idx_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mi_test.dir/mi_test.cc.o"
+  "CMakeFiles/mi_test.dir/mi_test.cc.o.d"
+  "mi_test"
+  "mi_test.pdb"
+  "mi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_accountant_test.dir/rdp_accountant_test.cc.o"
+  "CMakeFiles/rdp_accountant_test.dir/rdp_accountant_test.cc.o.d"
+  "rdp_accountant_test"
+  "rdp_accountant_test.pdb"
+  "rdp_accountant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_accountant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

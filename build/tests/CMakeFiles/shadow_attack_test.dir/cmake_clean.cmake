@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_attack_test.dir/shadow_attack_test.cc.o"
+  "CMakeFiles/shadow_attack_test.dir/shadow_attack_test.cc.o.d"
+  "shadow_attack_test"
+  "shadow_attack_test.pdb"
+  "shadow_attack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subsampling_test.dir/subsampling_test.cc.o"
+  "CMakeFiles/subsampling_test.dir/subsampling_test.cc.o.d"
+  "subsampling_test"
+  "subsampling_test.pdb"
+  "subsampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_data_test.dir/synthetic_data_test.cc.o"
+  "CMakeFiles/synthetic_data_test.dir/synthetic_data_test.cc.o.d"
+  "synthetic_data_test"
+  "synthetic_data_test.pdb"
+  "synthetic_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpaudit_cli.dir/dpaudit_cli.cc.o"
+  "CMakeFiles/dpaudit_cli.dir/dpaudit_cli.cc.o.d"
+  "dpaudit_cli"
+  "dpaudit_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpaudit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
