@@ -10,6 +10,7 @@
 #include "data/synthetic_purchase.h"
 #include "dp/mechanism.h"
 #include "dp/rdp_accountant.h"
+#include "nn/gradient_engine.h"
 #include "nn/network.h"
 #include "stats/normal.h"
 #include "util/random.h"
@@ -101,6 +102,61 @@ void BM_PurchasePerExampleGradient(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PurchasePerExampleGradient);
+
+// Clipped-gradient-sum throughput through the gradient engine. Args are
+// {batch size, engine worker threads}. items_processed counts examples, so
+// per-example cost is directly comparable across batch sizes and thread
+// counts. scripts/run_gradient_bench.sh snapshots these into
+// BENCH_gradient_engine.json.
+void BM_ClippedGradientSumMnist(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  Network net = BuildMnistNetwork();
+  Rng rng(9);
+  net.Initialize(rng);
+  SyntheticMnistConfig config;
+  std::vector<Tensor> inputs;
+  std::vector<size_t> labels;
+  for (size_t i = 0; i < batch; ++i) {
+    inputs.push_back(RenderSyntheticDigit(i % 10, config, rng));
+    labels.push_back(i % 10);
+  }
+  GradientEngine::Options options;
+  options.threads = static_cast<size_t>(state.range(1));
+  GradientEngine engine(net, options);
+  engine.SyncParams(net);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.ClippedGradientSum(inputs, labels, 1.0));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ClippedGradientSumMnist)
+    ->ArgsProduct({{16, 64, 256}, {1, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClippedGradientSumPurchase(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  Network net = BuildPurchaseNetwork();
+  Rng rng(10);
+  net.Initialize(rng);
+  SyntheticPurchaseGenerator generator(SyntheticPurchaseConfig{}, 4);
+  std::vector<Tensor> inputs;
+  std::vector<size_t> labels;
+  for (size_t i = 0; i < batch; ++i) {
+    inputs.push_back(generator.Sample(i % 100, rng));
+    labels.push_back(i % 100);
+  }
+  GradientEngine::Options options;
+  options.threads = static_cast<size_t>(state.range(1));
+  GradientEngine engine(net, options);
+  engine.SyncParams(net);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.ClippedGradientSum(inputs, labels, 1.0));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ClippedGradientSumPurchase)
+    ->ArgsProduct({{16, 64, 256}, {1, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_RenderSyntheticDigit(benchmark::State& state) {
   SyntheticMnistConfig config;

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Runs the gradient-engine microbenchmarks and writes their google-benchmark
+# JSON to BENCH_gradient_engine.json at the repo root. Build first:
+#   cmake -B build -S . && cmake --build build -j --target bench_micro
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+bench_bin="${repo_root}/build/bench/bench_micro"
+out="${repo_root}/BENCH_gradient_engine.json"
+
+if [[ ! -x "${bench_bin}" ]]; then
+  echo "error: ${bench_bin} not built (cmake --build build --target bench_micro)" >&2
+  exit 1
+fi
+
+"${bench_bin}" \
+  --benchmark_filter='BM_ClippedGradientSum(Mnist|Purchase)' \
+  --benchmark_out="${out}" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions="${BENCH_REPETITIONS:-1}" \
+  "$@"
+
+# Fold the pre-engine baseline (naive per-example loop, seed build at the
+# same single-thread setting) into the JSON so before/after live in one file.
+python3 - "${out}" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+doc["pre_pr_baseline"] = {
+    "description": "Network::ClippedGradientSum naive per-example loop, "
+                   "seed build (-O2, no gradient engine), single thread, "
+                   "same machine",
+    "unit": "ms",
+    "benchmarks": {
+        "BM_ClippedGradientSumMnist/16": 2.506,
+        "BM_ClippedGradientSumMnist/64": 10.223,
+        "BM_ClippedGradientSumMnist/256": 40.111,
+        "BM_ClippedGradientSumPurchase/16": 5.314,
+        "BM_ClippedGradientSumPurchase/64": 20.612,
+        "BM_ClippedGradientSumPurchase/256": 83.069,
+    },
+}
+mnist64 = next((b for b in doc.get("benchmarks", [])
+                if b["name"].startswith("BM_ClippedGradientSumMnist/64/1")
+                and b.get("run_type", "iteration") != "aggregate"), None)
+if mnist64 is not None:
+    doc["speedup_mnist_batch64_single_thread"] = round(
+        doc["pre_pr_baseline"]["benchmarks"]["BM_ClippedGradientSumMnist/64"]
+        / mnist64["real_time"], 2)
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+EOF
+
+echo "wrote ${out}"

@@ -2,10 +2,13 @@
 
 #include <cmath>
 
+#include "core/neighbor_sums.h"
 #include "dp/mechanism.h"
 #include "dp/sensitivity.h"
+#include "nn/gradient_engine.h"
 #include "stats/summary.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace dpaudit {
 
@@ -63,27 +66,35 @@ StatusOr<DpSgdResult> RunDpSgd(const Network& initial, const Dataset& d,
   const double n = static_cast<double>(d.size());
   double clip = config.clip_norm;
 
+  // One engine (worker replicas, workspaces, pool) for the whole run; only
+  // parameters change between steps. The neighbor relationship between D and
+  // D' is analyzed once so every step can share the per-example gradients of
+  // the records the two datasets have in common.
+  GradientEngine::Options engine_options;
+  engine_options.threads =
+      config.threads == 0 ? DefaultThreadCount() : config.threads;
+  GradientEngine engine(result.model, engine_options);
+  const NeighborOverlap overlap =
+      AnalyzeNeighborOverlap(d, d_prime, config.neighbor_mode);
+
   for (size_t step = 0; step < config.epochs; ++step) {
     // Both hypotheses' clipped gradient sums at the current weights. The
     // adversary can compute these itself (it knows D, D', theta_i); the
     // trainer computes them anyway for noise scaling and hands them to
     // observers to avoid duplicate backprop work. Per-example norms of the
     // actual training data drive adaptive clipping.
-    std::vector<double> train_norms;
-    std::vector<float> sum_d;
-    std::vector<float> sum_dprime;
-    if (config.per_layer_clipping) {
-      sum_d = result.model.PerLayerClippedGradientSum(d.inputs, d.labels,
-                                                      clip);
-      sum_dprime = result.model.PerLayerClippedGradientSum(
-          d_prime.inputs, d_prime.labels, clip);
-    } else {
-      sum_d = result.model.ClippedGradientSum(
-          d.inputs, d.labels, clip, train_on_d ? &train_norms : nullptr);
-      sum_dprime = result.model.ClippedGradientSum(
-          d_prime.inputs, d_prime.labels, clip,
-          train_on_d ? nullptr : &train_norms);
-    }
+    engine.SyncParams(result.model);
+    NeighborSums sums =
+        overlap.sharable
+            ? ComputeClippedNeighborSums(engine, d, d_prime, overlap,
+                                         config.neighbor_mode, clip,
+                                         config.per_layer_clipping)
+            : ComputeClippedNeighborSumsTwoPass(engine, d, d_prime, clip,
+                                                config.per_layer_clipping);
+    std::vector<double>& train_norms =
+        train_on_d ? sums.norms_d : sums.norms_dprime;
+    std::vector<float>& sum_d = sums.sum_d;
+    std::vector<float>& sum_dprime = sums.sum_dprime;
 
     DpSgdStepRecord record;
     record.clip_norm = clip;
@@ -136,10 +147,12 @@ StatusOr<Network> RunNonPrivateSgd(const Network& initial, const Dataset& d,
     return Status::InvalidArgument("learning rate and clip norm must be > 0");
   }
   Network model = initial.Clone();
+  GradientEngine engine(model, {});
   const double n = static_cast<double>(d.size());
   for (size_t step = 0; step < epochs; ++step) {
+    engine.SyncParams(model);
     std::vector<float> sum =
-        model.ClippedGradientSum(d.inputs, d.labels, clip_norm);
+        engine.ClippedGradientSum(d.inputs, d.labels, clip_norm);
     model.ApplyGradientStep(sum, learning_rate / n);
   }
   return model;

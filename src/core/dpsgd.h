@@ -61,6 +61,12 @@ struct DpSgdConfig {
   /// and accounting are unchanged. Incompatible with adaptive_clipping.
   bool per_layer_clipping = false;
 
+  /// Worker threads for per-example gradient computation within a step
+  /// (0 = DefaultThreadCount()). Results are bit-identical for any value;
+  /// RunDiExperiment lowers this automatically when repetitions already run
+  /// in parallel.
+  size_t threads = 0;
+
   Status Validate() const;
 };
 

@@ -75,6 +75,16 @@ StatusOr<DiExperimentSummary> RunDiExperiment(const Network& architecture,
   size_t threads =
       config.threads == 0 ? DefaultThreadCount() : config.threads;
 
+  // Split the thread budget between the two levels of parallelism: outer
+  // repetitions get at most `threads` workers, and each repetition's
+  // per-example gradient engine gets the remainder, so trials x examples
+  // never oversubscribes the budget. An explicit config.dpsgd.threads wins.
+  size_t outer = std::min(threads, config.repetitions);
+  DpSgdConfig dpsgd_config = config.dpsgd;
+  if (dpsgd_config.threads == 0) {
+    dpsgd_config.threads = NestedThreadBudget(threads, outer);
+  }
+
   ThreadPool::ParallelFor(
       config.repetitions, threads, [&](size_t rep) {
         Rng rng = root.Split(rep);
@@ -86,7 +96,7 @@ StatusOr<DiExperimentSummary> RunDiExperiment(const Network& architecture,
 
         DiAdversary adversary;
         StatusOr<DpSgdResult> run = RunDpSgd(model, d, d_prime, train_on_d,
-                                             config.dpsgd, rng, &adversary);
+                                             dpsgd_config, rng, &adversary);
         if (!run.ok()) {
           trial_status[rep] = run.status();
           return;

@@ -4,51 +4,107 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace dpaudit {
 
-Tensor Relu::Forward(const Tensor& input) {
-  last_input_ = input;
-  Tensor out = input;
-  for (float& x : out.vec()) x = std::max(0.0f, x);
-  return out;
-}
+namespace {
 
-Tensor Relu::Backward(const Tensor& grad_output) {
-  DPAUDIT_CHECK_EQ(grad_output.size(), last_input_.size());
-  Tensor grad = grad_output;
-  for (size_t i = 0; i < grad.size(); ++i) {
-    if (last_input_[i] <= 0.0f) grad[i] = 0.0f;
+#if defined(DPAUDIT_X86_DISPATCH)
+
+// Pure selects, no arithmetic, so the vector forms are trivially
+// bit-identical; the point is replacing a data-dependent branch per element
+// (which mispredicts heavily on real activations) with branchless masks.
+
+__attribute__((target("avx2"))) void ReluForwardAvx2(const float* in,
+                                                     float* out, size_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 x = _mm256_loadu_ps(in + i);
+    // x where x > 0, +0.0 otherwise (NaN compares false, like the scalar).
+    _mm256_storeu_ps(out + i,
+                     _mm256_and_ps(_mm256_cmp_ps(x, zero, _CMP_GT_OQ), x));
   }
-  return grad;
+  for (; i < n; ++i) out[i] = in[i] > 0.0f ? in[i] : 0.0f;
 }
 
-Tensor Softmax::Forward(const Tensor& input) {
-  Tensor out = input;
-  float hi = *std::max_element(out.vec().begin(), out.vec().end());
+__attribute__((target("avx2"))) void ReluBackwardAvx2(const float* x,
+                                                      const float* g,
+                                                      float* gi, size_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 xv = _mm256_loadu_ps(x + i);
+    const __m256 gv = _mm256_loadu_ps(g + i);
+    // +0.0 where x <= 0, g otherwise; x = NaN compares false and takes g,
+    // matching the scalar `x <= 0 ? 0 : g`.
+    _mm256_storeu_ps(
+        gi + i,
+        _mm256_andnot_ps(_mm256_cmp_ps(xv, zero, _CMP_LE_OQ), gv));
+  }
+  for (; i < n; ++i) gi[i] = x[i] <= 0.0f ? 0.0f : g[i];
+}
+
+#endif  // DPAUDIT_X86_DISPATCH
+
+}  // namespace
+
+void Relu::ForwardInto(const Tensor& input, Tensor* output) {
+  last_input_ = input;
+  output->ResizeTo(input.shape());
+  const float* in = input.data();
+  float* out = output->data();
+  const size_t n = input.size();
+#if defined(DPAUDIT_X86_DISPATCH)
+  if (HasAvx2()) {
+    ReluForwardAvx2(in, out, n);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) out[i] = in[i] > 0.0f ? in[i] : 0.0f;
+}
+
+void Relu::BackwardInto(const Tensor& grad_output, Tensor* grad_input) {
+  DPAUDIT_CHECK_EQ(grad_output.size(), last_input_.size());
+  grad_input->ResizeTo(grad_output.shape());
+  const float* g = grad_output.data();
+  const float* x = last_input_.data();
+  float* gi = grad_input->data();
+  const size_t n = grad_output.size();
+#if defined(DPAUDIT_X86_DISPATCH)
+  if (HasAvx2()) {
+    ReluBackwardAvx2(x, g, gi, n);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) gi[i] = x[i] <= 0.0f ? 0.0f : g[i];
+}
+
+void Softmax::ForwardInto(const Tensor& input, Tensor* output) {
+  *output = input;
+  float hi = *std::max_element(output->vec().begin(), output->vec().end());
   double sum = 0.0;
-  for (float& x : out.vec()) {
+  for (float& x : output->vec()) {
     x = std::exp(x - hi);
     sum += x;
   }
-  for (float& x : out.vec()) x = static_cast<float>(x / sum);
-  last_output_ = out;
-  return out;
+  for (float& x : output->vec()) x = static_cast<float>(x / sum);
+  last_output_ = *output;
 }
 
-Tensor Softmax::Backward(const Tensor& grad_output) {
+void Softmax::BackwardInto(const Tensor& grad_output, Tensor* grad_input) {
   DPAUDIT_CHECK_EQ(grad_output.size(), last_output_.size());
   // dL/dx_i = s_i * (g_i - sum_j g_j s_j).
   double weighted = 0.0;
   for (size_t j = 0; j < grad_output.size(); ++j) {
     weighted += static_cast<double>(grad_output[j]) * last_output_[j];
   }
-  Tensor grad = grad_output;
-  for (size_t i = 0; i < grad.size(); ++i) {
-    grad[i] = static_cast<float>(
+  grad_input->ResizeTo(grad_output.shape());
+  for (size_t i = 0; i < grad_output.size(); ++i) {
+    (*grad_input)[i] = static_cast<float>(
         last_output_[i] * (static_cast<double>(grad_output[i]) - weighted));
   }
-  return grad;
 }
 
 }  // namespace dpaudit

@@ -13,8 +13,8 @@ namespace dpaudit {
 /// Element-wise max(0, x).
 class Relu : public Layer {
  public:
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, Tensor* output) override;
+  void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
   std::unique_ptr<Layer> Clone() const override {
     return std::make_unique<Relu>();
   }
@@ -29,8 +29,8 @@ class Relu : public Layer {
 /// nn/loss.h, so Backward here implements the full softmax Jacobian product.
 class Softmax : public Layer {
  public:
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, Tensor* output) override;
+  void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
   std::unique_ptr<Layer> Clone() const override {
     return std::make_unique<Softmax>();
   }

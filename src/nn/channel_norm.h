@@ -28,8 +28,8 @@ class ChannelNorm : public Layer {
  public:
   explicit ChannelNorm(size_t channels, double epsilon = 1e-5);
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, Tensor* output) override;
+  void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
   std::vector<Tensor*> Params() override { return {&gamma_, &beta_}; }
   std::vector<Tensor*> Grads() override { return {&dgamma_, &dbeta_}; }
   std::unique_ptr<Layer> Clone() const override;
@@ -45,6 +45,14 @@ class ChannelNorm : public Layer {
   // Forward-pass cache for Backward.
   Tensor normalized_;            // x_hat, same shape as input
   std::vector<double> inv_std_;  // per channel
+  // Per-channel accumulators for the statistics passes. Channels are
+  // accumulated interleaved (all channels advance one spatial position per
+  // iteration) so the C independent summation chains overlap in the FP
+  // pipeline; each chain still adds its values in ascending spatial order.
+  std::vector<double> mean_;
+  std::vector<double> var_;
+  std::vector<double> sum_g_;
+  std::vector<double> sum_gx_;
 };
 
 }  // namespace dpaudit

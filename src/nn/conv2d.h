@@ -18,8 +18,8 @@ class Conv2d : public Layer {
  public:
   Conv2d(size_t in_channels, size_t out_channels, size_t kernel);
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, Tensor* output) override;
+  void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
   std::vector<Tensor*> Params() override { return {&weight_, &bias_}; }
   std::vector<Tensor*> Grads() override { return {&dweight_, &dbias_}; }
   void Initialize(Rng& rng) override;
@@ -35,6 +35,13 @@ class Conv2d : public Layer {
   Tensor dweight_;
   Tensor dbias_;
   Tensor last_input_;  // [C, H, W]
+  // Backward-pass accumulators for the generic (non-3x3) kernel path, kept
+  // as a member so steady-state passes do not allocate.
+  std::vector<double> wacc_;
+  // Double-widened copies of the input and grad-output planes for the AVX2
+  // weight-gradient kernels (widening is exact, so sums are unchanged).
+  std::vector<double> in_pd_;
+  std::vector<double> g_pd_;
 };
 
 }  // namespace dpaudit

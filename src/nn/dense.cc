@@ -27,25 +27,61 @@ void Dense::Initialize(Rng& rng) {
   bias_.Fill(0.0f);
 }
 
-Tensor Dense::Forward(const Tensor& input) {
+void Dense::ForwardInto(const Tensor& input, Tensor* output) {
   DPAUDIT_CHECK_EQ(input.size(), in_)
       << "dense expects volume " << in_ << ", got " << input.ShapeString();
   last_input_shape_ = input.shape();
   last_input_ = input;
-  last_input_.Reshape({in_});
-  Tensor out({out_});
+  output->ResizeTo({out_});
   const float* w = weight_.data();
-  const float* x = last_input_.data();
-  for (size_t o = 0; o < out_; ++o) {
+  const float* x = input.data();
+  float* out = output->data();
+  // Eight outputs per pass: eight independent dot-product chains hide the
+  // FP-add latency of a single serial accumulation. Each chain still sums
+  // its products in ascending input order, so every output is bit-identical
+  // to the one-row-at-a-time loop.
+  size_t o = 0;
+  for (; o + 8 <= out_; o += 8) {
+    const float* w0 = w + o * in_;
+    const float* w1 = w0 + in_;
+    const float* w2 = w1 + in_;
+    const float* w3 = w2 + in_;
+    const float* w4 = w3 + in_;
+    const float* w5 = w4 + in_;
+    const float* w6 = w5 + in_;
+    const float* w7 = w6 + in_;
+    double a0 = bias_[o], a1 = bias_[o + 1], a2 = bias_[o + 2];
+    double a3 = bias_[o + 3], a4 = bias_[o + 4], a5 = bias_[o + 5];
+    double a6 = bias_[o + 6], a7 = bias_[o + 7];
+    for (size_t i = 0; i < in_; ++i) {
+      const double xi = x[i];
+      a0 += w0[i] * xi;
+      a1 += w1[i] * xi;
+      a2 += w2[i] * xi;
+      a3 += w3[i] * xi;
+      a4 += w4[i] * xi;
+      a5 += w5[i] * xi;
+      a6 += w6[i] * xi;
+      a7 += w7[i] * xi;
+    }
+    out[o] = static_cast<float>(a0);
+    out[o + 1] = static_cast<float>(a1);
+    out[o + 2] = static_cast<float>(a2);
+    out[o + 3] = static_cast<float>(a3);
+    out[o + 4] = static_cast<float>(a4);
+    out[o + 5] = static_cast<float>(a5);
+    out[o + 6] = static_cast<float>(a6);
+    out[o + 7] = static_cast<float>(a7);
+  }
+  for (; o < out_; ++o) {
     double acc = bias_[o];
     const float* wrow = w + o * in_;
     for (size_t i = 0; i < in_; ++i) acc += static_cast<double>(wrow[i]) * x[i];
     out[o] = static_cast<float>(acc);
   }
-  return out;
 }
 
-Tensor Dense::Backward(const Tensor& grad_output) {
+void Dense::BackwardInto(const Tensor& grad_output, Tensor* grad_input) {
   DPAUDIT_CHECK_EQ(grad_output.size(), out_);
   DPAUDIT_CHECK_EQ(last_input_.size(), in_) << "Backward before Forward";
   const float* g = grad_output.data();
@@ -53,8 +89,9 @@ Tensor Dense::Backward(const Tensor& grad_output) {
   const float* w = weight_.data();
   float* dw = dweight_.data();
   float* db = dbias_.data();
-  Tensor grad_input({in_});
-  float* gx = grad_input.data();
+  grad_input->ResizeTo(last_input_shape_);
+  float* gx = grad_input->data();
+  for (size_t i = 0; i < in_; ++i) gx[i] = 0.0f;
   for (size_t o = 0; o < out_; ++o) {
     float go = g[o];
     db[o] += go;
@@ -65,8 +102,6 @@ Tensor Dense::Backward(const Tensor& grad_output) {
       gx[i] += go * wrow[i];
     }
   }
-  grad_input.Reshape(last_input_shape_);
-  return grad_input;
 }
 
 std::unique_ptr<Layer> Dense::Clone() const {

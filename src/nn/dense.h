@@ -18,8 +18,8 @@ class Dense : public Layer {
  public:
   Dense(size_t in_features, size_t out_features);
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, Tensor* output) override;
+  void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
   std::vector<Tensor*> Params() override { return {&weight_, &bias_}; }
   std::vector<Tensor*> Grads() override { return {&dweight_, &dbias_}; }
   void Initialize(Rng& rng) override;

@@ -1,0 +1,147 @@
+#include "nn/gradient_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace dpaudit {
+
+GradientEngine::GradientEngine(const Network& architecture, Options options)
+    : threads_(options.threads == 0 ? DefaultThreadCount() : options.threads),
+      chunk_(std::max<size_t>(1, options.chunk)),
+      num_params_(architecture.NumParams()),
+      ranges_(architecture.LayerParamRanges()) {
+  replicas_.reserve(threads_);
+  for (size_t t = 0; t < threads_; ++t) {
+    replicas_.push_back(architecture.Clone());
+  }
+  workspaces_.resize(threads_);
+  slots_.resize(threads_ == 1 ? 1 : threads_ * chunk_);
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+void GradientEngine::SyncParams(const Network& source) {
+  std::vector<float> flat = source.FlatParams();
+  DPAUDIT_CHECK_EQ(flat.size(), num_params_);
+  for (Network& replica : replicas_) replica.SetFlatParams(flat);
+}
+
+void GradientEngine::ComputeSlot(size_t worker, const Tensor& input,
+                                 size_t label, NormMode mode, Slot* slot) {
+  slot->grad.resize(num_params_);
+  replicas_[worker].PerExampleGradientTo(input, label, &workspaces_[worker],
+                                         slot->grad.data());
+  if (mode == NormMode::kWhole) {
+    slot->norm = L2Norm(slot->grad.data(), num_params_);
+  } else {
+    slot->layer_norms.resize(ranges_.size());
+    for (size_t r = 0; r < ranges_.size(); ++r) {
+      slot->layer_norms[r] =
+          L2Norm(slot->grad.data() + ranges_[r].offset, ranges_[r].size);
+    }
+  }
+}
+
+void GradientEngine::VisitPerExampleGradients(
+    const std::vector<const Tensor*>& inputs, const std::vector<size_t>& labels,
+    NormMode mode,
+    const std::function<void(size_t, const PerExampleGradView&)>& visit) {
+  DPAUDIT_CHECK_EQ(inputs.size(), labels.size());
+  const size_t n = inputs.size();
+  if (threads_ == 1) {
+    Slot& slot = slots_[0];
+    for (size_t j = 0; j < n; ++j) {
+      ComputeSlot(0, *inputs[j], labels[j], mode, &slot);
+      PerExampleGradView view{slot.grad.data(), slot.norm,
+                              mode == NormMode::kPerLayer
+                                  ? slot.layer_norms.data()
+                                  : nullptr};
+      visit(j, view);
+    }
+    return;
+  }
+  // Waves of threads * chunk examples: workers claim fixed-size chunks from
+  // an atomic cursor and fill the wave's slots, then the calling thread
+  // visits the wave in example order. The work-claiming schedule balances
+  // load but cannot affect results: gradients are computed independently per
+  // example and only the ordered visitation reduces them.
+  const size_t wave = slots_.size();
+  for (size_t begin = 0; begin < n; begin += wave) {
+    const size_t end = std::min(n, begin + wave);
+    std::atomic<size_t> next{begin};
+    for (size_t t = 0; t < threads_; ++t) {
+      pool_->Schedule([this, t, begin, end, mode, &next, &inputs, &labels] {
+        for (;;) {
+          const size_t chunk_begin = next.fetch_add(chunk_);
+          if (chunk_begin >= end) return;
+          const size_t chunk_end = std::min(end, chunk_begin + chunk_);
+          for (size_t j = chunk_begin; j < chunk_end; ++j) {
+            ComputeSlot(t, *inputs[j], labels[j], mode,
+                        &slots_[j - begin]);
+          }
+        }
+      });
+    }
+    pool_->Wait();
+    for (size_t j = begin; j < end; ++j) {
+      const Slot& slot = slots_[j - begin];
+      PerExampleGradView view{slot.grad.data(), slot.norm,
+                              mode == NormMode::kPerLayer
+                                  ? slot.layer_norms.data()
+                                  : nullptr};
+      visit(j, view);
+    }
+  }
+}
+
+void GradientEngine::VisitPerExampleGradients(
+    const std::vector<Tensor>& inputs, const std::vector<size_t>& labels,
+    NormMode mode,
+    const std::function<void(size_t, const PerExampleGradView&)>& visit) {
+  std::vector<const Tensor*> ptrs(inputs.size());
+  for (size_t j = 0; j < inputs.size(); ++j) ptrs[j] = &inputs[j];
+  VisitPerExampleGradients(ptrs, labels, mode, visit);
+}
+
+std::vector<float> GradientEngine::ClippedGradientSum(
+    const std::vector<Tensor>& inputs, const std::vector<size_t>& labels,
+    double clip_norm, std::vector<double>* per_example_norms) {
+  DPAUDIT_CHECK_GT(clip_norm, 0.0);
+  std::vector<float> sum(num_params_, 0.0f);
+  if (per_example_norms != nullptr) per_example_norms->clear();
+  VisitPerExampleGradients(
+      inputs, labels, NormMode::kWhole,
+      [&](size_t, const PerExampleGradView& view) {
+        if (per_example_norms != nullptr) {
+          per_example_norms->push_back(view.norm);
+        }
+        AccumulateScaled(sum.data(), view.grad, num_params_,
+                         ClipScale(view.norm, clip_norm));
+      });
+  return sum;
+}
+
+std::vector<float> GradientEngine::PerLayerClippedGradientSum(
+    const std::vector<Tensor>& inputs, const std::vector<size_t>& labels,
+    double clip_norm) {
+  DPAUDIT_CHECK_GT(clip_norm, 0.0);
+  DPAUDIT_CHECK(!ranges_.empty());
+  const double per_layer_clip =
+      clip_norm / std::sqrt(static_cast<double>(ranges_.size()));
+  std::vector<float> sum(num_params_, 0.0f);
+  VisitPerExampleGradients(
+      inputs, labels, NormMode::kPerLayer,
+      [&](size_t, const PerExampleGradView& view) {
+        for (size_t r = 0; r < ranges_.size(); ++r) {
+          AccumulateScaled(sum.data() + ranges_[r].offset,
+                           view.grad + ranges_[r].offset, ranges_[r].size,
+                           ClipScale(view.layer_norms[r], per_layer_clip));
+        }
+      });
+  return sum;
+}
+
+}  // namespace dpaudit

@@ -1,0 +1,121 @@
+// Batched, parallel per-example gradient engine.
+//
+// DPSGD needs, at every step, the clipped per-example gradient of every
+// record at the current weights. The engine computes those gradients across a
+// fixed set of worker replicas (each worker owns a deep copy of the network
+// plus a reusable GradientWorkspace, so workers never share layer caches and
+// the steady state performs no per-example heap allocation) and hands them to
+// the caller ON THE CALLING THREAD in ascending example order.
+//
+// Determinism contract: a per-example gradient depends only on the parameters
+// and the example, never on which worker computes it or in what order, and
+// every reduction (norms, clipped sums) happens sequentially in example order
+// on the calling thread. Results are therefore bit-identical for any thread
+// count, including the sequential reference implementation in Network.
+
+#ifndef DPAUDIT_NN_GRADIENT_ENGINE_H_
+#define DPAUDIT_NN_GRADIENT_ENGINE_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/network.h"
+#include "tensor/tensor.h"
+#include "util/thread_pool.h"
+
+namespace dpaudit {
+
+class GradientEngine {
+ public:
+  struct Options {
+    /// Worker count; 0 means DefaultThreadCount(). With one worker the
+    /// engine runs inline on the calling thread with a single slot buffer.
+    size_t threads = 0;
+    /// Examples claimed per unit of scheduled work. Parallel mode buffers
+    /// threads * chunk flat gradients at a time.
+    size_t chunk = 16;
+  };
+
+  /// Which norms the workers precompute alongside each gradient. Norm chains
+  /// are long serial double accumulations, so they are evaluated on the
+  /// workers (where they parallelize across examples) rather than in the
+  /// visitor.
+  enum class NormMode {
+    kWhole,     // pre-clip L2 norm of the whole flat gradient
+    kPerLayer,  // one norm per parameterized layer (LayerParamRanges order)
+  };
+
+  /// What a visitor sees for one example.
+  struct PerExampleGradView {
+    const float* grad;          // flat gradient, num_params() floats
+    double norm;                // whole-gradient norm (NormMode::kWhole)
+    const double* layer_norms;  // per-range norms (NormMode::kPerLayer)
+  };
+
+  explicit GradientEngine(const Network& architecture)
+      : GradientEngine(architecture, Options()) {}
+  GradientEngine(const Network& architecture, Options options);
+
+  GradientEngine(const GradientEngine&) = delete;
+  GradientEngine& operator=(const GradientEngine&) = delete;
+
+  size_t num_params() const { return num_params_; }
+  size_t threads() const { return threads_; }
+  const std::vector<Network::ParamRange>& param_ranges() const {
+    return ranges_;
+  }
+
+  /// Copies `source`'s parameters into every worker replica. Call once per
+  /// training step, before computing gradients at the new weights.
+  void SyncParams(const Network& source);
+
+  /// Computes the per-example gradient of every (inputs[j], labels[j]) and
+  /// invokes visit(j, view) on the calling thread in ascending j. The view's
+  /// pointers are only valid during that invocation.
+  void VisitPerExampleGradients(
+      const std::vector<const Tensor*>& inputs,
+      const std::vector<size_t>& labels, NormMode mode,
+      const std::function<void(size_t, const PerExampleGradView&)>& visit);
+
+  void VisitPerExampleGradients(
+      const std::vector<Tensor>& inputs, const std::vector<size_t>& labels,
+      NormMode mode,
+      const std::function<void(size_t, const PerExampleGradView&)>& visit);
+
+  /// Drop-in equivalents of the Network methods of the same names,
+  /// bit-identical to them for any thread count.
+  std::vector<float> ClippedGradientSum(
+      const std::vector<Tensor>& inputs, const std::vector<size_t>& labels,
+      double clip_norm, std::vector<double>* per_example_norms = nullptr);
+
+  std::vector<float> PerLayerClippedGradientSum(
+      const std::vector<Tensor>& inputs, const std::vector<size_t>& labels,
+      double clip_norm);
+
+ private:
+  struct Slot {
+    std::vector<float> grad;
+    double norm = 0.0;
+    std::vector<double> layer_norms;
+  };
+
+  /// Computes example j's gradient and norms into `slot` using worker w's
+  /// replica and workspace.
+  void ComputeSlot(size_t worker, const Tensor& input, size_t label,
+                   NormMode mode, Slot* slot);
+
+  size_t threads_;
+  size_t chunk_;
+  size_t num_params_;
+  std::vector<Network::ParamRange> ranges_;
+  std::vector<Network> replicas_;             // one per worker
+  std::vector<GradientWorkspace> workspaces_; // one per worker
+  std::vector<Slot> slots_;                   // threads * chunk wave buffers
+  std::unique_ptr<ThreadPool> pool_;          // absent when threads_ == 1
+};
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_NN_GRADIENT_ENGINE_H_

@@ -17,20 +17,38 @@
 
 namespace dpaudit {
 
-/// Abstract differentiable layer. Backward() must be called after Forward()
-/// on the same example; parameter gradients accumulate across calls until
+/// Abstract differentiable layer. Backward must be called after Forward on
+/// the same example; parameter gradients accumulate across calls until
 /// ZeroGrads().
+///
+/// Layers implement the Into forms, which write into caller-provided output
+/// tensors and reuse their storage: once shapes have stabilized (after the
+/// first example), a forward/backward pass performs no heap allocation. The
+/// output tensor must not alias the input tensor.
 class Layer {
  public:
   virtual ~Layer() = default;
 
-  /// Computes the layer output for one example.
-  virtual Tensor Forward(const Tensor& input) = 0;
+  /// Computes the layer output for one example into `*output` (resized as
+  /// needed; must not alias `input`).
+  virtual void ForwardInto(const Tensor& input, Tensor* output) = 0;
 
-  /// Given dLoss/dOutput for the example last passed through Forward(),
-  /// accumulates dLoss/dParams into the gradient tensors and returns
-  /// dLoss/dInput.
-  virtual Tensor Backward(const Tensor& grad_output) = 0;
+  /// Given dLoss/dOutput for the example last passed through the forward
+  /// pass, accumulates dLoss/dParams into the gradient tensors and writes
+  /// dLoss/dInput into `*grad_input` (must not alias `grad_output`).
+  virtual void BackwardInto(const Tensor& grad_output, Tensor* grad_input) = 0;
+
+  /// Allocating conveniences over the Into forms.
+  Tensor Forward(const Tensor& input) {
+    Tensor output;
+    ForwardInto(input, &output);
+    return output;
+  }
+  Tensor Backward(const Tensor& grad_output) {
+    Tensor grad_input;
+    BackwardInto(grad_output, &grad_input);
+    return grad_input;
+  }
 
   /// Learnable parameter tensors (possibly empty). Pointers remain valid for
   /// the lifetime of the layer.

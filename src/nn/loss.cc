@@ -20,20 +20,25 @@ Tensor SoftmaxProbabilities(const Tensor& logits) {
   return probs;
 }
 
-LossResult SoftmaxCrossEntropy(const Tensor& logits, size_t label) {
+double SoftmaxCrossEntropyInto(const Tensor& logits, size_t label,
+                               Tensor* grad_logits) {
   DPAUDIT_CHECK_LT(label, logits.size());
   float hi = *std::max_element(logits.vec().begin(), logits.vec().end());
   double sum = 0.0;
   for (float x : logits.vec()) sum += std::exp(static_cast<double>(x) - hi);
   double log_z = hi + std::log(sum);
-  LossResult result;
-  result.loss = log_z - logits[label];
-  result.grad_logits = logits;
+  grad_logits->ResizeTo(logits.shape());
+  float* grad = grad_logits->data();
   for (size_t i = 0; i < logits.size(); ++i) {
     double p = std::exp(static_cast<double>(logits[i]) - log_z);
-    result.grad_logits[i] =
-        static_cast<float>(p - (i == label ? 1.0 : 0.0));
+    grad[i] = static_cast<float>(p - (i == label ? 1.0 : 0.0));
   }
+  return log_z - logits[label];
+}
+
+LossResult SoftmaxCrossEntropy(const Tensor& logits, size_t label) {
+  LossResult result;
+  result.loss = SoftmaxCrossEntropyInto(logits, label, &result.grad_logits);
   return result;
 }
 

@@ -19,6 +19,12 @@ struct LossResult {
 /// Numerically stable via the log-sum-exp trick.
 LossResult SoftmaxCrossEntropy(const Tensor& logits, size_t label);
 
+/// Allocation-free form: writes the logit gradient into `*grad_logits`
+/// (resized as needed, storage reused) and returns the loss. `grad_logits`
+/// must not alias `logits`.
+double SoftmaxCrossEntropyInto(const Tensor& logits, size_t label,
+                               Tensor* grad_logits);
+
 /// Softmax probabilities of a rank-1 logits tensor (stable).
 Tensor SoftmaxProbabilities(const Tensor& logits);
 

@@ -10,6 +10,7 @@
 #include "nn/dense.h"
 #include "nn/pooling.h"
 #include "util/logging.h"
+#include "util/math_util.h"
 
 namespace dpaudit {
 
@@ -71,35 +72,55 @@ double Network::Accuracy(const std::vector<Tensor>& inputs,
   return static_cast<double>(correct) / static_cast<double>(inputs.size());
 }
 
-void Network::Backward(const Tensor& grad_logits) {
-  Tensor grad = grad_logits;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    grad = (*it)->Backward(grad);
-  }
-}
-
 void Network::ZeroGrads() {
   for (auto& layer : layers_) layer->ZeroGrads();
 }
 
-std::vector<float> Network::FlatGrads() const {
-  std::vector<float> flat;
-  flat.reserve(NumParams());
+void Network::FlatGradsTo(float* dst) const {
   for (const auto& layer : layers_) {
     for (Tensor* g : const_cast<Layer&>(*layer).Grads()) {
-      flat.insert(flat.end(), g->vec().begin(), g->vec().end());
+      std::copy(g->data(), g->data() + g->size(), dst);
+      dst += g->size();
     }
   }
-  return flat;
+}
+
+double Network::PerExampleGradientTo(const Tensor& input, size_t label,
+                                     GradientWorkspace* ws, float* dst) {
+  ZeroGrads();
+  // Forward through the ping-pong activation buffers; each layer caches
+  // whatever it needs internally, so the buffers can be reused immediately.
+  const Tensor* cur = &input;
+  Tensor* next = &ws->act_a;
+  Tensor* spare = &ws->act_b;
+  for (auto& layer : layers_) {
+    layer->ForwardInto(*cur, next);
+    cur = next;
+    std::swap(next, spare);
+  }
+  double loss = SoftmaxCrossEntropyInto(*cur, label, &ws->grad_a);
+  const Tensor* gcur = &ws->grad_a;
+  Tensor* gnext = &ws->grad_b;
+  Tensor* gspare = &ws->grad_a;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    (*it)->BackwardInto(*gcur, gnext);
+    gcur = gnext;
+    std::swap(gnext, gspare);
+  }
+  FlatGradsTo(dst);
+  return loss;
+}
+
+double Network::PerExampleGradientInto(const Tensor& input, size_t label,
+                                       GradientWorkspace* ws) {
+  ws->grad.resize(NumParams());
+  return PerExampleGradientTo(input, label, ws, ws->grad.data());
 }
 
 std::vector<float> Network::PerExampleGradient(const Tensor& input,
                                                size_t label) {
-  ZeroGrads();
-  Tensor logits = Forward(input);
-  LossResult loss = SoftmaxCrossEntropy(logits, label);
-  Backward(loss.grad_logits);
-  return FlatGrads();
+  PerExampleGradientInto(input, label, &scratch_);
+  return scratch_.grad;
 }
 
 std::vector<float> Network::ClippedExampleGradient(const Tensor& input,
@@ -107,12 +128,10 @@ std::vector<float> Network::ClippedExampleGradient(const Tensor& input,
                                                    double clip_norm) {
   DPAUDIT_CHECK_GT(clip_norm, 0.0);
   std::vector<float> grad = PerExampleGradient(input, label);
-  double sq = 0.0;
-  for (float g : grad) sq += static_cast<double>(g) * g;
-  double norm = std::sqrt(sq);
-  if (norm > clip_norm) {
-    float scale = static_cast<float>(clip_norm / norm);
-    for (float& g : grad) g *= scale;
+  double scale = ClipScale(L2Norm(grad.data(), grad.size()), clip_norm);
+  if (scale < 1.0) {
+    const float fscale = static_cast<float>(scale);
+    for (float& g : grad) g *= fscale;
   }
   return grad;
 }
@@ -125,15 +144,11 @@ std::vector<float> Network::ClippedGradientSum(
   std::vector<float> sum(NumParams(), 0.0f);
   if (per_example_norms != nullptr) per_example_norms->clear();
   for (size_t j = 0; j < inputs.size(); ++j) {
-    std::vector<float> grad = PerExampleGradient(inputs[j], labels[j]);
-    double sq = 0.0;
-    for (float g : grad) sq += static_cast<double>(g) * g;
-    double norm = std::sqrt(sq);
+    PerExampleGradientInto(inputs[j], labels[j], &scratch_);
+    const float* grad = scratch_.grad.data();
+    double norm = L2Norm(grad, scratch_.grad.size());
     if (per_example_norms != nullptr) per_example_norms->push_back(norm);
-    double scale = norm > clip_norm ? clip_norm / norm : 1.0;
-    for (size_t i = 0; i < sum.size(); ++i) {
-      sum[i] += static_cast<float>(scale * grad[i]);
-    }
+    AccumulateScaled(sum.data(), grad, sum.size(), ClipScale(norm, clip_norm));
   }
   return sum;
 }
@@ -163,17 +178,12 @@ std::vector<float> Network::PerLayerClippedGradientSum(
       clip_norm / std::sqrt(static_cast<double>(ranges.size()));
   std::vector<float> sum(NumParams(), 0.0f);
   for (size_t j = 0; j < inputs.size(); ++j) {
-    std::vector<float> grad = PerExampleGradient(inputs[j], labels[j]);
+    PerExampleGradientInto(inputs[j], labels[j], &scratch_);
+    const float* grad = scratch_.grad.data();
     for (const ParamRange& range : ranges) {
-      double sq = 0.0;
-      for (size_t i = range.offset; i < range.offset + range.size; ++i) {
-        sq += static_cast<double>(grad[i]) * grad[i];
-      }
-      double norm = std::sqrt(sq);
-      double scale = norm > per_layer_clip ? per_layer_clip / norm : 1.0;
-      for (size_t i = range.offset; i < range.offset + range.size; ++i) {
-        sum[i] += static_cast<float>(scale * grad[i]);
-      }
+      double norm = L2Norm(grad + range.offset, range.size);
+      AccumulateScaled(sum.data() + range.offset, grad + range.offset,
+                       range.size, ClipScale(norm, per_layer_clip));
     }
   }
   return sum;

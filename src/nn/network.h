@@ -16,6 +16,16 @@
 
 namespace dpaudit {
 
+/// Reusable scratch buffers for one forward/backward pass. After the first
+/// example has sized the buffers, a per-example gradient computation performs
+/// no heap allocation. Each concurrent computation needs its own workspace
+/// (and its own Network replica, since layers cache activations).
+struct GradientWorkspace {
+  Tensor act_a, act_b;    // forward activation ping-pong buffers
+  Tensor grad_a, grad_b;  // backward gradient ping-pong buffers
+  std::vector<float> grad;  // flat per-example gradient (NumParams floats)
+};
+
 /// A stack of layers ending in logits (the softmax is fused into the loss).
 /// Move-only (layers hold state); use Clone() for deep copies.
 class Network {
@@ -60,6 +70,18 @@ class Network {
   /// layer gradients beyond overwriting them.
   std::vector<float> PerExampleGradient(const Tensor& input, size_t label);
 
+  /// Allocation-free form of PerExampleGradient: runs the pass through the
+  /// workspace buffers, leaves the flat gradient in `ws->grad`, and returns
+  /// the example loss.
+  double PerExampleGradientInto(const Tensor& input, size_t label,
+                                GradientWorkspace* ws);
+
+  /// Like PerExampleGradientInto but writes the flat gradient into `dst`
+  /// (NumParams floats) instead of `ws->grad`, for callers that own the
+  /// destination buffer (e.g. the parallel gradient engine's slots).
+  double PerExampleGradientTo(const Tensor& input, size_t label,
+                              GradientWorkspace* ws, float* dst);
+
   /// Sum over the given examples of per-example gradients clipped to L2 norm
   /// `clip_norm` (Abadi et al.): g_j * min(1, C / ||g_j||). Returns the flat
   /// sum; if `per_example_norms` is non-null it receives each pre-clip norm.
@@ -102,16 +124,16 @@ class Network {
   std::string Describe() const;
 
  private:
-  /// Backpropagates dLoss/dLogits through the stack, accumulating parameter
-  /// gradients in the layers.
-  void Backward(const Tensor& grad_logits);
-
   void ZeroGrads();
 
-  /// Flattens accumulated layer gradients.
-  std::vector<float> FlatGrads() const;
+  /// Copies the accumulated layer gradients, flattened in layer order, into
+  /// `dst` (NumParams floats).
+  void FlatGradsTo(float* dst) const;
 
   std::vector<std::unique_ptr<Layer>> layers_;
+  /// Scratch for the sequential per-example-gradient entry points; lets the
+  /// public convenience methods run allocation-free at steady state.
+  GradientWorkspace scratch_;
 };
 
 /// The paper's MNIST architecture (Section 6.2): two 3x3 conv blocks with

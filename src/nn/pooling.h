@@ -18,8 +18,8 @@ class MaxPool2d : public Layer {
  public:
   explicit MaxPool2d(size_t pool);
 
-  Tensor Forward(const Tensor& input) override;
-  Tensor Backward(const Tensor& grad_output) override;
+  void ForwardInto(const Tensor& input, Tensor* output) override;
+  void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
   std::unique_ptr<Layer> Clone() const override {
     return std::make_unique<MaxPool2d>(pool_);
   }
@@ -29,6 +29,7 @@ class MaxPool2d : public Layer {
   size_t pool_;
   std::vector<size_t> argmax_;  // flat input index chosen per output cell
   std::vector<size_t> input_shape_;
+  std::vector<int> off_scratch_;  // plane-relative argmax lanes (AVX2 path)
 };
 
 }  // namespace dpaudit

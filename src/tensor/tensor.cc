@@ -1,5 +1,6 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <sstream>
@@ -24,6 +25,21 @@ Tensor::Tensor(std::vector<size_t> shape)
 Tensor::Tensor(std::vector<size_t> shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
   DPAUDIT_CHECK_EQ(Volume(shape_), data_.size());
+}
+
+void Tensor::ResizeTo(const std::vector<size_t>& shape) {
+  if (shape_ == shape) return;
+  shape_ = shape;
+  data_.resize(Volume(shape_));
+}
+
+void Tensor::ResizeTo(std::initializer_list<size_t> shape) {
+  if (shape_.size() == shape.size() &&
+      std::equal(shape.begin(), shape.end(), shape_.begin())) {
+    return;
+  }
+  shape_.assign(shape.begin(), shape.end());
+  data_.resize(Volume(shape_));
 }
 
 Tensor Tensor::Full(std::vector<size_t> shape, float value) {

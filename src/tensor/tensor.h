@@ -63,6 +63,13 @@ class Tensor {
   /// Reinterprets the storage under a new shape with the same volume.
   void Reshape(std::vector<size_t> shape);
 
+  /// Changes the shape, growing or shrinking the storage as needed. Existing
+  /// capacity is reused, so repeated ResizeTo calls with stable shapes do not
+  /// allocate. Newly exposed elements are unspecified; contents are NOT
+  /// cleared (call Fill(0) when zeros are required).
+  void ResizeTo(const std::vector<size_t>& shape);
+  void ResizeTo(std::initializer_list<size_t> shape);
+
   void Fill(float value);
 
   /// this += alpha * other. Shapes must match.

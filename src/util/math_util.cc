@@ -28,9 +28,21 @@ double KahanSum(const std::vector<double>& xs) {
 }
 
 double L2Norm(const std::vector<float>& v) {
+  return L2Norm(v.data(), v.size());
+}
+
+double L2Norm(const float* v, size_t n) {
   double sq = 0.0;
-  for (float x : v) sq += static_cast<double>(x) * x;
+  for (size_t i = 0; i < n; ++i) {
+    sq += static_cast<double>(v[i]) * v[i];
+  }
   return std::sqrt(sq);
+}
+
+void AccumulateScaled(float* sum, const float* g, size_t n, double scale) {
+  for (size_t i = 0; i < n; ++i) {
+    sum[i] += static_cast<float>(scale * g[i]);
+  }
 }
 
 double L2Norm(const std::vector<double>& v) {

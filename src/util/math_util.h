@@ -50,9 +50,24 @@ inline bool AlmostEqual(double a, double b, double rtol = 1e-9,
 /// Sum with Kahan compensation; deterministic and accurate for long series.
 double KahanSum(const std::vector<double>& xs);
 
-/// Euclidean norm of a vector.
+/// Euclidean norm of a vector. The float overloads accumulate in double with
+/// a single left-to-right chain, so every caller (sequential or parallel)
+/// produces bit-identical norms for the same data.
 double L2Norm(const std::vector<float>& v);
 double L2Norm(const std::vector<double>& v);
+double L2Norm(const float* v, size_t n);
+
+/// The DPSGD clip factor min(1, C / ||g||) applied to a per-example gradient
+/// with pre-clip norm `norm` (Abadi et al.). Shared by every clipping path so
+/// the scale arithmetic is identical everywhere.
+inline double ClipScale(double norm, double clip_norm) {
+  return norm > clip_norm ? clip_norm / norm : 1.0;
+}
+
+/// sum[i] += float(scale * g[i]) for i in [0, n) — the clipped-gradient
+/// accumulation step of DPSGD, kept in one place so the sequential reference,
+/// the parallel engine, and the neighbor-sharing path round identically.
+void AccumulateScaled(float* sum, const float* g, size_t n, double scale);
 
 /// Euclidean distance ||a - b||; requires equal sizes.
 double L2Distance(const std::vector<float>& a, const std::vector<float>& b);

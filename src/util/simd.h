@@ -1,0 +1,25 @@
+// Runtime SIMD dispatch support for the x86-64 kernels.
+//
+// DPAUDIT_X86_DISPATCH is defined when the compiler can build AVX2 code paths
+// behind __attribute__((target("avx2"))) regardless of the baseline -march.
+// Callers check HasAvx2() at runtime so the default build stays portable.
+
+#ifndef DPAUDIT_UTIL_SIMD_H_
+#define DPAUDIT_UTIL_SIMD_H_
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define DPAUDIT_X86_DISPATCH 1
+#include <immintrin.h>
+
+namespace dpaudit {
+
+inline bool HasAvx2() {
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+}
+
+}  // namespace dpaudit
+
+#endif  // __x86_64__ && __GNUC__
+
+#endif  // DPAUDIT_UTIL_SIMD_H_

@@ -82,4 +82,9 @@ size_t DefaultThreadCount() {
   return std::min<size_t>(16, std::max<size_t>(1, hc));
 }
 
+size_t NestedThreadBudget(size_t total_threads, size_t outer_tasks) {
+  if (outer_tasks == 0) return std::max<size_t>(1, total_threads);
+  return std::max<size_t>(1, total_threads / outer_tasks);
+}
+
 }  // namespace dpaudit

@@ -57,6 +57,13 @@ class ThreadPool {
 /// [1, 16] so experiment binaries behave on small containers.
 size_t DefaultThreadCount();
 
+/// Thread budget for each inner parallel region when `outer_tasks` of them
+/// run concurrently under a total budget of `total_threads`: total / outer,
+/// at least 1. Keeps nested parallelism (experiment repetitions on the
+/// outside, per-example gradients on the inside) from oversubscribing the
+/// machine.
+size_t NestedThreadBudget(size_t total_threads, size_t outer_tasks);
+
 }  // namespace dpaudit
 
 #endif  // DPAUDIT_UTIL_THREAD_POOL_H_

@@ -68,6 +68,41 @@ TEST(DiExperimentTest, ThreadCountInvariance) {
   }
 }
 
+TEST(DiExperimentTest, GradientEngineThreadCountInvariance) {
+  // The per-example gradient engine inside each trial must be bit-identical
+  // for any worker count, so whole-experiment summaries (beliefs, decisions,
+  // sensitivity traces) must be EXACTLY equal across config.dpsgd.threads.
+  Fixture f;
+  DiExperimentConfig config = FastExperiment();
+  config.threads = 1;
+  config.dpsgd.adaptive_clipping = true;  // exercises the norm streams too
+
+  std::vector<DiExperimentSummary> runs;
+  for (size_t engine_threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    config.dpsgd.threads = engine_threads;
+    auto summary = RunDiExperiment(f.net, f.d, f.d_prime, config);
+    ASSERT_TRUE(summary.ok()) << summary.status();
+    runs.push_back(*summary);
+  }
+
+  const DiExperimentSummary& ref = runs[0];
+  for (size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(ref.trials.size(), runs[r].trials.size());
+    for (size_t i = 0; i < ref.trials.size(); ++i) {
+      const DiTrialResult& a = ref.trials[i];
+      const DiTrialResult& b = runs[r].trials[i];
+      EXPECT_EQ(a.adversary_says_d, b.adversary_says_d);
+      EXPECT_EQ(a.final_belief_d, b.final_belief_d);
+      EXPECT_EQ(a.max_belief_d, b.max_belief_d);
+      ASSERT_EQ(a.local_sensitivities.size(), b.local_sensitivities.size());
+      for (size_t s = 0; s < a.local_sensitivities.size(); ++s) {
+        EXPECT_EQ(a.local_sensitivities[s], b.local_sensitivities[s]);
+        EXPECT_EQ(a.sigmas[s], b.sigmas[s]);
+      }
+    }
+  }
+}
+
 TEST(DiExperimentTest, SummaryStatistics) {
   DiExperimentSummary summary;
   DiTrialResult win;
