@@ -11,6 +11,7 @@
 
 #include "bench/bench_common.h"
 #include "core/auditor.h"
+#include "core/trace.h"
 
 namespace dpaudit {
 namespace bench {
@@ -49,6 +50,10 @@ inline std::vector<AuditSweepRow> RunAuditSweep(const BenchParams& params,
       config.repetitions = reps_override > 0
                                ? reps_override
                                : std::max<size_t>(8, params.reps / 2);
+      // With DPAUDIT_TRACE_CACHE set, each grid cell trains once and every
+      // later sweep (fig08/fig09 share cells, reruns of any figure) replays
+      // the recorded trace bit-identically.
+      config.trace_store = TraceStore::FromEnv();
       auto summary = RunDiExperiment(task.architecture, task.d,
                                      task.d_prime_bounded, config);
       DPAUDIT_CHECK_OK(summary.status());

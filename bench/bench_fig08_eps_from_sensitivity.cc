@@ -16,6 +16,9 @@ void Run() {
   bench::BenchParams params;
   bench::PrintHeader("Figure 8: epsilon' from empirical sensitivities",
                      params);
+  if (TraceStore* store = TraceStore::FromEnv()) {
+    std::cerr << "trace cache: " << store->directory() << "\n";
+  }
   for (auto make_task :
        {bench::MakeMnistTask, bench::MakePurchaseTask}) {
     bench::Task task = make_task(params);

@@ -15,6 +15,9 @@ namespace {
 void Run() {
   bench::BenchParams params;
   bench::PrintHeader("Figure 9: epsilon' from posterior beliefs", params);
+  if (TraceStore* store = TraceStore::FromEnv()) {
+    std::cerr << "trace cache: " << store->directory() << "\n";
+  }
   for (auto make_task :
        {bench::MakeMnistTask, bench::MakePurchaseTask}) {
     bench::Task task = make_task(params);

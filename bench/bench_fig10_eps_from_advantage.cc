@@ -19,6 +19,9 @@ namespace {
 void Run() {
   bench::BenchParams params;
   bench::PrintHeader("Figure 10: epsilon' from empirical advantage", params);
+  if (TraceStore* store = TraceStore::FromEnv()) {
+    std::cerr << "trace cache: " << store->directory() << "\n";
+  }
   for (auto make_task :
        {bench::MakeMnistTask, bench::MakePurchaseTask}) {
     bench::Task task = make_task(params);

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/adversary.h"
 #include "core/belief.h"
 #include "data/dissimilarity.h"
 #include "data/synthetic_mnist.h"
@@ -41,6 +42,81 @@ void BM_GaussianLogDensity(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_GaussianLogDensity)->Arg(1024)->Arg(65536);
+
+// The two gradient dimensionalities the paper's experiments release at:
+// the MNIST CNN-ish network and the Purchase-100 MLP. Applied to the
+// mechanism/adversary hot-path benchmarks below so their numbers speak
+// directly to fig06-fig10 wall-clock. scripts/run_experiment_bench.sh
+// snapshots these into BENCH_experiment_suite.json.
+void GradientDims(benchmark::internal::Benchmark* bench) {
+  static const size_t kMnistParams = BuildMnistNetwork().NumParams();
+  static const size_t kPurchaseParams = BuildPurchaseNetwork().NumParams();
+  bench->Arg(static_cast<int64_t>(kMnistParams))
+      ->Arg(static_cast<int64_t>(kPurchaseParams));
+}
+
+// Gaussian noise application at paper gradient dimensionality (batched
+// FillGaussian + runtime-dispatched noise kernel).
+void BM_GaussianPerturb(benchmark::State& state) {
+  GaussianMechanism mechanism(1.0);
+  Rng rng(11);
+  std::vector<float> values(static_cast<size_t>(state.range(0)), 0.25f);
+  for (auto _ : state) {
+    mechanism.Perturb(values, rng);
+    benchmark::DoNotOptimize(values.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GaussianPerturb)->Apply(GradientDims);
+
+// The adversary's fused per-step likelihood scoring: one pass over the
+// released vector producing both hypotheses' log-densities.
+void BM_LogLikelihoodRatio(benchmark::State& state) {
+  GaussianMechanism mechanism(1.0);
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<float> released(n);
+  std::vector<float> sum_d(n);
+  std::vector<float> sum_dprime(n);
+  Rng rng(12);
+  for (size_t i = 0; i < n; ++i) {
+    released[i] = static_cast<float>(rng.Gaussian());
+    sum_d[i] = static_cast<float>(0.1 * rng.Gaussian());
+    sum_dprime[i] = static_cast<float>(0.1 * rng.Gaussian());
+  }
+  double log_d = 0.0;
+  double log_dprime = 0.0;
+  for (auto _ : state) {
+    mechanism.LogDensityPair(released, sum_d, sum_dprime, &log_d,
+                             &log_dprime);
+    benchmark::DoNotOptimize(log_d);
+    benchmark::DoNotOptimize(log_dprime);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LogLikelihoodRatio)->Apply(GradientDims);
+
+// A full adversary step: likelihood pair + posterior update + bookkeeping —
+// the exact per-release cost inside RunDpSgd's observer hook.
+void BM_DiAdversaryOnStep(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<float> released(n);
+  std::vector<float> sum_d(n);
+  std::vector<float> sum_dprime(n);
+  Rng rng(13);
+  for (size_t i = 0; i < n; ++i) {
+    released[i] = static_cast<float>(rng.Gaussian());
+    sum_d[i] = static_cast<float>(0.1 * rng.Gaussian());
+    sum_dprime[i] = static_cast<float>(0.1 * rng.Gaussian());
+  }
+  size_t step = 0;
+  DiAdversary adversary;
+  for (auto _ : state) {
+    adversary.OnStep(step++, sum_d, sum_dprime, released, 1.0);
+    benchmark::DoNotOptimize(adversary.FinalBeliefD());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DiAdversaryOnStep)->Apply(GradientDims);
 
 void BM_NormalQuantile(benchmark::State& state) {
   double p = 0.1234;

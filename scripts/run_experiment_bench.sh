@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Benchmarks the experiment-suite hot path and the trace cache:
+#   1. mechanism/adversary microbenchmarks at paper gradient dimensionality
+#      (BM_GaussianPerturb, BM_LogLikelihoodRatio, BM_DiAdversaryOnStep);
+#   2. the fig08+fig09+fig10 trio wall-clock, cold-cache (records traces)
+#      and warm-cache (replays them).
+# Writes BENCH_experiment_suite.json at the repo root with the pre-change
+# baseline (measured on the same machine before the trace cache and the
+# vectorized kernels landed) embedded next to the fresh numbers. Build first:
+#   cmake -B build -S . && cmake --build build -j
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+bench_bin="${build_dir}/bench/bench_micro"
+out="${repo_root}/BENCH_experiment_suite.json"
+micro_json="$(mktemp /tmp/dpaudit_micro.XXXXXX.json)"
+cache_dir="$(mktemp -d /tmp/dpaudit_trace_cache.XXXXXX)"
+trap 'rm -rf "${micro_json}" "${cache_dir}"' EXIT
+
+for bin in bench_micro bench_fig08_eps_from_sensitivity \
+           bench_fig09_eps_from_belief bench_fig10_eps_from_advantage; do
+  if [[ ! -x "${build_dir}/bench/${bin}" ]]; then
+    echo "error: ${build_dir}/bench/${bin} not built (cmake --build build -j)" >&2
+    exit 1
+  fi
+done
+
+echo "== microbenchmarks (paper gradient dimensionality) =="
+"${bench_bin}" \
+  --benchmark_filter='BM_(GaussianPerturb|LogLikelihoodRatio|DiAdversaryOnStep)/' \
+  --benchmark_out="${micro_json}" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions="${BENCH_REPETITIONS:-1}"
+
+run_trio() {
+  local label="$1"
+  local start end
+  start=$(date +%s.%N)
+  "${build_dir}/bench/bench_fig08_eps_from_sensitivity" > /dev/null
+  "${build_dir}/bench/bench_fig09_eps_from_belief" > /dev/null
+  "${build_dir}/bench/bench_fig10_eps_from_advantage" > /dev/null
+  end=$(date +%s.%N)
+  echo "$(python3 -c "print(f'{${end} - ${start}:.2f}')")"
+}
+
+echo "== fig08+fig09+fig10 trio, cold trace cache =="
+export DPAUDIT_TRACE_CACHE="${cache_dir}"
+cold_seconds=$(run_trio cold)
+echo "cold: ${cold_seconds}s"
+
+echo "== fig08+fig09+fig10 trio, warm trace cache =="
+warm_seconds=$(run_trio warm)
+echo "warm: ${warm_seconds}s"
+unset DPAUDIT_TRACE_CACHE
+
+python3 - "${out}" "${micro_json}" "${cold_seconds}" "${warm_seconds}" <<'EOF'
+import json, sys
+out_path, micro_path, cold_s, warm_s = sys.argv[1:5]
+with open(micro_path) as f:
+    micro = json.load(f)
+
+doc = {
+    "description": "Experiment-suite benchmarks: mechanism/adversary "
+                   "microbenchmarks at paper gradient dimensionality and "
+                   "the fig08+fig09+fig10 wall-clock with the step-trace "
+                   "cache cold vs warm.",
+    "context": micro.get("context", {}),
+    "microbenchmarks": [
+        b for b in micro.get("benchmarks", [])
+        if b.get("run_type", "iteration") != "aggregate"
+    ],
+    "experiment_trio": {
+        "binaries": ["bench_fig08_eps_from_sensitivity",
+                     "bench_fig09_eps_from_belief",
+                     "bench_fig10_eps_from_advantage"],
+        "cold_cache_seconds": float(cold_s),
+        "warm_cache_seconds": float(warm_s),
+    },
+    # Measured on the same machine (1 CPU, default bench params) immediately
+    # before this change: no trace cache, per-coordinate Gaussian sampling,
+    # unfused scalar log-density loops.
+    "pre_pr_baseline": {
+        "unit": "ns",
+        "experiment_trio_seconds": 72.0,
+        "benchmarks": {
+            "BM_GaussianPerturb/2370": 72015,
+            "BM_GaussianPerturb/89828": 2556671,
+            "BM_LogLikelihoodRatio/2370": 2 * 14507,
+            "BM_LogLikelihoodRatio/89828": 2 * 549419,
+            "BM_DiAdversaryOnStep/2370": 29123,
+            "BM_DiAdversaryOnStep/89828": 1090273,
+        },
+        "notes": "BM_LogLikelihoodRatio baseline is two separate LogDensity "
+                 "calls (the pre-change adversary's per-step cost); "
+                 "per-call LogDensity measured 14507 ns (n=2370) and "
+                 "549419 ns (n=89828).",
+    },
+}
+
+base = doc["pre_pr_baseline"]["benchmarks"]
+speedups = {}
+for b in doc["microbenchmarks"]:
+    name = b["name"]
+    if name in base and b.get("real_time", 0) > 0:
+        speedups[name] = round(base[name] / b["real_time"], 2)
+doc["microbenchmark_speedups_vs_baseline"] = speedups
+doc["trio_speedup_warm_vs_pre_pr"] = round(
+    doc["pre_pr_baseline"]["experiment_trio_seconds"] / float(warm_s), 2)
+doc["trio_speedup_cold_vs_pre_pr"] = round(
+    doc["pre_pr_baseline"]["experiment_trio_seconds"] / float(cold_s), 2)
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+print(f"wrote {out_path}")
+print(f"  trio: {cold_s}s cold, {warm_s}s warm "
+      f"(baseline {doc['pre_pr_baseline']['experiment_trio_seconds']}s, "
+      f"warm speedup {doc['trio_speedup_warm_vs_pre_pr']}x)")
+for name, s in sorted(speedups.items()):
+    print(f"  {name}: {s}x vs baseline")
+EOF

@@ -10,8 +10,12 @@ void DiAdversary::OnStep(size_t /*step*/, const std::vector<float>& sum_d,
                          const std::vector<float>& sum_dprime,
                          const std::vector<float>& released, double sigma) {
   GaussianMechanism mechanism(sigma);
-  double log_p_d = mechanism.LogDensity(released, sum_d);
-  double log_p_dprime = mechanism.LogDensity(released, sum_dprime);
+  double log_p_d = 0.0;
+  double log_p_dprime = 0.0;
+  mechanism.LogDensityPair(released, sum_d, sum_dprime, &log_p_d,
+                           &log_p_dprime);
+  log_density_d_.push_back(log_p_d);
+  log_density_dprime_.push_back(log_p_dprime);
   tracker_.Observe(log_p_d, log_p_dprime);
 }
 

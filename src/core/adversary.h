@@ -27,7 +27,8 @@ class DiAdversary : public DpSgdStepObserver {
       : tracker_(prior_belief_d) {}
 
   /// Consumes one release: computes the Gaussian log-likelihood of the
-  /// released vector under both hypotheses and updates the posterior.
+  /// released vector under both hypotheses (one fused pass through
+  /// GaussianMechanism::LogDensityPair) and updates the posterior.
   void OnStep(size_t step, const std::vector<float>& sum_d,
               const std::vector<float>& sum_dprime,
               const std::vector<float>& released, double sigma) override;
@@ -47,8 +48,19 @@ class DiAdversary : public DpSgdStepObserver {
   /// The adversary's output b' (Algorithm 1 step 14): true = D.
   bool DecideD() const { return tracker_.DecideD(); }
 
+  /// Per-step log Pr[M(S_D) = r_i] / log Pr[M(S_D') = r_i] — the
+  /// released-vs-centers log-likelihood contributions a StepTrace records.
+  const std::vector<double>& StepLogDensitiesD() const {
+    return log_density_d_;
+  }
+  const std::vector<double>& StepLogDensitiesDPrime() const {
+    return log_density_dprime_;
+  }
+
  private:
   PosteriorBeliefTracker tracker_;
+  std::vector<double> log_density_d_;
+  std::vector<double> log_density_dprime_;
 };
 
 }  // namespace dpaudit

@@ -77,6 +77,11 @@ StatusOr<DpSgdResult> RunDpSgd(const Network& initial, const Dataset& d,
   const NeighborOverlap overlap =
       AnalyzeNeighborOverlap(d, d_prime, config.neighbor_mode);
 
+  // Release and mean-gradient buffers live outside the step loop; each step
+  // overwrites them in place, so the steady state allocates nothing per step.
+  std::vector<float> released;
+  std::vector<float> mean;
+
   for (size_t step = 0; step < config.epochs; ++step) {
     // Both hypotheses' clipped gradient sums at the current weights. The
     // adversary can compute these itself (it knows D, D', theta_i); the
@@ -114,7 +119,8 @@ StatusOr<DpSgdResult> RunDpSgd(const Network& initial, const Dataset& d,
     record.sigma = config.noise_multiplier * record.sensitivity_used;
 
     GaussianMechanism mechanism(record.sigma);
-    std::vector<float> released = train_on_d ? sum_d : sum_dprime;
+    const std::vector<float>& trained_sum = train_on_d ? sum_d : sum_dprime;
+    released.assign(trained_sum.begin(), trained_sum.end());
     mechanism.Perturb(released, rng);
 
     if (observer != nullptr) {
@@ -122,8 +128,10 @@ StatusOr<DpSgdResult> RunDpSgd(const Network& initial, const Dataset& d,
     }
 
     // The optimizer consumes the released mean gradient (sum / n).
-    std::vector<float> mean = released;
-    for (float& g : mean) g = static_cast<float>(g / n);
+    mean.resize(released.size());
+    for (size_t i = 0; i < released.size(); ++i) {
+      mean[i] = static_cast<float>(released[i] / n);
+    }
     optimizer->Step(result.model, mean);
     result.steps.push_back(record);
 

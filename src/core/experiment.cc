@@ -1,8 +1,10 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <iostream>
 
 #include "core/adversary.h"
+#include "core/trace.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -68,6 +70,34 @@ StatusOr<DiExperimentSummary> RunDiExperiment(const Network& architecture,
     return Status::InvalidArgument("repetitions must be > 0");
   }
 
+  // Record/replay: on a cache hit the recorded trace reconstructs the
+  // summary bit-identically (all doubles round-trip as IEEE-754 bit
+  // patterns), so the expensive repeated training below is skipped. Any
+  // cache problem degrades to a live run.
+  TraceFingerprint trace_key;
+  if (config.trace_store != nullptr) {
+    trace_key = FingerprintExperiment(architecture, d, d_prime, config,
+                                      test_set);
+    StatusOr<ExperimentTrace> cached = config.trace_store->Load(trace_key);
+    if (cached.ok()) {
+      if (cached->trials.size() == config.repetitions) {
+        return cached->ToSummary();
+      }
+      std::cerr << "dpaudit: trace " << trace_key.ToHex()
+                << " has wrong repetition count; rerunning\n";
+    } else if (cached.status().code() != StatusCode::kNotFound) {
+      std::cerr << "dpaudit: ignoring unreadable trace "
+                << trace_key.ToHex() << ": " << cached.status().message()
+                << "\n";
+    }
+  }
+
+  ExperimentTrace trace;
+  trace.fingerprint = trace_key;
+  if (config.trace_store != nullptr) {
+    trace.trials.resize(config.repetitions);
+  }
+
   DiExperimentSummary summary;
   summary.trials.resize(config.repetitions);
   std::vector<Status> trial_status(config.repetitions, Status::Ok());
@@ -120,10 +150,46 @@ StatusOr<DiExperimentSummary> RunDiExperiment(const Network& architecture,
           trial.test_accuracy =
               run->model.Accuracy(test_set->inputs, test_set->labels);
         }
+
+        if (config.trace_store != nullptr) {
+          TrialTrace& recorded = trace.trials[rep];
+          recorded.trained_on_d = trial.trained_on_d;
+          recorded.adversary_says_d = trial.adversary_says_d;
+          recorded.final_belief_d = trial.final_belief_d;
+          recorded.max_belief_d = trial.max_belief_d;
+          recorded.test_accuracy = trial.test_accuracy;
+          recorded.belief_history = adversary.BeliefHistory();
+          const std::vector<double>& log_d = adversary.StepLogDensitiesD();
+          const std::vector<double>& log_dp =
+              adversary.StepLogDensitiesDPrime();
+          recorded.steps.resize(run->steps.size());
+          for (size_t i = 0; i < run->steps.size(); ++i) {
+            StepTraceRecord& step = recorded.steps[i];
+            const DpSgdStepRecord& record = run->steps[i];
+            step.clip_norm = record.clip_norm;
+            step.local_sensitivity = record.local_sensitivity;
+            step.sensitivity_used = record.sensitivity_used;
+            step.sigma = record.sigma;
+            step.log_density_d = i < log_d.size() ? log_d[i] : 0.0;
+            step.log_density_dprime = i < log_dp.size() ? log_dp[i] : 0.0;
+            // history[0] is the prior, history[i+1] the belief after step i.
+            step.belief_d = i + 1 < recorded.belief_history.size()
+                                ? recorded.belief_history[i + 1]
+                                : recorded.final_belief_d;
+          }
+        }
       });
 
   for (const Status& st : trial_status) {
     if (!st.ok()) return st;
+  }
+
+  if (config.trace_store != nullptr) {
+    Status saved = config.trace_store->Save(trace);
+    if (!saved.ok()) {
+      std::cerr << "dpaudit: cannot cache trace " << trace_key.ToHex()
+                << ": " << saved.message() << "\n";
+    }
   }
   return summary;
 }

@@ -17,6 +17,8 @@
 
 namespace dpaudit {
 
+class TraceStore;
+
 struct DiExperimentConfig {
   DpSgdConfig dpsgd;
   size_t repetitions = 100;
@@ -30,6 +32,12 @@ struct DiExperimentConfig {
   /// Re-draw theta_0 per trial (fresh model instance per repetition, as in
   /// the paper's "trained 250 times").
   bool reinitialize_weights = true;
+  /// Optional step-trace cache (core/trace.h), not owned. When set, a cache
+  /// hit for this experiment's content fingerprint replays the recorded
+  /// trace — the returned summary (and every epsilon' estimator computed
+  /// from it) is bit-identical to a live run — and a miss runs live and
+  /// records. Cache failures degrade to a live run, never to an error.
+  TraceStore* trace_store = nullptr;
 };
 
 struct DiTrialResult {

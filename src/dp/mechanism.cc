@@ -1,11 +1,180 @@
 #include "dp/mechanism.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "stats/normal.h"
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace dpaudit {
+namespace {
+
+// Must match stats/normal.cc so the kernels below reproduce NormalLogPdf's
+// arithmetic bit-for-bit.
+constexpr double kLogSqrt2Pi = 0.91893853320467274178;  // ln(sqrt(2*pi))
+
+// Gaussians are drawn in chunks of this size into a stack buffer, separating
+// the serial, branchy sampling loop from the vectorizable apply loop.
+constexpr size_t kNoiseChunk = 512;
+
+// v[i] = float(v[i] + (0.0 + sigma * g[i])) — exactly the arithmetic of the
+// per-coordinate v + rng.Gaussian(0.0, sigma) it replaces (the 0.0 add
+// preserves the -0.0 -> +0.0 normalization of the original mean add).
+void ApplyNoiseScalar(float* v, const double* g, size_t n, double sigma) {
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<float>(v[i] + (0.0 + sigma * g[i]));
+  }
+}
+
+// One fused pass accumulating both hypotheses' log-densities. The term for
+// coordinate i is NormalLogPdf's expression with log(sigma) precomputed:
+//   z = (obs - center) / sigma;  t = -0.5 * z * z - kLogSqrt2Pi - log_sigma
+// and each accumulator adds its terms strictly left to right, so the sums
+// are bit-identical to the original per-coordinate NormalLogPdf loop.
+void LogDensityPairScalar(const float* obs, const float* ca, const float* cb,
+                          size_t n, double sigma, double log_sigma,
+                          double* out_a, double* out_b) {
+  double acc_a = 0.0;
+  double acc_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double o = static_cast<double>(obs[i]);
+    const double za = (o - static_cast<double>(ca[i])) / sigma;
+    const double zb = (o - static_cast<double>(cb[i])) / sigma;
+    acc_a += -0.5 * za * za - kLogSqrt2Pi - log_sigma;
+    acc_b += -0.5 * zb * zb - kLogSqrt2Pi - log_sigma;
+  }
+  *out_a = acc_a;
+  *out_b = acc_b;
+}
+
+void LogDensitySingleScalar(const float* obs, const float* c, size_t n,
+                            double sigma, double log_sigma, double* out) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double z =
+        (static_cast<double>(obs[i]) - static_cast<double>(c[i])) / sigma;
+    acc += -0.5 * z * z - kLogSqrt2Pi - log_sigma;
+  }
+  *out = acc;
+}
+
+#if defined(DPAUDIT_X86_DISPATCH)
+
+// FP legality (same rules as the gradient engine's kernels): floats widen to
+// double exactly via cvtps_pd, every sub/div/mul/add is an exact-rounded
+// intrinsic (AVX2 has no implicit FMA contraction), the four lane terms are
+// the same doubles the scalar loop produces, and they are drained into the
+// accumulator in ascending coordinate order — the addition order is frozen.
+
+__attribute__((target("avx2"))) void LogDensityPairAvx2(
+    const float* obs, const float* ca, const float* cb, size_t n, double sigma,
+    double log_sigma, double* out_a, double* out_b) {
+  const __m256d vsig = _mm256_set1_pd(sigma);
+  const __m256d vmhalf = _mm256_set1_pd(-0.5);
+  const __m256d vc = _mm256_set1_pd(kLogSqrt2Pi);
+  const __m256d vl = _mm256_set1_pd(log_sigma);
+  double acc_a = 0.0;
+  double acc_b = 0.0;
+  alignas(32) double ta[4];
+  alignas(32) double tb[4];
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d o = _mm256_cvtps_pd(_mm_loadu_ps(obs + i));
+    const __m256d za = _mm256_div_pd(
+        _mm256_sub_pd(o, _mm256_cvtps_pd(_mm_loadu_ps(ca + i))), vsig);
+    const __m256d zb = _mm256_div_pd(
+        _mm256_sub_pd(o, _mm256_cvtps_pd(_mm_loadu_ps(cb + i))), vsig);
+    _mm256_store_pd(
+        ta, _mm256_sub_pd(
+                _mm256_sub_pd(
+                    _mm256_mul_pd(_mm256_mul_pd(vmhalf, za), za), vc),
+                vl));
+    _mm256_store_pd(
+        tb, _mm256_sub_pd(
+                _mm256_sub_pd(
+                    _mm256_mul_pd(_mm256_mul_pd(vmhalf, zb), zb), vc),
+                vl));
+    acc_a += ta[0];
+    acc_a += ta[1];
+    acc_a += ta[2];
+    acc_a += ta[3];
+    acc_b += tb[0];
+    acc_b += tb[1];
+    acc_b += tb[2];
+    acc_b += tb[3];
+  }
+  for (; i < n; ++i) {
+    const double o = static_cast<double>(obs[i]);
+    const double za = (o - static_cast<double>(ca[i])) / sigma;
+    const double zb = (o - static_cast<double>(cb[i])) / sigma;
+    acc_a += -0.5 * za * za - kLogSqrt2Pi - log_sigma;
+    acc_b += -0.5 * zb * zb - kLogSqrt2Pi - log_sigma;
+  }
+  *out_a = acc_a;
+  *out_b = acc_b;
+}
+
+__attribute__((target("avx2"))) void LogDensitySingleAvx2(
+    const float* obs, const float* c, size_t n, double sigma, double log_sigma,
+    double* out) {
+  const __m256d vsig = _mm256_set1_pd(sigma);
+  const __m256d vmhalf = _mm256_set1_pd(-0.5);
+  const __m256d vc = _mm256_set1_pd(kLogSqrt2Pi);
+  const __m256d vl = _mm256_set1_pd(log_sigma);
+  double acc = 0.0;
+  alignas(32) double t[4];
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d o = _mm256_cvtps_pd(_mm_loadu_ps(obs + i));
+    const __m256d z = _mm256_div_pd(
+        _mm256_sub_pd(o, _mm256_cvtps_pd(_mm_loadu_ps(c + i))), vsig);
+    _mm256_store_pd(
+        t, _mm256_sub_pd(
+               _mm256_sub_pd(_mm256_mul_pd(_mm256_mul_pd(vmhalf, z), z), vc),
+               vl));
+    acc += t[0];
+    acc += t[1];
+    acc += t[2];
+    acc += t[3];
+  }
+  for (; i < n; ++i) {
+    const double z =
+        (static_cast<double>(obs[i]) - static_cast<double>(c[i])) / sigma;
+    acc += -0.5 * z * z - kLogSqrt2Pi - log_sigma;
+  }
+  *out = acc;
+}
+
+__attribute__((target("avx2"))) void ApplyNoiseAvx2(float* v, const double* g,
+                                                    size_t n, double sigma) {
+  const __m256d vs = _mm256_set1_pd(sigma);
+  const __m256d vzero = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_cvtps_pd(_mm_loadu_ps(v + i));
+    const __m256d noise =
+        _mm256_add_pd(vzero, _mm256_mul_pd(vs, _mm256_loadu_pd(g + i)));
+    _mm_storeu_ps(v + i, _mm256_cvtpd_ps(_mm256_add_pd(x, noise)));
+  }
+  for (; i < n; ++i) {
+    v[i] = static_cast<float>(v[i] + (0.0 + sigma * g[i]));
+  }
+}
+
+#endif  // DPAUDIT_X86_DISPATCH
+
+void ApplyNoise(float* v, const double* g, size_t n, double sigma) {
+#if defined(DPAUDIT_X86_DISPATCH)
+  if (HasAvx2()) {
+    ApplyNoiseAvx2(v, g, n, sigma);
+    return;
+  }
+#endif
+  ApplyNoiseScalar(v, g, n, sigma);
+}
+
+}  // namespace
 
 GaussianMechanism::GaussianMechanism(double sigma) : sigma_(sigma) {
   DPAUDIT_CHECK_GT(sigma_, 0.0);
@@ -19,13 +188,27 @@ StatusOr<GaussianMechanism> GaussianMechanism::Create(double sigma) {
 }
 
 void GaussianMechanism::Perturb(std::vector<float>& values, Rng& rng) const {
-  for (float& v : values) {
-    v = static_cast<float>(v + rng.Gaussian(0.0, sigma_));
+  double noise[kNoiseChunk];
+  const size_t n = values.size();
+  size_t i = 0;
+  while (i < n) {
+    const size_t m = std::min(kNoiseChunk, n - i);
+    rng.FillGaussian(noise, m);
+    ApplyNoise(values.data() + i, noise, m, sigma_);
+    i += m;
   }
 }
 
 void GaussianMechanism::Perturb(std::vector<double>& values, Rng& rng) const {
-  for (double& v : values) v += rng.Gaussian(0.0, sigma_);
+  double noise[kNoiseChunk];
+  const size_t n = values.size();
+  size_t i = 0;
+  while (i < n) {
+    const size_t m = std::min(kNoiseChunk, n - i);
+    rng.FillGaussian(noise, m);
+    for (size_t j = 0; j < m; ++j) values[i + j] += 0.0 + sigma_ * noise[j];
+    i += m;
+  }
 }
 
 double GaussianMechanism::PerturbScalar(double value, Rng& rng) const {
@@ -35,11 +218,36 @@ double GaussianMechanism::PerturbScalar(double value, Rng& rng) const {
 double GaussianMechanism::LogDensity(const std::vector<float>& observed,
                                      const std::vector<float>& center) const {
   DPAUDIT_CHECK_EQ(observed.size(), center.size());
+  const double log_sigma = std::log(sigma_);
   double log_p = 0.0;
-  for (size_t i = 0; i < observed.size(); ++i) {
-    log_p += NormalLogPdf(observed[i], center[i], sigma_);
+#if defined(DPAUDIT_X86_DISPATCH)
+  if (HasAvx2()) {
+    LogDensitySingleAvx2(observed.data(), center.data(), observed.size(),
+                         sigma_, log_sigma, &log_p);
+    return log_p;
   }
+#endif
+  LogDensitySingleScalar(observed.data(), center.data(), observed.size(),
+                         sigma_, log_sigma, &log_p);
   return log_p;
+}
+
+void GaussianMechanism::LogDensityPair(const std::vector<float>& observed,
+                                       const std::vector<float>& center_a,
+                                       const std::vector<float>& center_b,
+                                       double* log_a, double* log_b) const {
+  DPAUDIT_CHECK_EQ(observed.size(), center_a.size());
+  DPAUDIT_CHECK_EQ(observed.size(), center_b.size());
+  const double log_sigma = std::log(sigma_);
+#if defined(DPAUDIT_X86_DISPATCH)
+  if (HasAvx2()) {
+    LogDensityPairAvx2(observed.data(), center_a.data(), center_b.data(),
+                       observed.size(), sigma_, log_sigma, log_a, log_b);
+    return;
+  }
+#endif
+  LogDensityPairScalar(observed.data(), center_a.data(), center_b.data(),
+                       observed.size(), sigma_, log_sigma, log_a, log_b);
 }
 
 double GaussianMechanism::LogDensityScalar(double observed,

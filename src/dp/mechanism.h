@@ -40,6 +40,19 @@ class GaussianMechanism {
                     const std::vector<float>& center) const;
   double LogDensityScalar(double observed, double center) const;
 
+  /// Fused log-likelihood pass: evaluates LogDensity against two hypothesis
+  /// centers in a single sweep over `observed` (the DP adversary's per-step
+  /// workload, Lemma 1). Bit-identical to two separate LogDensity calls: the
+  /// per-coordinate terms use the same exact-rounded double arithmetic and
+  /// each accumulator keeps its frozen left-to-right addition order; only
+  /// the constant log(sigma) is hoisted out of the loop (std::log is
+  /// deterministic, so the hoisted value is the one the scalar loop
+  /// recomputes). Runtime-dispatches an AVX2 kernel when available.
+  void LogDensityPair(const std::vector<float>& observed,
+                      const std::vector<float>& center_a,
+                      const std::vector<float>& center_b, double* log_a,
+                      double* log_b) const;
+
  private:
   double sigma_;
 };

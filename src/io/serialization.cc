@@ -10,10 +10,11 @@ namespace {
 
 constexpr uint8_t kMagic[4] = {'D', 'P', 'A', 'U'};
 constexpr uint32_t kVersion = 1;
-constexpr uint32_t kKindWeights = 1;
-constexpr uint32_t kKindDataset = 2;
 
-// All integers little-endian; floats as IEEE-754 bit patterns.
+}  // namespace
+
+namespace wire {
+
 void PutU32(std::vector<uint8_t>& out, uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
 }
@@ -28,73 +29,74 @@ void PutF32(std::vector<uint8_t>& out, float f) {
   PutU32(out, bits);
 }
 
-// Cursor-based reader with bounds checking.
-class Reader {
- public:
-  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+void PutF64(std::vector<uint8_t>& out, double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  PutU64(out, bits);
+}
 
-  StatusOr<uint32_t> U32() {
-    if (pos_ + 4 > size_) return Status::InvalidArgument("truncated u32");
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
-    }
-    pos_ += 4;
-    return v;
+StatusOr<uint32_t> Reader::U32() {
+  if (pos_ + 4 > size_) return Status::InvalidArgument("truncated u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
   }
+  pos_ += 4;
+  return v;
+}
 
-  StatusOr<uint64_t> U64() {
-    if (pos_ + 8 > size_) return Status::InvalidArgument("truncated u64");
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
-    }
-    pos_ += 8;
-    return v;
+StatusOr<uint64_t> Reader::U64() {
+  if (pos_ + 8 > size_) return Status::InvalidArgument("truncated u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
   }
+  pos_ += 8;
+  return v;
+}
 
-  StatusOr<float> F32() {
-    DPAUDIT_ASSIGN_OR_RETURN(uint32_t bits, U32());
-    float f;
-    std::memcpy(&f, &bits, sizeof(f));
-    return f;
-  }
+StatusOr<float> Reader::F32() {
+  DPAUDIT_ASSIGN_OR_RETURN(uint32_t bits, U32());
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
 
-  size_t pos() const { return pos_; }
-  size_t remaining() const { return size_ - pos_; }
+StatusOr<double> Reader::F64() {
+  DPAUDIT_ASSIGN_OR_RETURN(uint64_t bits, U64());
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
 
- private:
-  const uint8_t* data_;
-  size_t size_;
-  size_t pos_ = 0;
-};
+}  // namespace wire
 
-std::vector<uint8_t> Frame(uint32_t kind,
-                           const std::vector<uint8_t>& payload) {
+std::vector<uint8_t> FrameBlob(uint32_t kind,
+                               const std::vector<uint8_t>& payload) {
   std::vector<uint8_t> out;
   out.reserve(payload.size() + 32);
   out.insert(out.end(), kMagic, kMagic + 4);
-  PutU32(out, kVersion);
-  PutU32(out, kind);
-  PutU64(out, payload.size());
+  wire::PutU32(out, kVersion);
+  wire::PutU32(out, kind);
+  wire::PutU64(out, payload.size());
   // The emptiness guard also sidesteps a GCC 12 -Wstringop-overflow false
   // positive on inserting an empty range.
   if (!payload.empty()) {
     out.insert(out.end(), payload.begin(), payload.end());
   }
-  PutU64(out, Fnv1a64(payload.data(), payload.size()));
+  wire::PutU64(out, Fnv1a64(payload.data(), payload.size()));
   return out;
 }
 
-StatusOr<std::vector<uint8_t>> Unframe(const std::vector<uint8_t>& bytes,
-                                       uint32_t expected_kind) {
+StatusOr<std::vector<uint8_t>> UnframeBlob(const std::vector<uint8_t>& bytes,
+                                           uint32_t expected_kind) {
   if (bytes.size() < 28) {
     return Status::InvalidArgument("blob shorter than its frame");
   }
   if (std::memcmp(bytes.data(), kMagic, 4) != 0) {
     return Status::InvalidArgument("bad magic (not a dpaudit blob)");
   }
-  Reader reader(bytes.data() + 4, bytes.size() - 4);
+  wire::Reader reader(bytes.data() + 4, bytes.size() - 4);
   DPAUDIT_ASSIGN_OR_RETURN(uint32_t version, reader.U32());
   if (version != kVersion) {
     return Status::InvalidArgument("unsupported blob version");
@@ -109,7 +111,7 @@ StatusOr<std::vector<uint8_t>> Unframe(const std::vector<uint8_t>& bytes,
   }
   const uint8_t* payload = bytes.data() + 4 + reader.pos();
   std::vector<uint8_t> out(payload, payload + payload_size);
-  Reader footer(payload + payload_size, 8);
+  wire::Reader footer(payload + payload_size, 8);
   DPAUDIT_ASSIGN_OR_RETURN(uint64_t checksum, footer.U64());
   if (checksum != Fnv1a64(out.data(), out.size())) {
     return Status::InvalidArgument("checksum mismatch (corrupted blob)");
@@ -117,7 +119,8 @@ StatusOr<std::vector<uint8_t>> Unframe(const std::vector<uint8_t>& bytes,
   return out;
 }
 
-Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+Status WriteBlobFile(const std::string& path,
+                     const std::vector<uint8_t>& bytes) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::Internal("cannot open " + path + " for writing");
   out.write(reinterpret_cast<const char*>(bytes.data()),
@@ -126,17 +129,19 @@ Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
   return Status::Ok();
 }
 
-StatusOr<std::vector<uint8_t>> ReadFile(const std::string& path) {
+StatusOr<std::vector<uint8_t>> ReadBlobFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open " + path);
   return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
                               std::istreambuf_iterator<char>());
 }
 
-}  // namespace
-
 uint64_t Fnv1a64(const uint8_t* data, size_t size) {
-  uint64_t hash = 0xcbf29ce484222325ULL;
+  return Fnv1a64(data, size, 0xcbf29ce484222325ULL);
+}
+
+uint64_t Fnv1a64(const uint8_t* data, size_t size, uint64_t seed) {
+  uint64_t hash = seed;
   for (size_t i = 0; i < size; ++i) {
     hash ^= data[i];
     hash *= 0x100000001b3ULL;
@@ -148,15 +153,15 @@ StatusOr<std::vector<uint8_t>> SerializeWeights(const Network& net) {
   std::vector<float> params = net.FlatParams();
   std::vector<uint8_t> payload;
   payload.reserve(8 + 4 * params.size());
-  PutU64(payload, params.size());
-  for (float p : params) PutF32(payload, p);
-  return Frame(kKindWeights, payload);
+  wire::PutU64(payload, params.size());
+  for (float p : params) wire::PutF32(payload, p);
+  return FrameBlob(kBlobKindWeights, payload);
 }
 
 Status DeserializeWeights(const std::vector<uint8_t>& bytes, Network& net) {
   DPAUDIT_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                           Unframe(bytes, kKindWeights));
-  Reader reader(payload.data(), payload.size());
+                           UnframeBlob(bytes, kBlobKindWeights));
+  wire::Reader reader(payload.data(), payload.size());
   DPAUDIT_ASSIGN_OR_RETURN(uint64_t count, reader.U64());
   if (count != net.NumParams()) {
     return Status::FailedPrecondition(
@@ -175,21 +180,21 @@ Status DeserializeWeights(const std::vector<uint8_t>& bytes, Network& net) {
 
 StatusOr<std::vector<uint8_t>> SerializeDataset(const Dataset& dataset) {
   std::vector<uint8_t> payload;
-  PutU64(payload, dataset.size());
+  wire::PutU64(payload, dataset.size());
   for (size_t i = 0; i < dataset.size(); ++i) {
     const Tensor& x = dataset.inputs[i];
-    PutU64(payload, dataset.labels[i]);
-    PutU32(payload, static_cast<uint32_t>(x.rank()));
-    for (size_t dim : x.shape()) PutU64(payload, dim);
-    for (float v : x.vec()) PutF32(payload, v);
+    wire::PutU64(payload, dataset.labels[i]);
+    wire::PutU32(payload, static_cast<uint32_t>(x.rank()));
+    for (size_t dim : x.shape()) wire::PutU64(payload, dim);
+    for (float v : x.vec()) wire::PutF32(payload, v);
   }
-  return Frame(kKindDataset, payload);
+  return FrameBlob(kBlobKindDataset, payload);
 }
 
 StatusOr<Dataset> DeserializeDataset(const std::vector<uint8_t>& bytes) {
   DPAUDIT_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                           Unframe(bytes, kKindDataset));
-  Reader reader(payload.data(), payload.size());
+                           UnframeBlob(bytes, kBlobKindDataset));
+  wire::Reader reader(payload.data(), payload.size());
   DPAUDIT_ASSIGN_OR_RETURN(uint64_t count, reader.U64());
   Dataset dataset;
   dataset.inputs.reserve(count);
@@ -227,22 +232,22 @@ StatusOr<Dataset> DeserializeDataset(const std::vector<uint8_t>& bytes) {
 
 Status SaveWeights(const std::string& path, const Network& net) {
   DPAUDIT_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, SerializeWeights(net));
-  return WriteFile(path, bytes);
+  return WriteBlobFile(path, bytes);
 }
 
 Status LoadWeights(const std::string& path, Network& net) {
-  DPAUDIT_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFile(path));
+  DPAUDIT_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadBlobFile(path));
   return DeserializeWeights(bytes, net);
 }
 
 Status SaveDataset(const std::string& path, const Dataset& dataset) {
   DPAUDIT_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
                            SerializeDataset(dataset));
-  return WriteFile(path, bytes);
+  return WriteBlobFile(path, bytes);
 }
 
 StatusOr<Dataset> LoadDataset(const std::string& path) {
-  DPAUDIT_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFile(path));
+  DPAUDIT_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadBlobFile(path));
   return DeserializeDataset(bytes);
 }
 

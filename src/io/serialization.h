@@ -1,8 +1,9 @@
-// Binary serialization for model weights and datasets.
+// Binary serialization for model weights, datasets, and experiment traces.
 //
 // Enables the auditing workflow on persisted artifacts: train somewhere,
-// save the weights, audit later (examples/ and tools/ use this). The format
-// is deliberately simple and versioned:
+// save the weights, audit later (examples/ and tools/ use this); the trace
+// cache (core/trace.h) persists whole experiment summaries the same way.
+// The format is deliberately simple and versioned:
 //
 //   header:  magic "DPAU" | u32 version | u32 kind | u64 payload bytes
 //   payload: kind-specific, little-endian
@@ -11,6 +12,11 @@
 // Weights are stored as a flat float vector; loading requires a Network of
 // identical parameter count (the architecture is code, not data — matching
 // the library's Network design).
+//
+// The `wire` namespace exposes the primitive encode/decode helpers and the
+// frame/checksum layer so other modules (core/trace) can define new blob
+// kinds without duplicating the bounds-checked cursor logic. Doubles are
+// stored as IEEE-754 bit patterns, so round-trips are exact.
 
 #ifndef DPAUDIT_IO_SERIALIZATION_H_
 #define DPAUDIT_IO_SERIALIZATION_H_
@@ -24,6 +30,56 @@
 #include "util/status.h"
 
 namespace dpaudit {
+
+/// Registered payload kinds for the framed blob format.
+inline constexpr uint32_t kBlobKindWeights = 1;
+inline constexpr uint32_t kBlobKindDataset = 2;
+inline constexpr uint32_t kBlobKindTrace = 3;
+
+namespace wire {
+
+/// Little-endian primitive appenders. Floats/doubles are written as their
+/// IEEE-754 bit patterns (exact round-trip).
+void PutU32(std::vector<uint8_t>& out, uint32_t v);
+void PutU64(std::vector<uint8_t>& out, uint64_t v);
+void PutF32(std::vector<uint8_t>& out, float f);
+void PutF64(std::vector<uint8_t>& out, double d);
+
+/// Cursor-based reader with bounds checking; every accessor fails with
+/// InvalidArgument instead of reading past the end.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  StatusOr<uint32_t> U32();
+  StatusOr<uint64_t> U64();
+  StatusOr<float> F32();
+  StatusOr<double> F64();
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace wire
+
+/// Wraps a payload in the magic/version/kind/size header and FNV-1a footer.
+std::vector<uint8_t> FrameBlob(uint32_t kind,
+                               const std::vector<uint8_t>& payload);
+
+/// Validates the frame (magic, version, declared kind, size, checksum) and
+/// returns the payload. A flipped payload byte fails the checksum.
+StatusOr<std::vector<uint8_t>> UnframeBlob(const std::vector<uint8_t>& bytes,
+                                           uint32_t expected_kind);
+
+/// Whole-file helpers for framed blobs.
+Status WriteBlobFile(const std::string& path,
+                     const std::vector<uint8_t>& bytes);
+StatusOr<std::vector<uint8_t>> ReadBlobFile(const std::string& path);
 
 /// Serializes the network's current parameters.
 StatusOr<std::vector<uint8_t>> SerializeWeights(const Network& net);
@@ -42,8 +98,11 @@ Status LoadWeights(const std::string& path, Network& net);
 Status SaveDataset(const std::string& path, const Dataset& dataset);
 StatusOr<Dataset> LoadDataset(const std::string& path);
 
-/// FNV-1a 64-bit hash (exposed for tests).
+/// FNV-1a 64-bit hash (exposed for tests and content fingerprints). The
+/// seeded overload chains incremental hashing: pass the previous digest as
+/// `seed` to extend it.
 uint64_t Fnv1a64(const uint8_t* data, size_t size);
+uint64_t Fnv1a64(const uint8_t* data, size_t size, uint64_t seed);
 
 }  // namespace dpaudit
 

@@ -23,6 +23,14 @@ inline int64_t EnvInt64(const char* name, int64_t fallback) {
   return value;
 }
 
+/// Reads a string environment variable with a fallback (used for paths such
+/// as DPAUDIT_TRACE_CACHE).
+inline std::string EnvString(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::string(raw);
+}
+
 /// Reads a double environment variable with a fallback.
 inline double EnvDouble(const char* name, double fallback) {
   const char* raw = std::getenv(name);

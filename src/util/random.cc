@@ -6,6 +6,15 @@
 
 namespace dpaudit {
 
+void Rng::FillGaussian(double* out, size_t n) {
+  // A plain loop over the member distribution: std::normal_distribution is
+  // stateful (the polar method caches its second variate), so the batched
+  // stream matches repeated Gaussian() calls exactly. Separating the serial,
+  // branchy sampling loop from the caller's apply loop is where the batching
+  // speedup comes from.
+  for (size_t i = 0; i < n; ++i) out[i] = normal_(engine_);
+}
+
 double Rng::Laplace(double scale) {
   DPAUDIT_CHECK_GE(scale, 0.0);
   // Inverse CDF: u ~ Uniform(-1/2, 1/2), x = -scale * sgn(u) * ln(1 - 2|u|).

@@ -33,13 +33,26 @@ class Rng {
   /// Uniform in [lo, hi).
   double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
 
-  /// Uniform integer in [0, n). Requires n > 0.
+  /// Uniform integer in [0, n). Requires n > 0. The distribution object is a
+  /// member whose parameters are updated only when `n` changes, so tight
+  /// loops (Fisher-Yates, rejection sampling) skip re-construction; the draw
+  /// stream is identical to a fresh distribution per call.
   uint64_t UniformInt(uint64_t n) {
-    return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+    if (int_dist_.b() != n - 1) {
+      int_dist_.param(
+          std::uniform_int_distribution<uint64_t>::param_type(0, n - 1));
+    }
+    return int_dist_(engine_);
   }
 
   /// Standard normal draw.
   double Gaussian() { return normal_(engine_); }
+
+  /// Fills out[0..n) with standard normal draws. The stream is identical to n
+  /// repeated Gaussian() calls — same engine state, same values in the same
+  /// order — so batched consumers (GaussianMechanism::Perturb) stay
+  /// bit-identical to per-coordinate sampling.
+  void FillGaussian(double* out, size_t n);
 
   /// Normal with the given mean and standard deviation (sigma >= 0).
   double Gaussian(double mean, double sigma) {
@@ -73,6 +86,7 @@ class Rng {
   std::mt19937_64 engine_;
   std::uniform_real_distribution<double> unit_{0.0, 1.0};
   std::normal_distribution<double> normal_{0.0, 1.0};
+  std::uniform_int_distribution<uint64_t> int_dist_{0, 0};
 };
 
 }  // namespace dpaudit

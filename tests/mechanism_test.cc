@@ -59,6 +59,72 @@ TEST(GaussianMechanismTest, LogDensityHigherNearCenter) {
             mechanism.LogDensity(observed, {3.0f, 3.0f}));
 }
 
+TEST(GaussianMechanismTest, PerturbMatchesPerCoordinateSampling) {
+  // The chunked/vectorized Perturb must reproduce the historical
+  // per-coordinate loop bit-for-bit: same noise stream (FillGaussian ==
+  // repeated Gaussian()) and same arithmetic
+  // v = float(v + (0.0 + sigma * g)). Sizes straddle the internal chunk
+  // length and the AVX2 lane width, including odd tails.
+  const double sigma = 1.7;
+  GaussianMechanism mechanism(sigma);
+  for (size_t n : {size_t{1}, size_t{5}, size_t{512}, size_t{1031}}) {
+    std::vector<float> values(n);
+    for (size_t i = 0; i < n; ++i) {
+      values[i] = 0.25f * static_cast<float>(i % 17) - 1.0f;
+    }
+    std::vector<float> expected = values;
+    Rng reference_rng(321);
+    for (float& v : expected) {
+      v = static_cast<float>(v + reference_rng.Gaussian(0.0, sigma));
+    }
+    Rng rng(321);
+    mechanism.Perturb(values, rng);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(values[i], expected[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(GaussianMechanismTest, PerturbDoubleMatchesPerCoordinateSampling) {
+  const double sigma = 0.9;
+  GaussianMechanism mechanism(sigma);
+  std::vector<double> values(777);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = 0.125 * static_cast<double>(i % 11);
+  }
+  std::vector<double> expected = values;
+  Rng reference_rng(77);
+  for (double& v : expected) v += reference_rng.Gaussian(0.0, sigma);
+  Rng rng(77);
+  mechanism.Perturb(values, rng);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i], expected[i]) << "i=" << i;
+  }
+}
+
+TEST(GaussianMechanismTest, LogDensityPairMatchesTwoSingleCalls) {
+  // The fused pass must be EXACTLY the two separate sums (frozen
+  // per-accumulator addition order), not merely close: the auditor's
+  // epsilon' estimates are required to be bit-identical either way.
+  GaussianMechanism mechanism(1.3);
+  Rng rng(9);
+  for (size_t n : {size_t{1}, size_t{3}, size_t{8}, size_t{257}}) {
+    std::vector<float> observed(n);
+    std::vector<float> center_a(n);
+    std::vector<float> center_b(n);
+    for (size_t i = 0; i < n; ++i) {
+      observed[i] = static_cast<float>(rng.Gaussian());
+      center_a[i] = static_cast<float>(0.5 * rng.Gaussian());
+      center_b[i] = static_cast<float>(0.5 * rng.Gaussian());
+    }
+    double log_a = 0.0;
+    double log_b = 0.0;
+    mechanism.LogDensityPair(observed, center_a, center_b, &log_a, &log_b);
+    EXPECT_EQ(log_a, mechanism.LogDensity(observed, center_a)) << "n=" << n;
+    EXPECT_EQ(log_b, mechanism.LogDensity(observed, center_b)) << "n=" << n;
+  }
+}
+
 // Statistical check of the DP inequality for the scalar Gaussian mechanism:
 // the likelihood ratio p(x|0) / p(x|1) must be <= e^eps except on a set of
 // probability <= delta (the classic analysis). We verify the tail mass where

@@ -74,6 +74,43 @@ TEST(RngTest, UniformIntCoversRange) {
   EXPECT_EQ(seen.size(), 7u);
 }
 
+TEST(RngTest, FillGaussianMatchesRepeatedDraws) {
+  // The batched fill must consume the engine identically to repeated
+  // Gaussian() calls — same values, same order — so code that switches to
+  // FillGaussian reproduces historical noise streams bit-for-bit. Odd sizes
+  // matter: std::normal_distribution generates pairs and caches one variate.
+  for (size_t n : {size_t{1}, size_t{7}, size_t{64}, size_t{513}}) {
+    Rng scalar_rng(123);
+    Rng batch_rng(123);
+    std::vector<double> expected(n);
+    for (double& v : expected) v = scalar_rng.Gaussian();
+    std::vector<double> batched(n);
+    batch_rng.FillGaussian(batched.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(batched[i], expected[i]) << "n=" << n << " i=" << i;
+    }
+    // And the engines stay in lockstep afterwards.
+    EXPECT_EQ(batch_rng.Gaussian(), scalar_rng.Gaussian());
+  }
+}
+
+TEST(RngTest, UniformIntCachedDistributionTracksRangeChanges) {
+  // UniformInt reuses its distribution object between calls and only updates
+  // the parameters when the range changes; interleaved ranges must each stay
+  // within their own bound and cover it.
+  Rng rng(31);
+  std::set<uint64_t> seen_small;
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_LT(rng.UniformInt(7), 7u);
+    uint64_t small = rng.UniformInt(3);
+    EXPECT_LT(small, 3u);
+    seen_small.insert(small);
+    EXPECT_LT(rng.UniformInt(10), 10u);
+    EXPECT_EQ(rng.UniformInt(1), 0u);
+  }
+  EXPECT_EQ(seen_small.size(), 3u);
+}
+
 TEST(RngTest, GaussianMoments) {
   Rng rng(17);
   const int n = 100000;

@@ -1,0 +1,465 @@
+#include "core/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/auditor.h"
+#include "io/serialization.h"
+#include "tests/test_helpers.h"
+
+namespace dpaudit {
+namespace {
+
+using testing_helpers::BlobDataset;
+using testing_helpers::ExtremeBoundedNeighbor;
+using testing_helpers::TinyNetwork;
+
+DiExperimentConfig FastExperiment() {
+  DiExperimentConfig config;
+  config.dpsgd.epochs = 5;
+  config.dpsgd.learning_rate = 0.05;
+  config.dpsgd.clip_norm = 1.0;
+  config.dpsgd.noise_multiplier = 1.0;
+  config.repetitions = 16;
+  config.seed = 99;
+  return config;
+}
+
+struct Fixture {
+  Fixture() : rng(1), net(TinyNetwork()) {
+    net.Initialize(rng);
+    d = BlobDataset(9, rng);
+    d_prime = ExtremeBoundedNeighbor(d, 6.0f);
+  }
+  Rng rng;
+  Network net;
+  Dataset d;
+  Dataset d_prime;
+};
+
+/// Fresh per-test cache directory under gtest's temp dir.
+class ScopedCacheDir {
+ public:
+  explicit ScopedCacheDir(const std::string& name)
+      : path_(::testing::TempDir() + "/dpaudit_trace_" + name) {
+    std::filesystem::remove_all(path_);
+  }
+  ~ScopedCacheDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+ExperimentTrace SampleTrace() {
+  ExperimentTrace trace;
+  trace.fingerprint = {0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  for (int t = 0; t < 3; ++t) {
+    TrialTrace trial;
+    trial.trained_on_d = t != 1;
+    trial.adversary_says_d = t == 0;
+    trial.final_belief_d = 0.25 * (t + 1);
+    trial.max_belief_d = 0.3 * (t + 1);
+    trial.test_accuracy = t == 2 ? 0.875 : -1.0;
+    trial.belief_history = {0.5, 0.6 + 0.01 * t, 0.7 + 0.01 * t};
+    for (int s = 0; s < 2; ++s) {
+      StepTraceRecord step;
+      step.clip_norm = 1.0 + s;
+      step.local_sensitivity = 0.125 * (s + 1);
+      step.sensitivity_used = 0.25 * (s + 1);
+      step.sigma = 1.5 * (s + 1);
+      step.log_density_d = -1.0 - 0.1 * s;
+      step.log_density_dprime = -2.0 - 0.1 * s;
+      step.belief_d = trial.belief_history[s + 1];
+      trial.steps.push_back(step);
+    }
+    trace.trials.push_back(trial);
+  }
+  return trace;
+}
+
+void ExpectTracesEqual(const ExperimentTrace& a, const ExperimentTrace& b) {
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (size_t t = 0; t < a.trials.size(); ++t) {
+    const TrialTrace& ta = a.trials[t];
+    const TrialTrace& tb = b.trials[t];
+    EXPECT_EQ(ta.trained_on_d, tb.trained_on_d);
+    EXPECT_EQ(ta.adversary_says_d, tb.adversary_says_d);
+    EXPECT_EQ(ta.final_belief_d, tb.final_belief_d);
+    EXPECT_EQ(ta.max_belief_d, tb.max_belief_d);
+    EXPECT_EQ(ta.test_accuracy, tb.test_accuracy);
+    EXPECT_EQ(ta.belief_history, tb.belief_history);
+    ASSERT_EQ(ta.steps.size(), tb.steps.size());
+    for (size_t s = 0; s < ta.steps.size(); ++s) {
+      EXPECT_EQ(ta.steps[s].clip_norm, tb.steps[s].clip_norm);
+      EXPECT_EQ(ta.steps[s].local_sensitivity,
+                tb.steps[s].local_sensitivity);
+      EXPECT_EQ(ta.steps[s].sensitivity_used, tb.steps[s].sensitivity_used);
+      EXPECT_EQ(ta.steps[s].sigma, tb.steps[s].sigma);
+      EXPECT_EQ(ta.steps[s].log_density_d, tb.steps[s].log_density_d);
+      EXPECT_EQ(ta.steps[s].log_density_dprime,
+                tb.steps[s].log_density_dprime);
+      EXPECT_EQ(ta.steps[s].belief_d, tb.steps[s].belief_d);
+    }
+  }
+}
+
+TEST(TraceFingerprintTest, HexRoundTrip) {
+  TraceFingerprint key{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(key.ToHex(), "0123456789abcdeffedcba9876543210");
+  auto parsed = TraceFingerprint::FromHex(key.ToHex());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, key);
+}
+
+TEST(TraceFingerprintTest, RejectsMalformedHex) {
+  EXPECT_FALSE(TraceFingerprint::FromHex("abc").ok());
+  EXPECT_FALSE(
+      TraceFingerprint::FromHex("0123456789abcdeffedcba987654321g").ok());
+}
+
+TEST(TraceSerializationTest, RoundTripIsExact) {
+  ExperimentTrace trace = SampleTrace();
+  auto bytes = SerializeTrace(trace);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  auto restored = DeserializeTrace(*bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  ExpectTracesEqual(trace, *restored);
+}
+
+TEST(TraceSerializationTest, DetectsCorruption) {
+  ExperimentTrace trace = SampleTrace();
+  auto bytes = SerializeTrace(trace);
+  ASSERT_TRUE(bytes.ok());
+  // Flip one payload byte: the frame checksum must catch it.
+  std::vector<uint8_t> corrupted = *bytes;
+  corrupted[corrupted.size() / 2] ^= 0x40;
+  EXPECT_FALSE(DeserializeTrace(corrupted).ok());
+  // Truncation must fail too, not crash.
+  std::vector<uint8_t> truncated(*bytes);
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(DeserializeTrace(truncated).ok());
+  // Wrong blob kind (a dataset is not a trace).
+  EXPECT_FALSE(
+      DeserializeTrace(FrameBlob(kBlobKindDataset, {1, 2, 3})).ok());
+}
+
+TEST(TraceSerializationTest, SummaryReconstruction) {
+  ExperimentTrace trace = SampleTrace();
+  DiExperimentSummary summary = trace.ToSummary();
+  ASSERT_EQ(summary.trials.size(), trace.trials.size());
+  for (size_t t = 0; t < trace.trials.size(); ++t) {
+    EXPECT_EQ(summary.trials[t].trained_on_d, trace.trials[t].trained_on_d);
+    EXPECT_EQ(summary.trials[t].final_belief_d,
+              trace.trials[t].final_belief_d);
+    ASSERT_EQ(summary.trials[t].local_sensitivities.size(),
+              trace.trials[t].steps.size());
+    for (size_t s = 0; s < trace.trials[t].steps.size(); ++s) {
+      EXPECT_EQ(summary.trials[t].local_sensitivities[s],
+                trace.trials[t].steps[s].local_sensitivity);
+      EXPECT_EQ(summary.trials[t].sigmas[s], trace.trials[t].steps[s].sigma);
+    }
+  }
+}
+
+TEST(TraceFingerprintTest, EachConfigFieldInvalidatesTheKey) {
+  Fixture f;
+  DiExperimentConfig base = FastExperiment();
+  TraceFingerprint key = FingerprintExperiment(f.net, f.d, f.d_prime, base);
+
+  // The same inputs rehash to the same key.
+  EXPECT_EQ(FingerprintExperiment(f.net, f.d, f.d_prime, base), key);
+
+  // Thread counts are excluded by design (results are thread-invariant).
+  DiExperimentConfig threads = base;
+  threads.threads = 7;
+  threads.dpsgd.threads = 3;
+  EXPECT_EQ(FingerprintExperiment(f.net, f.d, f.d_prime, threads), key);
+
+  // Every semantic field must change the key.
+  std::vector<DiExperimentConfig> variants;
+  {
+    DiExperimentConfig c = base;
+    c.dpsgd.epochs = 6;
+    variants.push_back(c);
+  }
+  {
+    DiExperimentConfig c = base;
+    c.dpsgd.learning_rate = 0.06;
+    variants.push_back(c);
+  }
+  {
+    DiExperimentConfig c = base;
+    c.dpsgd.clip_norm = 2.0;
+    variants.push_back(c);
+  }
+  {
+    DiExperimentConfig c = base;
+    c.dpsgd.noise_multiplier = 1.5;
+    variants.push_back(c);
+  }
+  {
+    DiExperimentConfig c = base;
+    c.dpsgd.sensitivity_mode = SensitivityMode::kLocalHat;
+    variants.push_back(c);
+  }
+  {
+    DiExperimentConfig c = base;
+    c.dpsgd.neighbor_mode = NeighborMode::kUnbounded;
+    variants.push_back(c);
+  }
+  {
+    DiExperimentConfig c = base;
+    c.dpsgd.optimizer = OptimizerKind::kMomentum;
+    variants.push_back(c);
+  }
+  {
+    DiExperimentConfig c = base;
+    c.dpsgd.adaptive_clipping = true;
+    variants.push_back(c);
+  }
+  {
+    DiExperimentConfig c = base;
+    c.dpsgd.clip_quantile = 0.6;
+    variants.push_back(c);
+  }
+  {
+    DiExperimentConfig c = base;
+    c.dpsgd.clip_smoothing = 0.4;
+    variants.push_back(c);
+  }
+  {
+    DiExperimentConfig c = base;
+    c.dpsgd.per_layer_clipping = true;
+    variants.push_back(c);
+  }
+  {
+    DiExperimentConfig c = base;
+    c.repetitions = 17;
+    variants.push_back(c);
+  }
+  {
+    DiExperimentConfig c = base;
+    c.seed = 100;
+    variants.push_back(c);
+  }
+  {
+    DiExperimentConfig c = base;
+    c.randomize_challenge_bit = true;
+    variants.push_back(c);
+  }
+  {
+    DiExperimentConfig c = base;
+    c.reinitialize_weights = false;
+    variants.push_back(c);
+  }
+  for (size_t i = 0; i < variants.size(); ++i) {
+    EXPECT_NE(FingerprintExperiment(f.net, f.d, f.d_prime, variants[i]), key)
+        << "variant " << i << " did not change the fingerprint";
+  }
+}
+
+TEST(TraceFingerprintTest, DataAndModelInvalidateTheKey) {
+  Fixture f;
+  DiExperimentConfig config = FastExperiment();
+  TraceFingerprint key = FingerprintExperiment(f.net, f.d, f.d_prime, config);
+
+  // Different dataset contents.
+  Rng other_rng(55);
+  Dataset other = BlobDataset(9, other_rng);
+  EXPECT_NE(FingerprintExperiment(f.net, other, f.d_prime, config), key);
+  EXPECT_NE(FingerprintExperiment(f.net, f.d, other, config), key);
+  EXPECT_NE(DatasetDigest(other), DatasetDigest(f.d));
+
+  // Swapping D and D' must not collide.
+  EXPECT_NE(FingerprintExperiment(f.net, f.d_prime, f.d, config), key);
+
+  // Different initial weights (theta_0 matters when weights are shared).
+  Network reseeded = TinyNetwork();
+  Rng weight_rng(77);
+  reseeded.Initialize(weight_rng);
+  EXPECT_NE(FingerprintExperiment(reseeded, f.d, f.d_prime, config), key);
+
+  // Presence of a test set changes the trace contents, hence the key.
+  Rng test_rng(56);
+  Dataset test = BlobDataset(4, test_rng);
+  EXPECT_NE(FingerprintExperiment(f.net, f.d, f.d_prime, config, &test),
+            key);
+}
+
+TEST(TraceStoreTest, SaveLoadListEvict) {
+  ScopedCacheDir cache("store");
+  TraceStore store(cache.path());
+  ExperimentTrace trace = SampleTrace();
+
+  // Empty cache: NotFound, empty listing.
+  EXPECT_EQ(store.Load(trace.fingerprint).status().code(),
+            StatusCode::kNotFound);
+  auto empty = store.List();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  ASSERT_TRUE(store.Save(trace).ok());
+  auto loaded = store.Load(trace.fingerprint);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectTracesEqual(trace, *loaded);
+
+  auto entries = store.List();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].key, trace.fingerprint.ToHex());
+  EXPECT_EQ((*entries)[0].repetitions, 3u);
+  EXPECT_EQ((*entries)[0].steps, 2u);
+
+  ASSERT_TRUE(store.Evict(trace.fingerprint.ToHex()).ok());
+  EXPECT_EQ(store.Load(trace.fingerprint).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store.Evict(trace.fingerprint.ToHex()).code(),
+            StatusCode::kNotFound);
+
+  ASSERT_TRUE(store.Save(trace).ok());
+  ExperimentTrace second = trace;
+  second.fingerprint.lo ^= 1;
+  ASSERT_TRUE(store.Save(second).ok());
+  auto removed = store.EvictAll();
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 2u);
+}
+
+TEST(TraceStoreTest, CorruptEntryFailsValidationButListSkipsIt) {
+  ScopedCacheDir cache("corrupt");
+  TraceStore store(cache.path());
+  ExperimentTrace trace = SampleTrace();
+  ASSERT_TRUE(store.Save(trace).ok());
+
+  // Flip one byte in the middle of the stored file.
+  std::string path = store.PathFor(trace.fingerprint);
+  auto bytes = ReadBlobFile(path);
+  ASSERT_TRUE(bytes.ok());
+  (*bytes)[bytes->size() / 2] ^= 0x01;
+  ASSERT_TRUE(WriteBlobFile(path, *bytes).ok());
+
+  Status status = store.Load(trace.fingerprint).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  auto entries = store.List();
+  ASSERT_TRUE(entries.ok());
+  EXPECT_TRUE(entries->empty());
+}
+
+TEST(TraceCacheTest, WarmReplayIsBitIdenticalToColdRun) {
+  Fixture f;
+  ScopedCacheDir cache("replay");
+  TraceStore store(cache.path());
+  DiExperimentConfig config = FastExperiment();
+
+  // Reference: no cache involved at all.
+  auto reference = RunDiExperiment(f.net, f.d, f.d_prime, config);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  // Cold: records into the cache while producing the same result.
+  config.trace_store = &store;
+  auto cold = RunDiExperiment(f.net, f.d, f.d_prime, config);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  auto entries = store.List();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+
+  // Warm: replays from disk without training.
+  auto warm = RunDiExperiment(f.net, f.d, f.d_prime, config);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+
+  for (const DiExperimentSummary* summary :
+       {&*cold, &*warm}) {
+    ASSERT_EQ(summary->trials.size(), reference->trials.size());
+    for (size_t i = 0; i < reference->trials.size(); ++i) {
+      const DiTrialResult& a = reference->trials[i];
+      const DiTrialResult& b = summary->trials[i];
+      EXPECT_EQ(a.trained_on_d, b.trained_on_d);
+      EXPECT_EQ(a.adversary_says_d, b.adversary_says_d);
+      EXPECT_EQ(a.final_belief_d, b.final_belief_d);
+      EXPECT_EQ(a.max_belief_d, b.max_belief_d);
+      EXPECT_EQ(a.test_accuracy, b.test_accuracy);
+      ASSERT_EQ(a.local_sensitivities.size(), b.local_sensitivities.size());
+      for (size_t s = 0; s < a.local_sensitivities.size(); ++s) {
+        EXPECT_EQ(a.local_sensitivities[s], b.local_sensitivities[s]);
+        EXPECT_EQ(a.sigmas[s], b.sigmas[s]);
+      }
+    }
+  }
+
+  // All three epsilon' estimators must agree bit-for-bit.
+  double delta = 1.0 / 9.0;
+  auto audit_ref = AuditExperiment(*reference, delta);
+  auto audit_warm = AuditExperiment(*warm, delta);
+  ASSERT_TRUE(audit_ref.ok());
+  ASSERT_TRUE(audit_warm.ok());
+  EXPECT_EQ(audit_ref->epsilon_from_sensitivities,
+            audit_warm->epsilon_from_sensitivities);
+  EXPECT_EQ(audit_ref->epsilon_from_belief, audit_warm->epsilon_from_belief);
+  EXPECT_EQ(audit_ref->epsilon_from_advantage,
+            audit_warm->epsilon_from_advantage);
+}
+
+TEST(TraceCacheTest, TestSetAccuracySurvivesReplay) {
+  Fixture f;
+  ScopedCacheDir cache("testset");
+  TraceStore store(cache.path());
+  Rng data_rng(44);
+  Dataset test = BlobDataset(12, data_rng);
+  DiExperimentConfig config = FastExperiment();
+  config.repetitions = 4;
+  config.trace_store = &store;
+
+  auto cold = RunDiExperiment(f.net, f.d, f.d_prime, config, &test);
+  ASSERT_TRUE(cold.ok());
+  auto warm = RunDiExperiment(f.net, f.d, f.d_prime, config, &test);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(cold->TestAccuracies().size(), 4u);
+  EXPECT_EQ(cold->TestAccuracies(), warm->TestAccuracies());
+
+  // A run WITHOUT the test set keys differently — no false replay of the
+  // accuracy-free variant.
+  auto no_test = RunDiExperiment(f.net, f.d, f.d_prime, config);
+  ASSERT_TRUE(no_test.ok());
+  EXPECT_TRUE(no_test->TestAccuracies().empty());
+  auto entries = store.List();
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);
+}
+
+TEST(TraceCacheTest, CorruptCacheEntryFallsBackToLiveRun) {
+  Fixture f;
+  ScopedCacheDir cache("fallback");
+  TraceStore store(cache.path());
+  DiExperimentConfig config = FastExperiment();
+  config.repetitions = 4;
+  config.trace_store = &store;
+
+  auto cold = RunDiExperiment(f.net, f.d, f.d_prime, config);
+  ASSERT_TRUE(cold.ok());
+
+  TraceFingerprint key =
+      FingerprintExperiment(f.net, f.d, f.d_prime, config);
+  std::string path = store.PathFor(key);
+  auto bytes = ReadBlobFile(path);
+  ASSERT_TRUE(bytes.ok());
+  (*bytes)[bytes->size() - 1] ^= 0xff;  // break the checksum
+  ASSERT_TRUE(WriteBlobFile(path, *bytes).ok());
+
+  auto rerun = RunDiExperiment(f.net, f.d, f.d_prime, config);
+  ASSERT_TRUE(rerun.ok()) << rerun.status();
+  ASSERT_EQ(rerun->trials.size(), cold->trials.size());
+  for (size_t i = 0; i < cold->trials.size(); ++i) {
+    EXPECT_EQ(cold->trials[i].final_belief_d,
+              rerun->trials[i].final_belief_d);
+  }
+  // The rerun repaired the cache entry.
+  auto repaired = store.Load(key);
+  EXPECT_TRUE(repaired.ok()) << repaired.status();
+}
+
+}  // namespace
+}  // namespace dpaudit

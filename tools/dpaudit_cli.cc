@@ -11,6 +11,14 @@
 //       [--reps 20] [--sensitivity ls|gs] [--neighbors bounded|unbounded]
 //       [--epochs 30] [--n 30] [--seed 42] [--save-model weights.dpau]
 //       Run the repeated Exp^DI with the DP adversary and print the audit.
+//       With DPAUDIT_TRACE_CACHE set, repeated invocations replay the
+//       recorded step trace instead of retraining.
+//
+//   dpaudit_cli trace list [--cache DIR]
+//   dpaudit_cli trace show --key HEX [--cache DIR]
+//   dpaudit_cli trace evict (--key HEX | --all true) [--cache DIR]
+//       Inspect and manage the step-trace cache. --cache defaults to the
+//       DPAUDIT_TRACE_CACHE environment variable.
 
 #include <cstdio>
 #include <iostream>
@@ -21,6 +29,7 @@
 #include "core/policy.h"
 #include "core/report.h"
 #include "core/scores.h"
+#include "core/trace.h"
 #include "data/dataset_sensitivity.h"
 #include "data/synthetic_mnist.h"
 #include "data/synthetic_purchase.h"
@@ -28,13 +37,14 @@
 #include "io/serialization.h"
 #include "nn/network.h"
 #include "util/arg_parser.h"
+#include "util/env.h"
 
 namespace dpaudit {
 namespace {
 
 void PrintUsage() {
   std::fprintf(stderr,
-               "usage: dpaudit_cli <scores|plan|experiment> [--flags]\n"
+               "usage: dpaudit_cli <scores|plan|experiment|trace> [--flags]\n"
                "  scores     --epsilon E --delta D\n"
                "  plan       (--rho-beta B | --rho-alpha A) --delta D "
                "[--steps K]\n"
@@ -43,7 +53,10 @@ void PrintUsage() {
                "             [--sensitivity ls|gs] [--neighbors "
                "bounded|unbounded]\n"
                "             [--epochs K] [--n N] [--seed S]\n"
-               "             [--save-model PATH] [--report PATH.md]\n");
+               "             [--save-model PATH] [--report PATH.md]\n"
+               "  trace      list | show --key HEX | evict (--key HEX | "
+               "--all true)\n"
+               "             [--cache DIR]  (default: $DPAUDIT_TRACE_CACHE)\n");
 }
 
 Status RunScores(const ArgParser& args) {
@@ -170,6 +183,7 @@ Status RunExperiment(const ArgParser& args) {
   config.dpsgd.neighbor_mode = neighbor_mode;
   config.repetitions = static_cast<size_t>(reps);
   config.seed = static_cast<uint64_t>(seed);
+  config.trace_store = TraceStore::FromEnv();
 
   std::printf("running Exp^DI: %s, |D|=%lld, eps=%g, delta=%g, k=%lld, "
               "z=%.3f, %s/%s, %lld reps\n",
@@ -234,6 +248,86 @@ Status RunExperiment(const ArgParser& args) {
   return Status::Ok();
 }
 
+Status RunTrace(const ArgParser& args) {
+  if (args.positional().size() != 2) {
+    return Status::InvalidArgument("trace needs an action: list|show|evict");
+  }
+  const std::string& action = args.positional()[1];
+  std::string cache_dir =
+      args.GetString("cache", EnvString("DPAUDIT_TRACE_CACHE", ""));
+  std::string key = args.GetString("key", "");
+  DPAUDIT_ASSIGN_OR_RETURN(bool all, args.GetBool("all", false));
+  DPAUDIT_RETURN_IF_ERROR(args.CheckAllConsumed());
+  if (cache_dir.empty()) {
+    return Status::InvalidArgument(
+        "pass --cache DIR or set DPAUDIT_TRACE_CACHE");
+  }
+  TraceStore store(cache_dir);
+
+  if (action == "list") {
+    DPAUDIT_ASSIGN_OR_RETURN(std::vector<TraceStore::Entry> entries,
+                             store.List());
+    std::printf("trace cache %s: %zu entr%s\n", cache_dir.c_str(),
+                entries.size(), entries.size() == 1 ? "y" : "ies");
+    for (const TraceStore::Entry& entry : entries) {
+      std::printf("  %s  reps=%-4zu steps=%-4zu %llu bytes\n",
+                  entry.key.c_str(), entry.repetitions, entry.steps,
+                  static_cast<unsigned long long>(entry.bytes));
+    }
+    return Status::Ok();
+  }
+
+  if (action == "show") {
+    if (key.empty()) return Status::InvalidArgument("show needs --key HEX");
+    DPAUDIT_ASSIGN_OR_RETURN(TraceFingerprint fingerprint,
+                             TraceFingerprint::FromHex(key));
+    DPAUDIT_ASSIGN_OR_RETURN(ExperimentTrace trace,
+                             store.Load(fingerprint));
+    DiExperimentSummary summary = trace.ToSummary();
+    std::printf("trace %s (%s)\n", key.c_str(),
+                store.PathFor(fingerprint).c_str());
+    std::printf("  repetitions        = %zu\n", trace.trials.size());
+    std::printf("  steps per trial    = %zu\n",
+                trace.trials.empty() ? 0 : trace.trials[0].steps.size());
+    std::printf("  success rate       = %.3f\n", summary.SuccessRate());
+    std::printf("  empirical adv      = %.3f\n",
+                summary.EmpiricalAdvantage());
+    std::printf("  max belief in D    = %.3f\n", summary.MaxBeliefInD());
+    if (!trace.trials.empty()) {
+      const TrialTrace& first = trace.trials[0];
+      std::printf("  trial 0: trained_on_d=%d says_d=%d final_belief=%.4f "
+                  "max_belief=%.4f\n",
+                  first.trained_on_d ? 1 : 0, first.adversary_says_d ? 1 : 0,
+                  first.final_belief_d, first.max_belief_d);
+      if (!first.steps.empty()) {
+        const StepTraceRecord& step = first.steps[0];
+        std::printf("  trial 0 step 0: clip=%.4f ls=%.6f used=%.6f "
+                    "sigma=%.6f belief=%.4f\n",
+                    step.clip_norm, step.local_sensitivity,
+                    step.sensitivity_used, step.sigma, step.belief_d);
+      }
+    }
+    return Status::Ok();
+  }
+
+  if (action == "evict") {
+    if (!all && key.empty()) {
+      return Status::InvalidArgument("evict needs --key HEX or --all true");
+    }
+    if (all) {
+      DPAUDIT_ASSIGN_OR_RETURN(size_t removed, store.EvictAll());
+      std::printf("evicted %zu entr%s from %s\n", removed,
+                  removed == 1 ? "y" : "ies", cache_dir.c_str());
+      return Status::Ok();
+    }
+    DPAUDIT_RETURN_IF_ERROR(store.Evict(key));
+    std::printf("evicted %s\n", key.c_str());
+    return Status::Ok();
+  }
+
+  return Status::InvalidArgument("unknown trace action: " + action);
+}
+
 int Main(int argc, char** argv) {
   StatusOr<ArgParser> args = ArgParser::Parse(argc, argv);
   if (!args.ok()) {
@@ -241,15 +335,20 @@ int Main(int argc, char** argv) {
     PrintUsage();
     return 2;
   }
-  if (args->positional().size() != 1) {
+  if (args->positional().empty()) {
     PrintUsage();
     return 2;
   }
   const std::string& command = args->positional()[0];
+  if (command != "trace" && args->positional().size() != 1) {
+    PrintUsage();
+    return 2;
+  }
   Status status = Status::InvalidArgument("unknown command: " + command);
   if (command == "scores") status = RunScores(*args);
   if (command == "plan") status = RunPlan(*args);
   if (command == "experiment") status = RunExperiment(*args);
+  if (command == "trace") status = RunTrace(*args);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     if (status.code() == StatusCode::kInvalidArgument) PrintUsage();
