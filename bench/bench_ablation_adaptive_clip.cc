@@ -75,7 +75,9 @@ void Run() {
 }  // namespace
 }  // namespace dpaudit
 
-int main() {
+int main(int argc, char** argv) {
+  dpaudit::bench::InitTelemetryFromArgs(&argc, argv);
   dpaudit::Run();
+  dpaudit::obs::FlushTelemetry();
   return 0;
 }

@@ -39,12 +39,16 @@ inline std::vector<double> EpsilonGridFor(const Task& task) {
 inline std::vector<AuditSweepRow> RunAuditSweep(const BenchParams& params,
                                                 const Task& task,
                                                 size_t reps_override = 0) {
+  DPAUDIT_SPAN("audit_sweep");
   std::vector<AuditSweepRow> rows;
   for (double epsilon : EpsilonGridFor(task)) {
     for (SensitivityMode mode :
          {SensitivityMode::kLocalHat, SensitivityMode::kGlobal}) {
-      DiExperimentConfig config = MakeScenarioConfig(
-          params, task, epsilon, mode, NeighborMode::kBounded);
+      DiExperimentConfig config = [&] {
+        DPAUDIT_SPAN("calibration");
+        return MakeScenarioConfig(params, task, epsilon, mode,
+                                  NeighborMode::kBounded);
+      }();
       // The sweep spans 8 (epsilon, mode) cells per task; halve the per-cell
       // repetitions by default to keep the audit figures affordable.
       config.repetitions = reps_override > 0
@@ -57,7 +61,10 @@ inline std::vector<AuditSweepRow> RunAuditSweep(const BenchParams& params,
       auto summary = RunDiExperiment(task.architecture, task.d,
                                      task.d_prime_bounded, config);
       DPAUDIT_CHECK_OK(summary.status());
-      auto report = AuditExperiment(*summary, task.delta);
+      auto report = [&] {
+        DPAUDIT_SPAN("audit");
+        return AuditExperiment(*summary, task.delta);
+      }();
       DPAUDIT_CHECK_OK(report.status());
       AuditSweepRow row{task.name, epsilon, SensitivityModeToString(mode),
                         *report};

@@ -9,6 +9,12 @@
 //   DPAUDIT_PURCHASE_N      |D| for the Purchase-like task (paper: 1000)
 //   DPAUDIT_EPOCHS          training steps k (paper: 30)
 //   DPAUDIT_SEED            root seed
+//
+// Telemetry: every binary accepts --telemetry=<dir> (or the
+// DPAUDIT_TELEMETRY environment variable) through InitTelemetryFromArgs and
+// then writes a hierarchical phase profile, a JSONL event stream, and a
+// Prometheus exposition at exit. Exports go to stderr/files only, so stdout
+// stays byte-identical with telemetry on or off.
 
 #ifndef DPAUDIT_BENCH_BENCH_COMMON_H_
 #define DPAUDIT_BENCH_BENCH_COMMON_H_
@@ -26,12 +32,35 @@
 #include "data/synthetic_purchase.h"
 #include "dp/rdp_accountant.h"
 #include "nn/network.h"
+#include "obs/span.h"
+#include "obs/telemetry.h"
 #include "util/env.h"
 #include "util/logging.h"
 #include "util/table_writer.h"
+#include "util/thread_pool.h"
 
 namespace dpaudit {
 namespace bench {
+
+/// Strips --telemetry=<dir> out of argv and starts telemetry for this
+/// binary; without the flag, DPAUDIT_TELEMETRY decides. Call first thing in
+/// main so every phase lands in the profile.
+inline void InitTelemetryFromArgs(int* argc, char** argv) {
+  obs::TelemetryOptions options = obs::TelemetryOptionsFromEnv();
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    constexpr char kFlag[] = "--telemetry=";
+    if (arg.rfind(kFlag, 0) == 0) {
+      options.enabled = true;
+      options.directory = arg.substr(sizeof(kFlag) - 1);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  obs::InitTelemetry(argv[0], options);
+}
 
 struct BenchParams {
   size_t reps = static_cast<size_t>(EnvInt64("DPAUDIT_REPS", 24));
@@ -62,6 +91,7 @@ struct Task {
 /// Builds the MNIST-like task: synthetic digits, SSIM dissimilarity, the
 /// paper's conv/norm/pool architecture (Section 6.2).
 inline Task MakeMnistTask(const BenchParams& params) {
+  DPAUDIT_SPAN("task_setup");
   Task task;
   task.name = "MNIST";
   task.delta = 0.001;  // paper keeps delta = 1/100 for |D| = 100
@@ -93,6 +123,7 @@ inline Task MakeMnistTask(const BenchParams& params) {
 /// the paper's 600-128-100 dense architecture with class count reduced to
 /// keep bench wall-clock low (env-tunable data size).
 inline Task MakePurchaseTask(const BenchParams& params) {
+  DPAUDIT_SPAN("task_setup");
   Task task;
   task.name = "Purchase-100";
   task.delta = 0.01;  // paper: 1/1000 rounded up to 0.01 in Table 1
@@ -158,11 +189,15 @@ inline void Emit(const std::string& title, const TableWriter& table) {
 }
 
 inline void PrintHeader(const std::string& what, const BenchParams& params) {
+  // The simd/threads line prints unconditionally (not gated on telemetry) so
+  // stdout is byte-identical with telemetry on or off.
   std::cout << "dpaudit experiment: " << what << "\n"
             << "reps=" << params.reps << " epochs=" << params.epochs
             << " |D|_mnist=" << params.mnist_n
             << " |D|_purchase=" << params.purchase_n
             << " seed=" << params.seed << "\n"
+            << "simd=" << obs::ActiveSimdDispatch()
+            << " threads=" << DefaultThreadCount() << "\n"
             << "(paper-scale via DPAUDIT_REPS / DPAUDIT_MNIST_N / "
                "DPAUDIT_PURCHASE_N / DPAUDIT_EPOCHS)\n";
 }

@@ -13,6 +13,9 @@
 #include "dp/rdp_accountant.h"
 #include "nn/gradient_engine.h"
 #include "nn/network.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/telemetry.h"
 #include "stats/normal.h"
 #include "util/random.h"
 
@@ -256,6 +259,49 @@ void BM_Ssim28x28(benchmark::State& state) {
 }
 BENCHMARK(BM_Ssim28x28);
 
+// Telemetry overhead at an instrumentation site. The disabled numbers are
+// the acceptance gate: a dormant DPAUDIT_SPAN / DPAUDIT_METRIC_COUNT must
+// cost one relaxed atomic load (low single-digit ns), since these sit inside
+// the per-step training loop. The enabled variants show the full cost of a
+// live site for comparison.
+void BM_TelemetrySpanDisabled(benchmark::State& state) {
+  obs::EnableTelemetryForTest(false);
+  for (auto _ : state) {
+    DPAUDIT_SPAN("bench_disabled");
+    benchmark::DoNotOptimize(&state);
+  }
+}
+BENCHMARK(BM_TelemetrySpanDisabled);
+
+void BM_TelemetryCounterDisabled(benchmark::State& state) {
+  obs::EnableTelemetryForTest(false);
+  for (auto _ : state) {
+    DPAUDIT_METRIC_COUNT("dpaudit_bench_disabled_total", 1);
+    benchmark::DoNotOptimize(&state);
+  }
+}
+BENCHMARK(BM_TelemetryCounterDisabled);
+
+void BM_TelemetrySpanEnabled(benchmark::State& state) {
+  obs::EnableTelemetryForTest(true);
+  for (auto _ : state) {
+    DPAUDIT_SPAN("bench_enabled");
+    benchmark::DoNotOptimize(&state);
+  }
+  obs::EnableTelemetryForTest(false);
+}
+BENCHMARK(BM_TelemetrySpanEnabled);
+
+void BM_TelemetryCounterEnabled(benchmark::State& state) {
+  obs::EnableTelemetryForTest(true);
+  for (auto _ : state) {
+    DPAUDIT_METRIC_COUNT("dpaudit_bench_enabled_total", 1);
+    benchmark::DoNotOptimize(&state);
+  }
+  obs::EnableTelemetryForTest(false);
+}
+BENCHMARK(BM_TelemetryCounterEnabled);
+
 void BM_Hamming600(benchmark::State& state) {
   SyntheticPurchaseGenerator generator(SyntheticPurchaseConfig{}, 7);
   Rng rng(8);
@@ -270,4 +316,28 @@ BENCHMARK(BM_Hamming600);
 }  // namespace
 }  // namespace dpaudit
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects unknown
+// flags, so --telemetry=<dir> is consumed here before Initialize sees argv.
+int main(int argc, char** argv) {
+  dpaudit::obs::TelemetryOptions options =
+      dpaudit::obs::TelemetryOptionsFromEnv();
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    constexpr char kFlag[] = "--telemetry=";
+    if (arg.rfind(kFlag, 0) == 0) {
+      options.enabled = true;
+      options.directory = arg.substr(sizeof(kFlag) - 1);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  dpaudit::obs::InitTelemetry(argv[0], options);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dpaudit::obs::FlushTelemetry();
+  return 0;
+}

@@ -3,7 +3,8 @@
 #   1. mechanism/adversary microbenchmarks at paper gradient dimensionality
 #      (BM_GaussianPerturb, BM_LogLikelihoodRatio, BM_DiAdversaryOnStep);
 #   2. the fig08+fig09+fig10 trio wall-clock, cold-cache (records traces)
-#      and warm-cache (replays them).
+#      and warm-cache (replays them), with --telemetry on so each binary's
+#      own JSONL event stream supplies per-phase columns.
 # Writes BENCH_experiment_suite.json at the repo root with the pre-change
 # baseline (measured on the same machine before the trace cache and the
 # vectorized kernels landed) embedded next to the fresh numbers. Build first:
@@ -16,7 +17,10 @@ bench_bin="${build_dir}/bench/bench_micro"
 out="${repo_root}/BENCH_experiment_suite.json"
 micro_json="$(mktemp /tmp/dpaudit_micro.XXXXXX.json)"
 cache_dir="$(mktemp -d /tmp/dpaudit_trace_cache.XXXXXX)"
-trap 'rm -rf "${micro_json}" "${cache_dir}"' EXIT
+telemetry_cold="$(mktemp -d /tmp/dpaudit_telemetry_cold.XXXXXX)"
+telemetry_warm="$(mktemp -d /tmp/dpaudit_telemetry_warm.XXXXXX)"
+trap 'rm -rf "${micro_json}" "${cache_dir}" "${telemetry_cold}" \
+             "${telemetry_warm}"' EXIT
 
 for bin in bench_micro bench_fig08_eps_from_sensitivity \
            bench_fig09_eps_from_belief bench_fig10_eps_from_advantage; do
@@ -33,32 +37,69 @@ echo "== microbenchmarks (paper gradient dimensionality) =="
   --benchmark_out_format=json \
   --benchmark_repetitions="${BENCH_REPETITIONS:-1}"
 
+# Each binary profiles itself (--telemetry) and the per-phase columns below
+# come from its JSONL event export; profiles land on stderr -> log file.
 run_trio() {
-  local label="$1"
+  local telemetry_dir="$1"
   local start end
   start=$(date +%s.%N)
-  "${build_dir}/bench/bench_fig08_eps_from_sensitivity" > /dev/null
-  "${build_dir}/bench/bench_fig09_eps_from_belief" > /dev/null
-  "${build_dir}/bench/bench_fig10_eps_from_advantage" > /dev/null
+  "${build_dir}/bench/bench_fig08_eps_from_sensitivity" \
+      --telemetry="${telemetry_dir}" > /dev/null 2> "${telemetry_dir}/stderr.log"
+  "${build_dir}/bench/bench_fig09_eps_from_belief" \
+      --telemetry="${telemetry_dir}" > /dev/null 2>> "${telemetry_dir}/stderr.log"
+  "${build_dir}/bench/bench_fig10_eps_from_advantage" \
+      --telemetry="${telemetry_dir}" > /dev/null 2>> "${telemetry_dir}/stderr.log"
   end=$(date +%s.%N)
   echo "$(python3 -c "print(f'{${end} - ${start}:.2f}')")"
 }
 
 echo "== fig08+fig09+fig10 trio, cold trace cache =="
 export DPAUDIT_TRACE_CACHE="${cache_dir}"
-cold_seconds=$(run_trio cold)
+cold_seconds=$(run_trio "${telemetry_cold}")
 echo "cold: ${cold_seconds}s"
 
 echo "== fig08+fig09+fig10 trio, warm trace cache =="
-warm_seconds=$(run_trio warm)
+warm_seconds=$(run_trio "${telemetry_warm}")
 echo "warm: ${warm_seconds}s"
 unset DPAUDIT_TRACE_CACHE
 
-python3 - "${out}" "${micro_json}" "${cold_seconds}" "${warm_seconds}" <<'EOF'
-import json, sys
-out_path, micro_path, cold_s, warm_s = sys.argv[1:5]
+python3 - "${out}" "${micro_json}" "${cold_seconds}" "${warm_seconds}" \
+    "${telemetry_cold}" "${telemetry_warm}" <<'EOF'
+import json, os, sys
+out_path, micro_path, cold_s, warm_s, tdir_cold, tdir_warm = sys.argv[1:7]
 with open(micro_path) as f:
     micro = json.load(f)
+
+TRIO = ["bench_fig08_eps_from_sensitivity",
+        "bench_fig09_eps_from_belief",
+        "bench_fig10_eps_from_advantage"]
+
+
+def read_phases(telemetry_dir, binary):
+    """Per-phase span columns from the binary's own events.jsonl."""
+    path = os.path.join(telemetry_dir, binary + ".events.jsonl")
+    wall_ns = 0
+    phases = {}
+    with open(path) as f:
+        for line in f:
+            event = json.loads(line)
+            if event.get("type") == "run":
+                wall_ns = int(event["wall_ns"])
+            elif event.get("type") == "span":
+                phases[event["path"]] = {
+                    "count": int(event["count"]),
+                    "total_ms": round(int(event["total_ns"]) / 1e6, 3),
+                    "self_ms": round(int(event["self_ns"]) / 1e6, 3),
+                }
+    if not phases:
+        raise SystemExit(f"no span events in {path}")
+    top_ns = sum(p["total_ms"] for name, p in phases.items()
+                 if "/" not in name) * 1e6
+    return {
+        "wall_seconds": round(wall_ns / 1e9, 3),
+        "span_coverage": round(top_ns / wall_ns, 3) if wall_ns else 0.0,
+        "phases": phases,
+    }
 
 doc = {
     "description": "Experiment-suite benchmarks: mechanism/adversary "
@@ -71,11 +112,11 @@ doc = {
         if b.get("run_type", "iteration") != "aggregate"
     ],
     "experiment_trio": {
-        "binaries": ["bench_fig08_eps_from_sensitivity",
-                     "bench_fig09_eps_from_belief",
-                     "bench_fig10_eps_from_advantage"],
+        "binaries": TRIO,
         "cold_cache_seconds": float(cold_s),
         "warm_cache_seconds": float(warm_s),
+        "per_phase_cold": {b: read_phases(tdir_cold, b) for b in TRIO},
+        "per_phase_warm": {b: read_phases(tdir_warm, b) for b in TRIO},
     },
     # Measured on the same machine (1 CPU, default bench params) immediately
     # before this change: no trace cache, per-coordinate Gaussian sampling,
@@ -116,6 +157,10 @@ print(f"wrote {out_path}")
 print(f"  trio: {cold_s}s cold, {warm_s}s warm "
       f"(baseline {doc['pre_pr_baseline']['experiment_trio_seconds']}s, "
       f"warm speedup {doc['trio_speedup_warm_vs_pre_pr']}x)")
+for b in TRIO:
+    phases = doc["experiment_trio"]["per_phase_warm"][b]
+    print(f"  {b}: span coverage {phases['span_coverage'] * 100:.1f}% "
+          f"of {phases['wall_seconds']}s wall (warm)")
 for name, s in sorted(speedups.items()):
     print(f"  {name}: {s}x vs baseline")
 EOF

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dp/mechanism.h"
+#include "obs/span.h"
 
 namespace dpaudit {
 
@@ -12,8 +13,12 @@ void DiAdversary::OnStep(size_t /*step*/, const std::vector<float>& sum_d,
   GaussianMechanism mechanism(sigma);
   double log_p_d = 0.0;
   double log_p_dprime = 0.0;
-  mechanism.LogDensityPair(released, sum_d, sum_dprime, &log_p_d,
-                           &log_p_dprime);
+  {
+    DPAUDIT_SPAN("adversary_llr");
+    mechanism.LogDensityPair(released, sum_d, sum_dprime, &log_p_d,
+                             &log_p_dprime);
+  }
+  DPAUDIT_SPAN("belief_update");
   log_density_d_.push_back(log_p_d);
   log_density_dprime_.push_back(log_p_dprime);
   tracker_.Observe(log_p_d, log_p_dprime);

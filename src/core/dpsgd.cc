@@ -6,6 +6,8 @@
 #include "dp/mechanism.h"
 #include "dp/sensitivity.h"
 #include "nn/gradient_engine.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "stats/summary.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -83,19 +85,23 @@ StatusOr<DpSgdResult> RunDpSgd(const Network& initial, const Dataset& d,
   std::vector<float> mean;
 
   for (size_t step = 0; step < config.epochs; ++step) {
+    DPAUDIT_SPAN("train_step");
+    DPAUDIT_METRIC_COUNT("dpaudit_train_steps_total", 1);
     // Both hypotheses' clipped gradient sums at the current weights. The
     // adversary can compute these itself (it knows D, D', theta_i); the
     // trainer computes them anyway for noise scaling and hands them to
     // observers to avoid duplicate backprop work. Per-example norms of the
     // actual training data drive adaptive clipping.
     engine.SyncParams(result.model);
-    NeighborSums sums =
-        overlap.sharable
-            ? ComputeClippedNeighborSums(engine, d, d_prime, overlap,
-                                         config.neighbor_mode, clip,
-                                         config.per_layer_clipping)
-            : ComputeClippedNeighborSumsTwoPass(engine, d, d_prime, clip,
-                                                config.per_layer_clipping);
+    NeighborSums sums = [&] {
+      DPAUDIT_SPAN("per_example_gradients");
+      return overlap.sharable
+                 ? ComputeClippedNeighborSums(engine, d, d_prime, overlap,
+                                              config.neighbor_mode, clip,
+                                              config.per_layer_clipping)
+                 : ComputeClippedNeighborSumsTwoPass(
+                       engine, d, d_prime, clip, config.per_layer_clipping);
+    }();
     std::vector<double>& train_norms =
         train_on_d ? sums.norms_d : sums.norms_dprime;
     std::vector<float>& sum_d = sums.sum_d;
@@ -121,18 +127,25 @@ StatusOr<DpSgdResult> RunDpSgd(const Network& initial, const Dataset& d,
     GaussianMechanism mechanism(record.sigma);
     const std::vector<float>& trained_sum = train_on_d ? sum_d : sum_dprime;
     released.assign(trained_sum.begin(), trained_sum.end());
-    mechanism.Perturb(released, rng);
+    {
+      DPAUDIT_SPAN("mechanism_perturb");
+      mechanism.Perturb(released, rng);
+    }
 
     if (observer != nullptr) {
+      DPAUDIT_SPAN("adversary");
       observer->OnStep(step, sum_d, sum_dprime, released, record.sigma);
     }
 
-    // The optimizer consumes the released mean gradient (sum / n).
-    mean.resize(released.size());
-    for (size_t i = 0; i < released.size(); ++i) {
-      mean[i] = static_cast<float>(released[i] / n);
+    {
+      DPAUDIT_SPAN("optimizer_step");
+      // The optimizer consumes the released mean gradient (sum / n).
+      mean.resize(released.size());
+      for (size_t i = 0; i < released.size(); ++i) {
+        mean[i] = static_cast<float>(released[i] / n);
+      }
+      optimizer->Step(result.model, mean);
     }
-    optimizer->Step(result.model, mean);
     result.steps.push_back(record);
 
     if (config.adaptive_clipping && !train_norms.empty()) {

@@ -1,10 +1,11 @@
 #include "core/experiment.h"
 
 #include <algorithm>
-#include <iostream>
 
 #include "core/adversary.h"
 #include "core/trace.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -65,6 +66,7 @@ StatusOr<DiExperimentSummary> RunDiExperiment(const Network& architecture,
                                               const Dataset& d_prime,
                                               const DiExperimentConfig& config,
                                               const Dataset* test_set) {
+  DPAUDIT_SPAN("di_experiment");
   DPAUDIT_RETURN_IF_ERROR(config.dpsgd.Validate());
   if (config.repetitions == 0) {
     return Status::InvalidArgument("repetitions must be > 0");
@@ -76,6 +78,7 @@ StatusOr<DiExperimentSummary> RunDiExperiment(const Network& architecture,
   // cache problem degrades to a live run.
   TraceFingerprint trace_key;
   if (config.trace_store != nullptr) {
+    DPAUDIT_SPAN("trace_replay");
     trace_key = FingerprintExperiment(architecture, d, d_prime, config,
                                       test_set);
     StatusOr<ExperimentTrace> cached = config.trace_store->Load(trace_key);
@@ -83,12 +86,12 @@ StatusOr<DiExperimentSummary> RunDiExperiment(const Network& architecture,
       if (cached->trials.size() == config.repetitions) {
         return cached->ToSummary();
       }
-      std::cerr << "dpaudit: trace " << trace_key.ToHex()
-                << " has wrong repetition count; rerunning\n";
+      DPAUDIT_LOG(WARNING) << "trace " << trace_key.ToHex()
+                           << " has wrong repetition count; rerunning";
     } else if (cached.status().code() != StatusCode::kNotFound) {
-      std::cerr << "dpaudit: ignoring unreadable trace "
-                << trace_key.ToHex() << ": " << cached.status().message()
-                << "\n";
+      DPAUDIT_LOG(WARNING) << "ignoring unreadable trace "
+                           << trace_key.ToHex() << ": "
+                           << cached.status().message();
     }
   }
 
@@ -117,6 +120,10 @@ StatusOr<DiExperimentSummary> RunDiExperiment(const Network& architecture,
 
   ThreadPool::ParallelFor(
       config.repetitions, threads, [&](size_t rep) {
+        // Nests under di_experiment: pool tasks adopt the scheduling
+        // thread's span through the telemetry hooks.
+        DPAUDIT_SPAN("repetition");
+        DPAUDIT_METRIC_COUNT("dpaudit_repetitions_total", 1);
         Rng rng = root.Split(rep);
         Network model = architecture.Clone();
         if (config.reinitialize_weights) model.Initialize(rng);
@@ -185,10 +192,11 @@ StatusOr<DiExperimentSummary> RunDiExperiment(const Network& architecture,
   }
 
   if (config.trace_store != nullptr) {
+    DPAUDIT_SPAN("trace_record");
     Status saved = config.trace_store->Save(trace);
     if (!saved.ok()) {
-      std::cerr << "dpaudit: cannot cache trace " << trace_key.ToHex()
-                << ": " << saved.message() << "\n";
+      DPAUDIT_LOG(WARNING) << "cannot cache trace " << trace_key.ToHex()
+                           << ": " << saved.message();
     }
   }
   return summary;

@@ -6,10 +6,46 @@
 #include <utility>
 
 #include "io/serialization.h"
+#include "obs/metrics.h"
 #include "util/env.h"
 #include "util/logging.h"
 
 namespace dpaudit {
+namespace {
+
+// Registry-backed cache counters; references are process-lifetime stable.
+obs::Counter& HitCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "dpaudit_trace_cache_hits_total");
+  return c;
+}
+obs::Counter& MissCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "dpaudit_trace_cache_misses_total");
+  return c;
+}
+obs::Counter& CorruptCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "dpaudit_trace_cache_corrupt_total");
+  return c;
+}
+obs::Counter& EvictionCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "dpaudit_trace_cache_evictions_total");
+  return c;
+}
+
+}  // namespace
+
+TraceCacheCounters GetTraceCacheCounters() {
+  TraceCacheCounters counters;
+  counters.hits = HitCounter().Value();
+  counters.misses = MissCounter().Value();
+  counters.corrupt = CorruptCounter().Value();
+  counters.evictions = EvictionCounter().Value();
+  return counters;
+}
+
 namespace {
 
 namespace fs = std::filesystem;
@@ -263,14 +299,25 @@ StatusOr<ExperimentTrace> TraceStore::Load(const TraceFingerprint& key) const {
   const std::string path = PathFor(key);
   std::error_code ec;
   if (!fs::exists(path, ec)) {
+    MissCounter().Add();
     return Status::NotFound("no trace cached at " + path);
   }
-  DPAUDIT_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadBlobFile(path));
-  DPAUDIT_ASSIGN_OR_RETURN(ExperimentTrace trace, DeserializeTrace(bytes));
-  if (trace.fingerprint != key) {
+  StatusOr<std::vector<uint8_t>> bytes = ReadBlobFile(path);
+  if (!bytes.ok()) {
+    CorruptCounter().Add();
+    return bytes.status();
+  }
+  StatusOr<ExperimentTrace> trace = DeserializeTrace(*bytes);
+  if (!trace.ok()) {
+    CorruptCounter().Add();
+    return trace.status();
+  }
+  if (trace->fingerprint != key) {
+    CorruptCounter().Add();
     return Status::InvalidArgument("trace file " + path +
                                    " holds a different fingerprint");
   }
+  HitCounter().Add();
   return trace;
 }
 
@@ -308,9 +355,15 @@ StatusOr<std::vector<TraceStore::Entry>> TraceStore::List() const {
       continue;
     }
     StatusOr<std::vector<uint8_t>> bytes = ReadBlobFile(file.path().string());
-    if (!bytes.ok()) continue;
+    if (!bytes.ok()) {
+      CorruptCounter().Add();
+      continue;
+    }
     StatusOr<ExperimentTrace> trace = DeserializeTrace(*bytes);
-    if (!trace.ok()) continue;
+    if (!trace.ok()) {
+      CorruptCounter().Add();
+      continue;
+    }
     Entry entry;
     entry.key = trace->fingerprint.ToHex();
     entry.bytes = bytes->size();
@@ -331,6 +384,7 @@ Status TraceStore::Evict(const std::string& key_hex) const {
   if (!fs::remove(path, ec) || ec) {
     return Status::NotFound("no trace cached at " + path);
   }
+  EvictionCounter().Add();
   return Status::Ok();
 }
 
@@ -345,7 +399,10 @@ StatusOr<size_t> TraceStore::EvictAll() const {
         name.substr(name.size() - (sizeof(kTraceSuffix) - 1)) ==
             kTraceSuffix) {
       std::error_code remove_ec;
-      if (fs::remove(file.path(), remove_ec) && !remove_ec) ++removed;
+      if (fs::remove(file.path(), remove_ec) && !remove_ec) {
+        EvictionCounter().Add();
+        ++removed;
+      }
     }
   }
   return removed;

@@ -87,6 +87,18 @@ struct ExperimentTrace {
   DiExperimentSummary ToSummary() const;
 };
 
+/// Process-wide trace-cache activity, mirrored into the obs metrics registry
+/// (dpaudit_trace_cache_{hits,misses,corrupt,evictions}_total). Counted
+/// unconditionally — cache events are rare and `dpaudit_cli trace list`
+/// reports them without telemetry enabled.
+struct TraceCacheCounters {
+  uint64_t hits = 0;       // Load() returned a valid entry
+  uint64_t misses = 0;     // Load() found no entry
+  uint64_t corrupt = 0;    // entries that failed validation (Load or List)
+  uint64_t evictions = 0;  // entries removed by Evict/EvictAll
+};
+TraceCacheCounters GetTraceCacheCounters();
+
 /// Content digest of a dataset (labels, shapes, and float bit patterns).
 uint64_t DatasetDigest(const Dataset& dataset);
 

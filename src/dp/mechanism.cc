@@ -3,12 +3,23 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "stats/normal.h"
 #include "util/logging.h"
 #include "util/simd.h"
 
 namespace dpaudit {
 namespace {
+
+// One increment per public mechanism call that went down the AVX2 (resp.
+// scalar) kernel, so a scrape shows which dispatch path actually ran.
+void CountDispatch(bool avx2) {
+  if (avx2) {
+    DPAUDIT_METRIC_COUNT("dpaudit_simd_avx2_calls_total", 1);
+  } else {
+    DPAUDIT_METRIC_COUNT("dpaudit_simd_scalar_calls_total", 1);
+  }
+}
 
 // Must match stats/normal.cc so the kernels below reproduce NormalLogPdf's
 // arithmetic bit-for-bit.
@@ -188,6 +199,11 @@ StatusOr<GaussianMechanism> GaussianMechanism::Create(double sigma) {
 }
 
 void GaussianMechanism::Perturb(std::vector<float>& values, Rng& rng) const {
+#if defined(DPAUDIT_X86_DISPATCH)
+  CountDispatch(HasAvx2());
+#else
+  CountDispatch(false);
+#endif
   double noise[kNoiseChunk];
   const size_t n = values.size();
   size_t i = 0;
@@ -222,11 +238,13 @@ double GaussianMechanism::LogDensity(const std::vector<float>& observed,
   double log_p = 0.0;
 #if defined(DPAUDIT_X86_DISPATCH)
   if (HasAvx2()) {
+    CountDispatch(true);
     LogDensitySingleAvx2(observed.data(), center.data(), observed.size(),
                          sigma_, log_sigma, &log_p);
     return log_p;
   }
 #endif
+  CountDispatch(false);
   LogDensitySingleScalar(observed.data(), center.data(), observed.size(),
                          sigma_, log_sigma, &log_p);
   return log_p;
@@ -241,11 +259,13 @@ void GaussianMechanism::LogDensityPair(const std::vector<float>& observed,
   const double log_sigma = std::log(sigma_);
 #if defined(DPAUDIT_X86_DISPATCH)
   if (HasAvx2()) {
+    CountDispatch(true);
     LogDensityPairAvx2(observed.data(), center_a.data(), center_b.data(),
                        observed.size(), sigma_, log_sigma, log_a, log_b);
     return;
   }
 #endif
+  CountDispatch(false);
   LogDensityPairScalar(observed.data(), center_a.data(), center_b.data(),
                        observed.size(), sigma_, log_sigma, log_a, log_b);
 }

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 
@@ -51,6 +53,7 @@ void GradientEngine::VisitPerExampleGradients(
     const std::function<void(size_t, const PerExampleGradView&)>& visit) {
   DPAUDIT_CHECK_EQ(inputs.size(), labels.size());
   const size_t n = inputs.size();
+  DPAUDIT_METRIC_COUNT("dpaudit_per_example_gradients_total", n);
   if (threads_ == 1) {
     Slot& slot = slots_[0];
     for (size_t j = 0; j < n; ++j) {

@@ -1,0 +1,122 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace dpaudit {
+namespace obs {
+namespace {
+
+thread_local SpanNode* tls_current_span = nullptr;
+
+}  // namespace
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+SpanContext CurrentSpanContext() { return tls_current_span; }
+
+SpanContext ExchangeSpanContext(SpanContext context) {
+  SpanNode* prev = tls_current_span;
+  tls_current_span = context;
+  return prev;
+}
+
+SpanNode* SpanNode::GetOrCreateChild(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<SpanNode>& child : children_) {
+    if (child->name_ == name) return child.get();
+  }
+  children_.push_back(std::make_unique<SpanNode>(name, this));
+  return children_.back().get();
+}
+
+std::vector<SpanNode*> SpanNode::Children() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanNode*> out;
+  out.reserve(children_.size());
+  for (const std::unique_ptr<SpanNode>& child : children_) {
+    out.push_back(child.get());
+  }
+  return out;
+}
+
+SpanRegistry& SpanRegistry::Global() {
+  static SpanRegistry* registry = new SpanRegistry();
+  return *registry;
+}
+
+namespace {
+
+void CollectInto(const SpanNode* node, const std::string& prefix,
+                 size_t depth, std::vector<SpanRegistry::Stat>* out) {
+  std::vector<std::pair<SpanRegistry::Stat, SpanNode*>> stats;
+  for (SpanNode* child : node->Children()) {
+    SpanRegistry::Stat stat;
+    stat.path = prefix.empty() ? child->name() : prefix + "/" + child->name();
+    stat.depth = depth;
+    stat.count = child->count();
+    stat.total_ns = child->total_ns();
+    uint64_t children_total = 0;
+    for (SpanNode* grandchild : child->Children()) {
+      children_total += grandchild->total_ns();
+    }
+    stat.self_ns =
+        stat.total_ns > children_total ? stat.total_ns - children_total : 0;
+    stats.emplace_back(std::move(stat), child);
+  }
+  std::stable_sort(stats.begin(), stats.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first.self_ns > b.first.self_ns;
+                   });
+  // Emit each child followed by its subtree so the profile reads as a tree.
+  for (auto& [stat, child] : stats) {
+    std::string path = stat.path;
+    out->push_back(std::move(stat));
+    CollectInto(child, path, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::vector<SpanRegistry::Stat> SpanRegistry::Collect() const {
+  std::vector<Stat> out;
+  CollectInto(&root_, "", 0, &out);
+  return out;
+}
+
+uint64_t SpanRegistry::RootTotalNs() const {
+  uint64_t total = 0;
+  for (SpanNode* child : root_.Children()) total += child->total_ns();
+  return total;
+}
+
+void SpanRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(root_.mu_);
+  root_.children_.clear();
+  root_.total_ns_.store(0, std::memory_order_relaxed);
+  root_.count_.store(0, std::memory_order_relaxed);
+  tls_current_span = nullptr;
+}
+
+void ScopedSpan::Enter(const char* name) {
+  SpanNode* parent =
+      tls_current_span != nullptr ? tls_current_span
+                                  : &SpanRegistry::Global().root();
+  node_ = parent->GetOrCreateChild(name);
+  prev_ = tls_current_span;
+  tls_current_span = node_;
+  start_ns_ = MonotonicNowNs();
+}
+
+void ScopedSpan::Exit() {
+  node_->RecordVisit(MonotonicNowNs() - start_ns_);
+  tls_current_span = prev_;
+}
+
+}  // namespace obs
+}  // namespace dpaudit

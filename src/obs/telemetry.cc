@@ -1,0 +1,600 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/env.h"
+#include "util/logging.h"
+#include "util/simd.h"
+#include "util/thread_pool.h"
+
+namespace dpaudit {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_telemetry_enabled{false};
+}  // namespace internal
+
+namespace {
+
+struct TelemetryState {
+  std::mutex mu;
+  std::string binary_name = "dpaudit";
+  std::string directory;
+  uint64_t start_ns = 0;
+  bool flushed = false;
+
+  struct LogRecord {
+    LogLevel level;
+    std::string file;
+    int line;
+    std::string message;
+  };
+  std::deque<LogRecord> log_buffer;  // capped at kMaxLogRecords
+};
+
+constexpr size_t kMaxLogRecords = 1024;
+
+TelemetryState& State() {
+  static TelemetryState* state = new TelemetryState();
+  return *state;
+}
+
+std::string Basename(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  return base.empty() ? std::string("dpaudit") : base;
+}
+
+// ---------------------------------------------------------------------------
+// Thread-pool hooks: span-context propagation + queue/execute distributions.
+
+const void* PoolCaptureContext() {
+  return static_cast<const void*>(CurrentSpanContext());
+}
+
+const void* PoolEnterContext(const void* token) {
+  return static_cast<const void*>(ExchangeSpanContext(
+      static_cast<SpanContext>(const_cast<void*>(token))));
+}
+
+void PoolExitContext(const void* previous) {
+  ExchangeSpanContext(
+      static_cast<SpanContext>(const_cast<void*>(previous)));
+}
+
+void PoolRecordTaskNs(uint64_t queue_ns, uint64_t execute_ns) {
+  static DistributionMetric& queue_us =
+      MetricsRegistry::Global().GetDistribution("dpaudit_pool_queue_us", 0.0,
+                                               1e5, 200);
+  static DistributionMetric& execute_us =
+      MetricsRegistry::Global().GetDistribution("dpaudit_pool_execute_us",
+                                               0.0, 1e6, 200);
+  queue_us.Record(static_cast<double>(queue_ns) * 1e-3);
+  execute_us.Record(static_cast<double>(execute_ns) * 1e-3);
+}
+
+constexpr ThreadPoolTelemetryHooks kPoolHooks = {
+    &PoolCaptureContext,
+    &PoolEnterContext,
+    &PoolExitContext,
+    &PoolRecordTaskNs,
+};
+
+// ---------------------------------------------------------------------------
+// Log mirror: every emitted record lands in a capped buffer for the JSONL
+// export.
+
+void TelemetryLogSink(LogLevel level, const char* file, int line,
+                      const std::string& message) {
+  TelemetryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.log_buffer.size() >= kMaxLogRecords) {
+    state.log_buffer.pop_front();
+  }
+  state.log_buffer.push_back({level, file, line, message});
+}
+
+// ---------------------------------------------------------------------------
+// Formatting helpers.
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+char LevelLetterFor(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo:
+      return 'I';
+    case LogLevel::kWarning:
+      return 'W';
+    case LogLevel::kError:
+      return 'E';
+  }
+  return '?';
+}
+
+/// "dpaudit_build_info{binary="x"}" -> "dpaudit_build_info".
+std::string BaseMetricName(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+uint64_t ThreadsForBuildInfo() { return DefaultThreadCount(); }
+
+}  // namespace
+
+const char* ActiveSimdDispatch() {
+#if defined(DPAUDIT_X86_DISPATCH)
+  return HasAvx2() ? "avx2" : "scalar";
+#else
+  return "scalar";
+#endif
+}
+
+TelemetryOptions TelemetryOptionsFromEnv() {
+  TelemetryOptions options;
+  const std::string dir = EnvString("DPAUDIT_TELEMETRY", "");
+  if (!dir.empty()) {
+    options.enabled = true;
+    options.directory = dir;
+  }
+  return options;
+}
+
+void RegisterBuildInfo(const std::string& binary_name) {
+  std::ostringstream name;
+  name << "dpaudit_build_info{binary=\"" << binary_name << "\",simd=\""
+       << ActiveSimdDispatch() << "\",threads=\"" << ThreadsForBuildInfo()
+       << "\"}";
+  MetricsRegistry::Global().GetGauge(name.str()).Set(1.0);
+}
+
+void InitTelemetry(const std::string& argv0_or_name,
+                   const TelemetryOptions& options) {
+  TelemetryState& state = State();
+  const std::string binary = Basename(argv0_or_name);
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.binary_name = binary;
+    state.directory = options.directory;
+    state.start_ns = MonotonicNowNs();
+  }
+  RegisterBuildInfo(binary);
+  if (!options.enabled) return;
+
+  SetThreadPoolTelemetryHooks(&kPoolHooks);
+  SetLogSink(&TelemetryLogSink);
+  internal::g_telemetry_enabled.store(true, std::memory_order_relaxed);
+  std::atexit(&FlushTelemetry);
+  DPAUDIT_LOG(INFO) << "telemetry on: binary=" << binary
+                    << " simd=" << ActiveSimdDispatch()
+                    << " threads=" << ThreadsForBuildInfo() << " dir="
+                    << (options.directory.empty() ? "." : options.directory);
+}
+
+void EnableTelemetryForTest(bool enabled) {
+  internal::g_telemetry_enabled.store(enabled, std::memory_order_relaxed);
+  SetThreadPoolTelemetryHooks(enabled ? &kPoolHooks : nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters.
+
+void WriteProfileReport(std::ostream& os, uint64_t wall_ns) {
+  TelemetryState& state = State();
+  std::string binary;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    binary = state.binary_name;
+  }
+  const std::vector<SpanRegistry::Stat> stats =
+      SpanRegistry::Global().Collect();
+  const uint64_t covered_ns = SpanRegistry::Global().RootTotalNs();
+
+  os << "== dpaudit profile: " << binary << " ==\n";
+  os << "simd=" << ActiveSimdDispatch() << " threads=" << ThreadsForBuildInfo()
+     << "\n";
+  if (wall_ns > 0) {
+    char line[128];
+    std::snprintf(line, sizeof(line),
+                  "wall %.3f s, span coverage %.1f%% of wall\n",
+                  static_cast<double>(wall_ns) * 1e-9,
+                  100.0 * static_cast<double>(covered_ns) /
+                      static_cast<double>(wall_ns));
+    os << line;
+  }
+  if (stats.empty()) {
+    os << "(no spans recorded)\n";
+    return;
+  }
+
+  size_t name_width = 4;  // "span"
+  for (const SpanRegistry::Stat& stat : stats) {
+    const size_t leaf = stat.path.find_last_of('/');
+    const size_t len =
+        2 * stat.depth +
+        (leaf == std::string::npos ? stat.path.size()
+                                   : stat.path.size() - leaf - 1);
+    name_width = std::max(name_width, len);
+  }
+
+  char header[192];
+  std::snprintf(header, sizeof(header), "%-*s %10s %12s %12s %12s\n",
+                static_cast<int>(name_width), "span", "count", "total ms",
+                "self ms", "avg us");
+  os << header;
+  for (const SpanRegistry::Stat& stat : stats) {
+    const size_t leaf_pos = stat.path.find_last_of('/');
+    const std::string leaf =
+        leaf_pos == std::string::npos ? stat.path : stat.path.substr(leaf_pos + 1);
+    const std::string indented = std::string(2 * stat.depth, ' ') + leaf;
+    const double total_ms = static_cast<double>(stat.total_ns) * 1e-6;
+    const double self_ms = static_cast<double>(stat.self_ns) * 1e-6;
+    const double avg_us =
+        stat.count == 0
+            ? 0.0
+            : static_cast<double>(stat.total_ns) * 1e-3 /
+                  static_cast<double>(stat.count);
+    char row[256];
+    std::snprintf(row, sizeof(row), "%-*s %10llu %12.3f %12.3f %12.3f\n",
+                  static_cast<int>(name_width), indented.c_str(),
+                  static_cast<unsigned long long>(stat.count), total_ms,
+                  self_ms, avg_us);
+    os << row;
+  }
+}
+
+void WriteJsonl(std::ostream& os) {
+  TelemetryState& state = State();
+  std::string binary;
+  uint64_t start_ns;
+  std::vector<TelemetryState::LogRecord> logs;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    binary = state.binary_name;
+    start_ns = state.start_ns;
+    logs.assign(state.log_buffer.begin(), state.log_buffer.end());
+  }
+  const uint64_t wall_ns =
+      start_ns == 0 ? 0 : MonotonicNowNs() - start_ns;
+
+  os << "{\"type\":\"run\",\"binary\":\"" << JsonEscape(binary)
+     << "\",\"simd\":\"" << ActiveSimdDispatch()
+     << "\",\"threads\":" << ThreadsForBuildInfo()
+     << ",\"wall_ns\":" << wall_ns << "}\n";
+
+  for (const SpanRegistry::Stat& stat : SpanRegistry::Global().Collect()) {
+    os << "{\"type\":\"span\",\"path\":\"" << JsonEscape(stat.path)
+       << "\",\"depth\":" << stat.depth << ",\"count\":" << stat.count
+       << ",\"total_ns\":" << stat.total_ns
+       << ",\"self_ns\":" << stat.self_ns << "}\n";
+  }
+
+  for (const MetricSnapshot& snap : MetricsRegistry::Global().Snapshot()) {
+    switch (snap.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        os << "{\"type\":\"counter\",\"name\":\"" << JsonEscape(snap.name)
+           << "\",\"value\":" << static_cast<uint64_t>(snap.value) << "}\n";
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        os << "{\"type\":\"gauge\",\"name\":\"" << JsonEscape(snap.name)
+           << "\",\"value\":" << FormatDouble(snap.value) << "}\n";
+        break;
+      case MetricSnapshot::Kind::kDistribution:
+        os << "{\"type\":\"distribution\",\"name\":\"" << JsonEscape(snap.name)
+           << "\",\"count\":" << snap.summary.count()
+           << ",\"mean\":" << FormatDouble(snap.summary.mean())
+           << ",\"min\":"
+           << FormatDouble(snap.summary.count() == 0 ? 0.0
+                                                     : snap.summary.min())
+           << ",\"max\":"
+           << FormatDouble(snap.summary.count() == 0 ? 0.0
+                                                     : snap.summary.max())
+           << ",\"p50\":" << FormatDouble(snap.p50)
+           << ",\"p90\":" << FormatDouble(snap.p90)
+           << ",\"p99\":" << FormatDouble(snap.p99) << "}\n";
+        break;
+    }
+  }
+
+  for (const TelemetryState::LogRecord& record : logs) {
+    os << "{\"type\":\"log\",\"level\":\"" << LevelLetterFor(record.level)
+       << "\",\"file\":\"" << JsonEscape(record.file)
+       << "\",\"line\":" << record.line << ",\"message\":\""
+       << JsonEscape(record.message) << "\"}\n";
+  }
+}
+
+namespace {
+
+/// Emits one metric family: a `# TYPE` line the first time each base name is
+/// seen, then the sample line.
+void EmitProm(std::ostream& os, std::string* last_base,
+              const std::string& name, const char* type,
+              const std::string& value) {
+  const std::string base = BaseMetricName(name);
+  if (base != *last_base) {
+    os << "# TYPE " << base << " " << type << "\n";
+    *last_base = base;
+  }
+  os << name << " " << value << "\n";
+}
+
+}  // namespace
+
+void WritePrometheus(std::ostream& os) {
+  std::string last_base;
+  for (const MetricSnapshot& snap : MetricsRegistry::Global().Snapshot()) {
+    switch (snap.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        EmitProm(os, &last_base, snap.name, "counter",
+                 std::to_string(static_cast<uint64_t>(snap.value)));
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        EmitProm(os, &last_base, snap.name, "gauge",
+                 FormatDouble(snap.value));
+        break;
+      case MetricSnapshot::Kind::kDistribution: {
+        const std::string base = BaseMetricName(snap.name);
+        os << "# TYPE " << base << " summary\n";
+        os << base << "{quantile=\"0.5\"} " << FormatDouble(snap.p50) << "\n";
+        os << base << "{quantile=\"0.9\"} " << FormatDouble(snap.p90) << "\n";
+        os << base << "{quantile=\"0.99\"} " << FormatDouble(snap.p99)
+           << "\n";
+        os << base << "_sum "
+           << FormatDouble(snap.summary.mean() *
+                           static_cast<double>(snap.summary.count()))
+           << "\n";
+        os << base << "_count " << snap.summary.count() << "\n";
+        last_base = base;
+        break;
+      }
+    }
+  }
+
+  const std::vector<SpanRegistry::Stat> stats =
+      SpanRegistry::Global().Collect();
+  if (!stats.empty()) {
+    os << "# TYPE dpaudit_span_seconds_total counter\n";
+    for (const SpanRegistry::Stat& stat : stats) {
+      os << "dpaudit_span_seconds_total{path=\"" << stat.path << "\"} "
+         << FormatDouble(static_cast<double>(stat.total_ns) * 1e-9) << "\n";
+    }
+    os << "# TYPE dpaudit_span_count counter\n";
+    for (const SpanRegistry::Stat& stat : stats) {
+      os << "dpaudit_span_count{path=\"" << stat.path << "\"} " << stat.count
+         << "\n";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSONL -> Prometheus re-rendering (dpaudit_cli metrics --from-jsonl).
+
+namespace {
+
+/// Extracts the string value of `"key":"..."` from a JSONL line we wrote
+/// ourselves. Returns false when the key is missing.
+bool ExtractString(const std::string& line, const std::string& key,
+                   std::string* out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::string value;
+  for (size_t i = at + needle.size(); i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '\\' && i + 1 < line.size()) {
+      const char next = line[++i];
+      switch (next) {
+        case 'n':
+          value += '\n';
+          break;
+        case 't':
+          value += '\t';
+          break;
+        case 'r':
+          value += '\r';
+          break;
+        default:
+          value += next;  // \" \\ and \uXXXX (kept verbatim sans escape)
+      }
+      continue;
+    }
+    if (c == '"') {
+      *out = std::move(value);
+      return true;
+    }
+    value += c;
+  }
+  return false;
+}
+
+bool ExtractNumber(const std::string& line, const std::string& key,
+                   double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const char* start = line.c_str() + at + needle.size();
+  char* end = nullptr;
+  const double value = std::strtod(start, &end);
+  if (end == start) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Status RenderPrometheusFromJsonl(std::istream& in, std::ostream& out) {
+  std::ostringstream body;
+  std::string last_base;
+  std::string line;
+  size_t line_no = 0;
+  bool saw_any = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string type;
+    if (!ExtractString(line, "type", &type)) {
+      return Status::InvalidArgument("events.jsonl line " +
+                                     std::to_string(line_no) +
+                                     ": missing \"type\" field");
+    }
+    saw_any = true;
+    const std::string context =
+        "events.jsonl line " + std::to_string(line_no) + " (" + type + ")";
+    if (type == "run" || type == "log") continue;
+    if (type == "counter" || type == "gauge") {
+      std::string name;
+      double value = 0.0;
+      if (!ExtractString(line, "name", &name) ||
+          !ExtractNumber(line, "value", &value)) {
+        return Status::InvalidArgument(context + ": missing name/value");
+      }
+      EmitProm(body, &last_base, name,
+               type == "counter" ? "counter" : "gauge", FormatDouble(value));
+      continue;
+    }
+    if (type == "distribution") {
+      std::string name;
+      double count = 0.0, mean = 0.0, p50 = 0.0, p90 = 0.0, p99 = 0.0;
+      if (!ExtractString(line, "name", &name) ||
+          !ExtractNumber(line, "count", &count) ||
+          !ExtractNumber(line, "mean", &mean) ||
+          !ExtractNumber(line, "p50", &p50) ||
+          !ExtractNumber(line, "p90", &p90) ||
+          !ExtractNumber(line, "p99", &p99)) {
+        return Status::InvalidArgument(context + ": missing fields");
+      }
+      const std::string base = BaseMetricName(name);
+      body << "# TYPE " << base << " summary\n";
+      body << base << "{quantile=\"0.5\"} " << FormatDouble(p50) << "\n";
+      body << base << "{quantile=\"0.9\"} " << FormatDouble(p90) << "\n";
+      body << base << "{quantile=\"0.99\"} " << FormatDouble(p99) << "\n";
+      body << base << "_sum " << FormatDouble(mean * count) << "\n";
+      body << base << "_count " << static_cast<uint64_t>(count) << "\n";
+      last_base = base;
+      continue;
+    }
+    if (type == "span") {
+      std::string path;
+      double count = 0.0, total_ns = 0.0;
+      if (!ExtractString(line, "path", &path) ||
+          !ExtractNumber(line, "count", &count) ||
+          !ExtractNumber(line, "total_ns", &total_ns)) {
+        return Status::InvalidArgument(context + ": missing fields");
+      }
+      body << "dpaudit_span_seconds_total{path=\"" << path << "\"} "
+           << FormatDouble(total_ns * 1e-9) << "\n";
+      body << "dpaudit_span_count{path=\"" << path << "\"} "
+           << static_cast<uint64_t>(count) << "\n";
+      last_base.clear();
+      continue;
+    }
+    return Status::InvalidArgument(context + ": unknown event type");
+  }
+  if (!saw_any) {
+    return Status::InvalidArgument("events.jsonl is empty");
+  }
+  out << body.str();
+  return Status::Ok();
+}
+
+void FlushTelemetry() {
+  if (!TelemetryEnabled()) return;
+  TelemetryState& state = State();
+  std::string binary;
+  std::string directory;
+  uint64_t start_ns;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.flushed) return;
+    state.flushed = true;
+    binary = state.binary_name;
+    directory = state.directory.empty() ? "." : state.directory;
+    start_ns = state.start_ns;
+  }
+  const uint64_t wall_ns = start_ns == 0 ? 0 : MonotonicNowNs() - start_ns;
+
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    DPAUDIT_LOG(ERROR) << "telemetry: cannot create directory " << directory
+                       << ": " << ec.message();
+    WriteProfileReport(std::cerr, wall_ns);
+    return;
+  }
+
+  const std::string prefix = directory + "/" + binary;
+  {
+    std::ofstream profile(prefix + ".profile.txt");
+    WriteProfileReport(profile, wall_ns);
+  }
+  {
+    std::ofstream events(prefix + ".events.jsonl");
+    WriteJsonl(events);
+  }
+  {
+    std::ofstream prom(prefix + ".metrics.prom");
+    WritePrometheus(prom);
+  }
+  // The profile also goes to stderr so interactive runs see it without
+  // hunting for the file. Never stdout: experiment output must stay
+  // byte-identical with telemetry off.
+  WriteProfileReport(std::cerr, wall_ns);
+  std::cerr << "telemetry exports: " << prefix << ".{profile.txt,events.jsonl,metrics.prom}\n";
+}
+
+}  // namespace obs
+}  // namespace dpaudit

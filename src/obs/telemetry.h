@@ -1,0 +1,89 @@
+// Telemetry lifecycle: the process-wide enabled flag, run configuration, and
+// the end-of-run exporters.
+//
+// Telemetry is opt-in per process (the --telemetry=<dir> flag or the
+// DPAUDIT_TELEMETRY environment variable). When disabled — the default —
+// every instrumentation site (DPAUDIT_SPAN, DPAUDIT_METRIC_COUNT, the
+// thread-pool task hooks) costs exactly one relaxed atomic load; nothing is
+// allocated, timed, or written. When enabled, InitTelemetry installs the
+// thread-pool hooks and a log mirror, and FlushTelemetry (registered via
+// atexit) writes three exports under the telemetry directory:
+//
+//   <binary>.profile.txt   hierarchical span profile (also printed to stderr)
+//   <binary>.events.jsonl  structured run/span/metric/log events, one per line
+//   <binary>.metrics.prom  Prometheus text exposition of the registry
+//
+// Invariant: telemetry never touches the RNG stream, experiment state, or
+// any floating-point accumulation order — experiment outputs are
+// byte-identical with telemetry on and off (tests/telemetry_identity_test).
+
+#ifndef DPAUDIT_OBS_TELEMETRY_H_
+#define DPAUDIT_OBS_TELEMETRY_H_
+
+#include <atomic>
+#include <iosfwd>
+#include <string>
+
+#include "util/status.h"
+
+namespace dpaudit {
+namespace obs {
+
+namespace internal {
+extern std::atomic<bool> g_telemetry_enabled;
+}  // namespace internal
+
+/// The single branch every instrumentation site is gated on.
+inline bool TelemetryEnabled() {
+  return internal::g_telemetry_enabled.load(std::memory_order_relaxed);
+}
+
+struct TelemetryOptions {
+  bool enabled = false;
+  /// Directory the end-of-run exports are written to (created on demand).
+  std::string directory;
+};
+
+/// DPAUDIT_TELEMETRY=<dir> enables telemetry with that export directory.
+TelemetryOptions TelemetryOptionsFromEnv();
+
+/// Starts telemetry for this process. `argv0_or_name` is basenamed into the
+/// export file prefix and the build_info labels. Always registers the
+/// dpaudit_build_info gauge (simd dispatch path, default thread count); when
+/// `options.enabled` it additionally flips the enabled flag, installs the
+/// thread-pool telemetry hooks and the log mirror, and registers
+/// FlushTelemetry via atexit. Safe to call once per process.
+void InitTelemetry(const std::string& argv0_or_name,
+                   const TelemetryOptions& options);
+
+/// Writes the exports (idempotent; a no-op when telemetry is disabled).
+void FlushTelemetry();
+
+/// The SIMD path the runtime dispatch selects on this machine: "avx2" or
+/// "scalar".
+const char* ActiveSimdDispatch();
+
+/// Registers (or refreshes) the dpaudit_build_info gauge for `binary_name`
+/// without starting telemetry. Used by binaries that want the gauge in a
+/// scrape but manage the lifecycle themselves (dpaudit_cli metrics).
+void RegisterBuildInfo(const std::string& binary_name);
+
+/// Exporters over the current registry state. `wall_ns` of 0 means "unknown"
+/// (span coverage is then omitted from the profile header).
+void WriteProfileReport(std::ostream& os, uint64_t wall_ns);
+void WriteJsonl(std::ostream& os);
+void WritePrometheus(std::ostream& os);
+
+/// Re-renders a previously written events.jsonl as a Prometheus exposition
+/// (the `dpaudit_cli metrics --from-jsonl` path). Malformed lines fail with
+/// InvalidArgument.
+Status RenderPrometheusFromJsonl(std::istream& in, std::ostream& out);
+
+/// Test/bench hook: flips the enabled flag and installs/removes the
+/// thread-pool hooks without touching files, atexit, or the log mirror.
+void EnableTelemetryForTest(bool enabled);
+
+}  // namespace obs
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_OBS_TELEMETRY_H_

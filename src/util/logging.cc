@@ -1,14 +1,94 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace dpaudit {
+namespace {
+
+int LevelFromEnv() {
+  const char* raw = std::getenv("DPAUDIT_LOG_LEVEL");
+  if (raw == nullptr || *raw == '\0') {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  if (std::strcmp(raw, "INFO") == 0 || std::strcmp(raw, "0") == 0) {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  if (std::strcmp(raw, "WARNING") == 0 || std::strcmp(raw, "1") == 0) {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (std::strcmp(raw, "ERROR") == 0 || std::strcmp(raw, "2") == 0) {
+    return static_cast<int>(LogLevel::kError);
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+std::atomic<int>& MinLevelStorage() {
+  static std::atomic<int> level{LevelFromEnv()};
+  return level;
+}
+
+std::atomic<LogSink>& SinkStorage() {
+  static std::atomic<LogSink> sink{nullptr};
+  return sink;
+}
+
+char LevelLetter(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo:
+      return 'I';
+    case LogLevel::kWarning:
+      return 'W';
+    case LogLevel::kError:
+      return 'E';
+  }
+  return '?';
+}
+
+// file paths in __FILE__ can be long; keep the last two components.
+const char* ShortFileName(const char* file) {
+  const char* last = file;
+  const char* prev = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      prev = last;
+      last = p + 1;
+    }
+  }
+  return prev;
+}
+
+}  // namespace
+
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(
+      MinLevelStorage().load(std::memory_order_relaxed));
+}
+
+void SetMinLogLevel(LogLevel level) {
+  MinLevelStorage().store(static_cast<int>(level),
+                          std::memory_order_relaxed);
+}
+
+void SetLogSink(LogSink sink) {
+  SinkStorage().store(sink, std::memory_order_relaxed);
+}
+
 namespace internal_logging {
 
 LogMessageFatal::~LogMessageFatal() {
   std::fprintf(stderr, "[dpaudit fatal] %s\n", stream_.str().c_str());
   std::abort();
+}
+
+LogMessage::~LogMessage() {
+  const std::string message = stream_.str();
+  std::fprintf(stderr, "[dpaudit %c] %s:%d %s\n", LevelLetter(level_),
+               ShortFileName(file_), line_, message.c_str());
+  LogSink sink = SinkStorage().load(std::memory_order_relaxed);
+  if (sink != nullptr) sink(level_, file_, line_, message);
 }
 
 }  // namespace internal_logging

@@ -1,8 +1,21 @@
-// Minimal logging and CHECK macros.
+// Logging and CHECK macros.
 //
 // CHECK-family macros guard internal invariants: they abort the process with a
 // file:line message on violation and are active in all build types. They are
 // for programmer errors; recoverable conditions use Status (util/status.h).
+//
+// DPAUDIT_LOG(severity) is non-fatal leveled logging for runtime diagnostics
+// (cache fallbacks, degraded modes, startup banners):
+//
+//   DPAUDIT_LOG(WARNING) << "ignoring unreadable trace " << key;
+//
+// Messages below the runtime threshold are filtered before any streaming
+// work happens. The threshold defaults to INFO and is configurable through
+// the DPAUDIT_LOG_LEVEL environment variable (INFO, WARNING, ERROR, or 0-2)
+// or SetMinLogLevel(). Output goes to stderr as "[dpaudit I] file:line msg";
+// an optional process-wide sink (SetLogSink) additionally receives every
+// emitted record — obs/telemetry mirrors records into its JSONL event
+// export through it.
 
 #ifndef DPAUDIT_UTIL_LOGGING_H_
 #define DPAUDIT_UTIL_LOGGING_H_
@@ -12,6 +25,29 @@
 #include <string>
 
 namespace dpaudit {
+
+enum class LogLevel : int {
+  kInfo = 0,
+  kWarning = 1,
+  kError = 2,
+};
+
+/// Messages strictly below the returned level are suppressed.
+LogLevel MinLogLevel();
+
+/// Overrides the threshold (and whatever DPAUDIT_LOG_LEVEL said).
+void SetMinLogLevel(LogLevel level);
+
+inline bool LogLevelEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(MinLogLevel());
+}
+
+/// Additional observer of emitted (post-filter) log records; nullptr to
+/// remove. The sink runs after the stderr write, on the logging thread.
+using LogSink = void (*)(LogLevel level, const char* file, int line,
+                         const std::string& message);
+void SetLogSink(LogSink sink);
+
 namespace internal_logging {
 
 // Accumulates the failure message; aborts in the destructor, i.e. at the end
@@ -29,11 +65,33 @@ class LogMessageFatal {
   std::ostringstream stream_;
 };
 
+// Accumulates one non-fatal record; the destructor writes it to stderr and
+// the installed sink.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogLevel level)
+      : file_(file), line_(line), level_(level) {}
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
 // operator& has lower precedence than << but higher than ?:, which lets the
 // CHECK macro swallow a trailing stream chain and still yield void.
 struct Voidify {
   void operator&(std::ostream&) {}
 };
+
+// Targets of the DPAUDIT_LOG(severity) token paste.
+constexpr LogLevel kLogINFO = LogLevel::kInfo;
+constexpr LogLevel kLogWARNING = LogLevel::kWarning;
+constexpr LogLevel kLogERROR = LogLevel::kError;
 
 }  // namespace internal_logging
 
@@ -58,6 +116,18 @@ struct Voidify {
     const auto _st = (expr);                                     \
     DPAUDIT_CHECK(_st.ok()) << _st.ToString();                   \
   } while (0)
+
+/// Non-fatal leveled logging, filtered before the stream chain evaluates.
+/// `severity` is INFO, WARNING, or ERROR.
+#define DPAUDIT_LOG(severity)                                              \
+  (!::dpaudit::LogLevelEnabled(                                            \
+      ::dpaudit::internal_logging::kLog##severity))                        \
+      ? (void)0                                                            \
+      : ::dpaudit::internal_logging::Voidify() &                           \
+            ::dpaudit::internal_logging::LogMessage(                       \
+                __FILE__, __LINE__,                                        \
+                ::dpaudit::internal_logging::kLog##severity)               \
+                .stream()
 
 }  // namespace dpaudit
 

@@ -1,10 +1,28 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 
 #include "util/logging.h"
 
 namespace dpaudit {
+namespace {
+
+std::atomic<const ThreadPoolTelemetryHooks*> g_pool_hooks{nullptr};
+
+uint64_t PoolNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void SetThreadPoolTelemetryHooks(const ThreadPoolTelemetryHooks* hooks) {
+  g_pool_hooks.store(hooks, std::memory_order_release);
+}
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
@@ -25,10 +43,17 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Schedule(std::function<void()> fn) {
   DPAUDIT_CHECK(fn != nullptr);
+  Task task;
+  task.fn = std::move(fn);
+  task.hooks = g_pool_hooks.load(std::memory_order_acquire);
+  if (task.hooks != nullptr) {
+    task.context = task.hooks->capture_context();
+    task.enqueue_ns = PoolNowNs();
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     DPAUDIT_CHECK(!shutting_down_) << "Schedule() after shutdown";
-    queue_.push(std::move(fn));
+    queue_.push(std::move(task));
     ++in_flight_;
   }
   work_available_.notify_one();
@@ -41,7 +66,7 @@ void ThreadPool::Wait() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_available_.wait(
@@ -53,7 +78,17 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    if (task.hooks != nullptr) {
+      const uint64_t start_ns = PoolNowNs();
+      const void* previous = task.hooks->enter_context(task.context);
+      task.fn();
+      task.hooks->exit_context(previous);
+      const uint64_t end_ns = PoolNowNs();
+      task.hooks->record_task_ns(start_ns - task.enqueue_ns,
+                                 end_ns - start_ns);
+    } else {
+      task.fn();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;

@@ -8,6 +8,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -15,6 +16,29 @@
 #include <vector>
 
 namespace dpaudit {
+
+/// Telemetry hooks shared by every pool: queue/execute timing plus span-
+/// context propagation from the scheduling thread to the worker (so profile
+/// spans opened inside pool tasks nest under the scheduler's span — see
+/// obs/span.h). Installed process-wide by obs/telemetry when telemetry is
+/// enabled; with no hooks installed the pool pays one relaxed atomic load
+/// per task. The hook pointer seen at Schedule() time travels with the task,
+/// so a task is either fully instrumented or not at all.
+struct ThreadPoolTelemetryHooks {
+  /// Called on the scheduling thread; the token travels with the task.
+  const void* (*capture_context)();
+  /// Bracket task execution on the worker; enter returns the worker's
+  /// previous context, which the pool passes back to exit.
+  const void* (*enter_context)(const void* token);
+  void (*exit_context)(const void* previous);
+  /// Called on the worker after each task with its queue-wait and execution
+  /// time in nanoseconds.
+  void (*record_task_ns)(uint64_t queue_ns, uint64_t execute_ns);
+};
+
+/// Installs (or, with nullptr, removes) the process-wide hooks. The struct
+/// must outlive every pool task scheduled while it is installed.
+void SetThreadPoolTelemetryHooks(const ThreadPoolTelemetryHooks* hooks);
 
 /// A minimal thread pool. Schedule() enqueues work; the destructor drains the
 /// queue and joins all workers. Not copyable or movable.
@@ -42,12 +66,19 @@ class ThreadPool {
                           const std::function<void(size_t)>& fn);
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    const ThreadPoolTelemetryHooks* hooks = nullptr;  // seen at Schedule()
+    const void* context = nullptr;                    // captured span context
+    uint64_t enqueue_ns = 0;
+  };
+
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "util/status.h"
 
 namespace dpaudit {
@@ -38,6 +42,77 @@ TEST(CheckTest, CheckDoesNotDoubleEvaluate) {
   auto increment = [&calls] { return ++calls; };
   DPAUDIT_CHECK_GT(increment(), 0);
   EXPECT_EQ(calls, 1);
+}
+
+// Captures emitted records through the process-wide sink.
+struct SinkCapture {
+  static std::vector<std::pair<LogLevel, std::string>>& Records() {
+    static std::vector<std::pair<LogLevel, std::string>> records;
+    return records;
+  }
+  static void Sink(LogLevel level, const char* /*file*/, int /*line*/,
+                   const std::string& message) {
+    Records().emplace_back(level, message);
+  }
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SinkCapture::Records().clear();
+    SetLogSink(&SinkCapture::Sink);
+    SetMinLogLevel(LogLevel::kInfo);
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetMinLogLevel(LogLevel::kInfo);
+  }
+};
+
+TEST_F(LogTest, EmitsAtOrAboveThreshold) {
+  DPAUDIT_LOG(INFO) << "hello " << 42;
+  DPAUDIT_LOG(WARNING) << "careful";
+  DPAUDIT_LOG(ERROR) << "broken";
+  ASSERT_EQ(SinkCapture::Records().size(), 3u);
+  EXPECT_EQ(SinkCapture::Records()[0].first, LogLevel::kInfo);
+  EXPECT_EQ(SinkCapture::Records()[0].second, "hello 42");
+  EXPECT_EQ(SinkCapture::Records()[1].first, LogLevel::kWarning);
+  EXPECT_EQ(SinkCapture::Records()[2].first, LogLevel::kError);
+}
+
+TEST_F(LogTest, FiltersBelowThreshold) {
+  SetMinLogLevel(LogLevel::kWarning);
+  DPAUDIT_LOG(INFO) << "suppressed";
+  DPAUDIT_LOG(WARNING) << "kept";
+  ASSERT_EQ(SinkCapture::Records().size(), 1u);
+  EXPECT_EQ(SinkCapture::Records()[0].second, "kept");
+  SetMinLogLevel(LogLevel::kError);
+  DPAUDIT_LOG(WARNING) << "also suppressed";
+  EXPECT_EQ(SinkCapture::Records().size(), 1u);
+}
+
+TEST_F(LogTest, SuppressedMessagesSkipTheStreamChain) {
+  SetMinLogLevel(LogLevel::kError);
+  int calls = 0;
+  auto side_effect = [&calls] { return ++calls; };
+  DPAUDIT_LOG(INFO) << side_effect();
+  EXPECT_EQ(calls, 0);
+  DPAUDIT_LOG(ERROR) << side_effect();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(LogTest, LogLevelEnabledMatchesThreshold) {
+  SetMinLogLevel(LogLevel::kWarning);
+  EXPECT_FALSE(LogLevelEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogLevelEnabled(LogLevel::kWarning));
+  EXPECT_TRUE(LogLevelEnabled(LogLevel::kError));
+  EXPECT_EQ(MinLogLevel(), LogLevel::kWarning);
+}
+
+TEST_F(LogTest, RemovedSinkStopsReceiving) {
+  SetLogSink(nullptr);
+  DPAUDIT_LOG(ERROR) << "unseen";
+  EXPECT_TRUE(SinkCapture::Records().empty());
 }
 
 }  // namespace

@@ -1,0 +1,196 @@
+// Tests for the obs metrics registry: exact aggregation under concurrency,
+// distribution quantiles consistent with stats/, and registry scrape shape.
+
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/telemetry.h"
+#include "stats/summary.h"
+
+namespace dpaudit {
+namespace obs {
+namespace {
+
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().ResetForTest();
+    EnableTelemetryForTest(true);
+  }
+  void TearDown() override {
+    EnableTelemetryForTest(false);
+    MetricsRegistry::Global().ResetForTest();
+  }
+};
+
+TEST_F(ObsMetricsTest, CounterAggregatesExactlyAcrossThreads) {
+  Counter& counter = MetricsRegistry::Global().GetCounter("test_total");
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (size_t i = 0; i < kPerThread; ++i) counter.Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST_F(ObsMetricsTest, CounterAddN) {
+  Counter& counter = MetricsRegistry::Global().GetCounter("addn_total");
+  counter.Add(5);
+  counter.Add(7);
+  EXPECT_EQ(counter.Value(), 12u);
+}
+
+TEST_F(ObsMetricsTest, GetCounterReturnsSameInstance) {
+  Counter& a = MetricsRegistry::Global().GetCounter("same");
+  Counter& b = MetricsRegistry::Global().GetCounter("same");
+  EXPECT_EQ(&a, &b);
+  a.Add();
+  EXPECT_EQ(b.Value(), 1u);
+}
+
+TEST_F(ObsMetricsTest, GaugeLastWriteWins) {
+  Gauge& gauge = MetricsRegistry::Global().GetGauge("g");
+  gauge.Set(1.5);
+  gauge.Set(-3.25);
+  EXPECT_DOUBLE_EQ(gauge.Value(), -3.25);
+}
+
+TEST_F(ObsMetricsTest, DistributionSummaryMatchesWelfordExactly) {
+  DistributionMetric& dist =
+      MetricsRegistry::Global().GetDistribution("d", 0.0, 100.0, 50);
+  RunningSummary expected;
+  for (int i = 0; i < 1000; ++i) {
+    double x = static_cast<double>(i % 100);
+    dist.Record(x);
+    expected.Add(x);
+  }
+  DistributionMetric::Snapshot snap = dist.Snap();
+  EXPECT_EQ(snap.summary.count(), expected.count());
+  EXPECT_DOUBLE_EQ(snap.summary.mean(), expected.mean());
+  EXPECT_DOUBLE_EQ(snap.summary.min(), expected.min());
+  EXPECT_DOUBLE_EQ(snap.summary.max(), expected.max());
+}
+
+TEST_F(ObsMetricsTest, DistributionQuantilesMatchHistogramSketch) {
+  // Same values through the metric and through a reference stats/ histogram:
+  // the metric's quantiles must be exactly the sketch's quantiles.
+  DistributionMetric& dist =
+      MetricsRegistry::Global().GetDistribution("q", 0.0, 1000.0, 100);
+  Histogram reference(0.0, 1000.0, 100);
+  for (int i = 0; i < 10000; ++i) {
+    double x = static_cast<double>((i * 7919) % 1000);
+    dist.Record(x);
+    reference.Add(x);
+  }
+  DistributionMetric::Snapshot snap = dist.Snap();
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(snap.bins.ApproxQuantile(q), reference.ApproxQuantile(q))
+        << "q=" << q;
+  }
+  // And the sketch itself is within one bin width of the true quantile of
+  // the uniform-ish stream.
+  EXPECT_NEAR(snap.bins.ApproxQuantile(0.5), 500.0, 20.0);
+}
+
+TEST_F(ObsMetricsTest, DistributionConcurrentRecordsAllCounted) {
+  DistributionMetric& dist =
+      MetricsRegistry::Global().GetDistribution("c", 0.0, 1.0, 10);
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dist, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        dist.Record(static_cast<double>((t + i) % 10) / 10.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(dist.Snap().summary.count(), kThreads * kPerThread);
+}
+
+TEST_F(ObsMetricsTest, SnapshotSortedAndTyped) {
+  MetricsRegistry::Global().GetCounter("b_total").Add(2);
+  MetricsRegistry::Global().GetCounter("a_total").Add(1);
+  MetricsRegistry::Global().GetGauge("z_gauge").Set(4.0);
+  MetricsRegistry::Global().GetDistribution("m_dist", 0.0, 1.0, 4).Record(0.5);
+  std::vector<MetricSnapshot> snaps = MetricsRegistry::Global().Snapshot();
+  ASSERT_EQ(snaps.size(), 4u);
+  EXPECT_EQ(snaps[0].name, "a_total");
+  EXPECT_EQ(snaps[0].kind, MetricSnapshot::Kind::kCounter);
+  EXPECT_DOUBLE_EQ(snaps[0].value, 1.0);
+  EXPECT_EQ(snaps[1].name, "b_total");
+  EXPECT_EQ(snaps[2].name, "z_gauge");
+  EXPECT_EQ(snaps[2].kind, MetricSnapshot::Kind::kGauge);
+  EXPECT_EQ(snaps[3].name, "m_dist");
+  EXPECT_EQ(snaps[3].kind, MetricSnapshot::Kind::kDistribution);
+  EXPECT_EQ(snaps[3].summary.count(), 1u);
+}
+
+TEST_F(ObsMetricsTest, MacroNoOpWhenDisabled) {
+  EnableTelemetryForTest(false);
+  DPAUDIT_METRIC_COUNT("disabled_total", 1);
+  EnableTelemetryForTest(true);
+  // The counter was never created: the registry stayed empty.
+  EXPECT_TRUE(MetricsRegistry::Global().Snapshot().empty());
+  DPAUDIT_METRIC_COUNT("disabled_total", 1);
+  ASSERT_EQ(MetricsRegistry::Global().Snapshot().size(), 1u);
+  EXPECT_DOUBLE_EQ(MetricsRegistry::Global().Snapshot()[0].value, 1.0);
+}
+
+TEST_F(ObsMetricsTest, PrometheusExpositionShape) {
+  MetricsRegistry::Global().GetCounter("dpaudit_things_total").Add(3);
+  MetricsRegistry::Global()
+      .GetGauge("dpaudit_build_info{binary=\"t\",simd=\"scalar\"}")
+      .Set(1.0);
+  std::ostringstream os;
+  WritePrometheus(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# TYPE dpaudit_build_info gauge"), std::string::npos);
+  EXPECT_NE(out.find("dpaudit_build_info{binary=\"t\",simd=\"scalar\"} 1"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE dpaudit_things_total counter"),
+            std::string::npos);
+  EXPECT_NE(out.find("dpaudit_things_total 3"), std::string::npos);
+}
+
+TEST_F(ObsMetricsTest, JsonlRoundTripsThroughPrometheusRenderer) {
+  MetricsRegistry::Global().GetCounter("dpaudit_rt_total").Add(7);
+  MetricsRegistry::Global().GetGauge("dpaudit_rt_gauge").Set(2.5);
+  MetricsRegistry::Global()
+      .GetDistribution("dpaudit_rt_us", 0.0, 100.0, 10)
+      .Record(42.0);
+  std::ostringstream jsonl;
+  WriteJsonl(jsonl);
+  std::istringstream in(jsonl.str());
+  std::ostringstream prom;
+  Status st = RenderPrometheusFromJsonl(in, prom);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  const std::string out = prom.str();
+  EXPECT_NE(out.find("dpaudit_rt_total 7"), std::string::npos);
+  EXPECT_NE(out.find("dpaudit_rt_gauge 2.5"), std::string::npos);
+  EXPECT_NE(out.find("dpaudit_rt_us_count 1"), std::string::npos);
+}
+
+TEST_F(ObsMetricsTest, MalformedJsonlRejected) {
+  std::istringstream in("{\"nope\":1}\n");
+  std::ostringstream out;
+  Status st = RenderPrometheusFromJsonl(in, out);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  std::istringstream empty("");
+  Status st2 = RenderPrometheusFromJsonl(empty, out);
+  EXPECT_EQ(st2.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace dpaudit

@@ -1,0 +1,145 @@
+// The telemetry determinism contract: instrumenting the pipeline must not
+// perturb a single bit of experiment output. Telemetry reads only the
+// monotonic clock and its own atomics — never the RNG stream or any
+// floating-point accumulation order — so a fig09-style experiment must
+// produce EXACTLY the same trials with telemetry on and off.
+
+#include <sstream>
+#include <vector>
+
+#include "core/experiment.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/telemetry.h"
+#include "tests/test_helpers.h"
+#include "util/logging.h"
+
+namespace dpaudit {
+namespace {
+
+using testing_helpers::BlobDataset;
+using testing_helpers::ExtremeBoundedNeighbor;
+using testing_helpers::TinyNetwork;
+
+DiExperimentConfig SmallAuditConfig() {
+  // Shaped like one fig09 grid cell: multi-step DPSGD, parallel
+  // repetitions, local-hat sensitivity so the sigma schedule is data
+  // dependent.
+  DiExperimentConfig config;
+  config.dpsgd.epochs = 6;
+  config.dpsgd.learning_rate = 0.05;
+  config.dpsgd.clip_norm = 1.0;
+  config.dpsgd.noise_multiplier = 0.8;
+  config.dpsgd.sensitivity_mode = SensitivityMode::kLocalHat;
+  config.repetitions = 12;
+  config.threads = 4;
+  config.seed = 1234;
+  return config;
+}
+
+DiExperimentSummary RunOnce(bool telemetry) {
+  obs::EnableTelemetryForTest(telemetry);
+  Rng rng(7);
+  Network net = TinyNetwork();
+  net.Initialize(rng);
+  Dataset d = BlobDataset(9, rng);
+  Dataset d_prime = ExtremeBoundedNeighbor(d, 6.0f);
+  auto summary = RunDiExperiment(net, d, d_prime, SmallAuditConfig());
+  obs::EnableTelemetryForTest(false);
+  DPAUDIT_CHECK_OK(summary.status());
+  return *summary;
+}
+
+void ExpectBitIdentical(const DiExperimentSummary& a,
+                        const DiExperimentSummary& b) {
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (size_t i = 0; i < a.trials.size(); ++i) {
+    const DiTrialResult& x = a.trials[i];
+    const DiTrialResult& y = b.trials[i];
+    EXPECT_EQ(x.trained_on_d, y.trained_on_d) << "trial " << i;
+    EXPECT_EQ(x.adversary_says_d, y.adversary_says_d) << "trial " << i;
+    // Exact double equality, not near: the contract is bit identity.
+    EXPECT_EQ(x.final_belief_d, y.final_belief_d) << "trial " << i;
+    EXPECT_EQ(x.max_belief_d, y.max_belief_d) << "trial " << i;
+    ASSERT_EQ(x.local_sensitivities.size(), y.local_sensitivities.size());
+    for (size_t s = 0; s < x.local_sensitivities.size(); ++s) {
+      EXPECT_EQ(x.local_sensitivities[s], y.local_sensitivities[s])
+          << "trial " << i << " step " << s;
+      EXPECT_EQ(x.sigmas[s], y.sigmas[s]) << "trial " << i << " step " << s;
+    }
+  }
+}
+
+class TelemetryIdentityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SpanRegistry::Global().ResetForTest();
+    obs::MetricsRegistry::Global().ResetForTest();
+  }
+  void TearDown() override {
+    obs::EnableTelemetryForTest(false);
+    obs::SpanRegistry::Global().ResetForTest();
+    obs::MetricsRegistry::Global().ResetForTest();
+  }
+};
+
+TEST_F(TelemetryIdentityTest, ExperimentBitIdenticalWithTelemetryOnAndOff) {
+  DiExperimentSummary off = RunOnce(/*telemetry=*/false);
+  DiExperimentSummary on = RunOnce(/*telemetry=*/true);
+  DiExperimentSummary off_again = RunOnce(/*telemetry=*/false);
+  ExpectBitIdentical(off, on);
+  ExpectBitIdentical(off, off_again);
+}
+
+TEST_F(TelemetryIdentityTest, InstrumentedRunPopulatesTheProfileTree) {
+  RunOnce(/*telemetry=*/true);
+  std::vector<obs::SpanRegistry::Stat> stats =
+      obs::SpanRegistry::Global().Collect();
+  auto has = [&stats](const std::string& path) {
+    for (const auto& s : stats) {
+      if (s.path == path) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("di_experiment"));
+  EXPECT_TRUE(has("di_experiment/repetition"));
+  EXPECT_TRUE(has("di_experiment/repetition/train_step"));
+  EXPECT_TRUE(
+      has("di_experiment/repetition/train_step/per_example_gradients"));
+  EXPECT_TRUE(has("di_experiment/repetition/train_step/mechanism_perturb"));
+  EXPECT_TRUE(has("di_experiment/repetition/train_step/adversary"));
+
+  // The pipeline counters moved too.
+  bool saw_steps = false;
+  for (const auto& m : obs::MetricsRegistry::Global().Snapshot()) {
+    if (m.name == "dpaudit_train_steps_total") {
+      saw_steps = true;
+      EXPECT_DOUBLE_EQ(m.value, 12.0 * 6.0);  // repetitions x epochs
+    }
+  }
+  EXPECT_TRUE(saw_steps);
+}
+
+TEST_F(TelemetryIdentityTest, UninstrumentedRunLeavesRegistriesEmpty) {
+  RunOnce(/*telemetry=*/false);
+  EXPECT_TRUE(obs::SpanRegistry::Global().Collect().empty());
+  // Only unconditional counters (trace cache, absent here) could appear; the
+  // gated pipeline metrics must not.
+  for (const auto& m : obs::MetricsRegistry::Global().Snapshot()) {
+    EXPECT_EQ(m.name.find("dpaudit_train"), std::string::npos) << m.name;
+  }
+}
+
+TEST_F(TelemetryIdentityTest, ProfileReportRendersTheTree) {
+  RunOnce(/*telemetry=*/true);
+  std::ostringstream os;
+  obs::WriteProfileReport(os, obs::SpanRegistry::Global().RootTotalNs());
+  const std::string report = os.str();
+  EXPECT_NE(report.find("di_experiment"), std::string::npos);
+  EXPECT_NE(report.find("train_step"), std::string::npos);
+  EXPECT_NE(report.find("span coverage"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpaudit

@@ -19,8 +19,14 @@
 //   dpaudit_cli trace evict (--key HEX | --all true) [--cache DIR]
 //       Inspect and manage the step-trace cache. --cache defaults to the
 //       DPAUDIT_TRACE_CACHE environment variable.
+//
+//   dpaudit_cli metrics [--from-jsonl FILE]
+//       Print a Prometheus text exposition: of this process's registry
+//       (build info plus anything the invoked command recorded), or of a
+//       telemetry events.jsonl written by an earlier --telemetry run.
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -36,6 +42,7 @@
 #include "dp/rdp_accountant.h"
 #include "io/serialization.h"
 #include "nn/network.h"
+#include "obs/telemetry.h"
 #include "util/arg_parser.h"
 #include "util/env.h"
 
@@ -43,20 +50,23 @@ namespace dpaudit {
 namespace {
 
 void PrintUsage() {
-  std::fprintf(stderr,
-               "usage: dpaudit_cli <scores|plan|experiment|trace> [--flags]\n"
-               "  scores     --epsilon E --delta D\n"
-               "  plan       (--rho-beta B | --rho-alpha A) --delta D "
-               "[--steps K]\n"
-               "  experiment --dataset mnist|purchase [--epsilon E] "
-               "[--reps R]\n"
-               "             [--sensitivity ls|gs] [--neighbors "
-               "bounded|unbounded]\n"
-               "             [--epochs K] [--n N] [--seed S]\n"
-               "             [--save-model PATH] [--report PATH.md]\n"
-               "  trace      list | show --key HEX | evict (--key HEX | "
-               "--all true)\n"
-               "             [--cache DIR]  (default: $DPAUDIT_TRACE_CACHE)\n");
+  std::fprintf(
+      stderr,
+      "usage: dpaudit_cli <scores|plan|experiment|trace|metrics> [--flags]\n"
+      "  scores     --epsilon E --delta D\n"
+      "  plan       (--rho-beta B | --rho-alpha A) --delta D "
+      "[--steps K]\n"
+      "  experiment --dataset mnist|purchase [--epsilon E] "
+      "[--reps R]\n"
+      "             [--sensitivity ls|gs] [--neighbors "
+      "bounded|unbounded]\n"
+      "             [--epochs K] [--n N] [--seed S]\n"
+      "             [--save-model PATH] [--report PATH.md]\n"
+      "             [--telemetry DIR]  (or $DPAUDIT_TELEMETRY)\n"
+      "  trace      list | show --key HEX | evict (--key HEX | "
+      "--all true)\n"
+      "             [--cache DIR]  (default: $DPAUDIT_TRACE_CACHE)\n"
+      "  metrics    [--from-jsonl FILE]\n");
 }
 
 Status RunScores(const ArgParser& args) {
@@ -109,7 +119,15 @@ Status RunExperiment(const ArgParser& args) {
   std::string neighbors = args.GetString("neighbors", "bounded");
   std::string save_model = args.GetString("save-model", "");
   std::string report_path = args.GetString("report", "");
+  std::string telemetry_dir = args.GetString("telemetry", "");
   DPAUDIT_RETURN_IF_ERROR(args.CheckAllConsumed());
+
+  obs::TelemetryOptions telemetry = obs::TelemetryOptionsFromEnv();
+  if (!telemetry_dir.empty()) {
+    telemetry.enabled = true;
+    telemetry.directory = telemetry_dir;
+  }
+  obs::InitTelemetry("dpaudit_cli", telemetry);
 
   if (n < 4) return Status::InvalidArgument("--n must be >= 4");
   NeighborMode neighbor_mode;
@@ -245,6 +263,22 @@ Status RunExperiment(const ArgParser& args) {
     DPAUDIT_RETURN_IF_ERROR(SaveWeights(save_model, trained.model));
     std::printf("  model weights saved to %s\n", save_model.c_str());
   }
+  obs::FlushTelemetry();
+  return Status::Ok();
+}
+
+Status RunMetrics(const ArgParser& args) {
+  std::string from_jsonl = args.GetString("from-jsonl", "");
+  DPAUDIT_RETURN_IF_ERROR(args.CheckAllConsumed());
+  if (!from_jsonl.empty()) {
+    std::ifstream in(from_jsonl);
+    if (!in) {
+      return Status::NotFound("cannot open " + from_jsonl);
+    }
+    return obs::RenderPrometheusFromJsonl(in, std::cout);
+  }
+  obs::RegisterBuildInfo("dpaudit_cli");
+  obs::WritePrometheus(std::cout);
   return Status::Ok();
 }
 
@@ -274,6 +308,13 @@ Status RunTrace(const ArgParser& args) {
                   entry.key.c_str(), entry.repetitions, entry.steps,
                   static_cast<unsigned long long>(entry.bytes));
     }
+    const TraceCacheCounters counters = GetTraceCacheCounters();
+    std::printf("cache counters (this invocation): hits=%llu misses=%llu "
+                "corrupt=%llu evictions=%llu\n",
+                static_cast<unsigned long long>(counters.hits),
+                static_cast<unsigned long long>(counters.misses),
+                static_cast<unsigned long long>(counters.corrupt),
+                static_cast<unsigned long long>(counters.evictions));
     return Status::Ok();
   }
 
@@ -349,6 +390,7 @@ int Main(int argc, char** argv) {
   if (command == "plan") status = RunPlan(*args);
   if (command == "experiment") status = RunExperiment(*args);
   if (command == "trace") status = RunTrace(*args);
+  if (command == "metrics") status = RunMetrics(*args);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     if (status.code() == StatusCode::kInvalidArgument) PrintUsage();
