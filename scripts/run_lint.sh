@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Convenience wrapper for the repo-invariant linter: builds dpaudit_lint if
+# the binary is missing, then lints the tree (src/ bench/ tools/ tests/).
+# Exit status: 0 clean, 1 findings, 2 usage/build error. Extra arguments are
+# forwarded, e.g.:
+#   scripts/run_lint.sh --format=json
+#   scripts/run_lint.sh --rule=dpaudit-stdout src
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+LINT_BIN="$BUILD_DIR/tools/dpaudit_lint"
+
+if [ ! -x "$LINT_BIN" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build "$BUILD_DIR" --target dpaudit_lint -j "$(nproc)" > /dev/null
+fi
+
+exec "$LINT_BIN" --root . "$@"

@@ -122,8 +122,8 @@ StatusOr<SampledDpSgdResult> RunSampledDpSgd(
 double SampledExperimentSummary::SuccessRate(bool trained_on_d) const {
   if (decisions_d.empty()) return 0.0;
   size_t wins = 0;
-  for (bool says_d : decisions_d) {
-    if (says_d == trained_on_d) ++wins;
+  for (uint8_t says_d : decisions_d) {
+    if ((says_d != 0) == trained_on_d) ++wins;
   }
   return static_cast<double>(wins) / static_cast<double>(decisions_d.size());
 }

@@ -97,7 +97,10 @@ StatusOr<SampledDpSgdResult> RunSampledDpSgd(
 
 struct SampledExperimentSummary {
   std::vector<double> final_beliefs;  // belief in D per repetition
-  std::vector<bool> decisions_d;      // adversary output per repetition
+  // Adversary output per repetition. uint8_t, not bool: repetitions write
+  // their slot concurrently, and std::vector<bool> packs eight slots per
+  // byte, so neighboring writers would race on the shared word.
+  std::vector<uint8_t> decisions_d;
   double max_belief = 0.0;
 
   double SuccessRate(bool trained_on_d = true) const;

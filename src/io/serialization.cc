@@ -73,9 +73,10 @@ StatusOr<double> Reader::F64() {
 
 std::vector<uint8_t> FrameBlob(uint32_t kind,
                                const std::vector<uint8_t>& payload) {
-  std::vector<uint8_t> out;
+  // Seeding the vector from the magic range (instead of insert-into-empty)
+  // sidesteps a GCC 12 -Wstringop-overflow false positive at -O3.
+  std::vector<uint8_t> out(kMagic, kMagic + 4);
   out.reserve(payload.size() + 32);
-  out.insert(out.end(), kMagic, kMagic + 4);
   wire::PutU32(out, kVersion);
   wire::PutU32(out, kind);
   wire::PutU64(out, payload.size());

@@ -572,7 +572,7 @@ void FlushTelemetry() {
   if (ec) {
     DPAUDIT_LOG(ERROR) << "telemetry: cannot create directory " << directory
                        << ": " << ec.message();
-    WriteProfileReport(std::cerr, wall_ns);
+    WriteProfileReport(RawLogStream(), wall_ns);
     return;
   }
 
@@ -592,8 +592,9 @@ void FlushTelemetry() {
   // The profile also goes to stderr so interactive runs see it without
   // hunting for the file. Never stdout: experiment output must stay
   // byte-identical with telemetry off.
-  WriteProfileReport(std::cerr, wall_ns);
-  std::cerr << "telemetry exports: " << prefix << ".{profile.txt,events.jsonl,metrics.prom}\n";
+  WriteProfileReport(RawLogStream(), wall_ns);
+  DPAUDIT_LOG(INFO) << "telemetry exports: " << prefix
+                    << ".{profile.txt,events.jsonl,metrics.prom}";
 }
 
 }  // namespace obs

@@ -76,6 +76,8 @@ void SetLogSink(LogSink sink) {
   SinkStorage().store(sink, std::memory_order_relaxed);
 }
 
+std::ostream& RawLogStream() { return std::cerr; }
+
 namespace internal_logging {
 
 LogMessageFatal::~LogMessageFatal() {

@@ -48,6 +48,14 @@ using LogSink = void (*)(LogLevel level, const char* file, int line,
                          const std::string& message);
 void SetLogSink(LogSink sink);
 
+/// The raw stderr-backed stream for intentionally unformatted multi-line
+/// output (profile reports, banners). Unlike DPAUDIT_LOG it applies no
+/// level filter, record prefix, or sink mirroring — single-line diagnostics
+/// belong in DPAUDIT_LOG. This accessor exists so library code never names
+/// std::cerr directly (enforced by the dpaudit-cerr lint rule); never
+/// stdout-backed, because experiment stdout is a byte-stable artifact.
+std::ostream& RawLogStream();
+
 namespace internal_logging {
 
 // Accumulates the failure message; aborts in the destructor, i.e. at the end

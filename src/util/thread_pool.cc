@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 
+#include "util/env.h"
 #include "util/logging.h"
 
 namespace dpaudit {
@@ -112,6 +113,13 @@ void ThreadPool::ParallelFor(size_t n, size_t num_threads,
 }
 
 size_t DefaultThreadCount() {
+  // DPAUDIT_THREADS overrides the hardware-derived default: CI forces >1 on
+  // single-core runners so sanitizer jobs exercise real concurrency, and
+  // operators pin it down on shared machines.
+  const int64_t forced = EnvInt64("DPAUDIT_THREADS", 0);
+  if (forced > 0) {
+    return std::min<size_t>(256, static_cast<size_t>(forced));
+  }
   unsigned hc = std::thread::hardware_concurrency();
   if (hc == 0) hc = 4;
   return std::min<size_t>(16, std::max<size_t>(1, hc));

@@ -85,7 +85,11 @@ class ThreadPool {
 };
 
 /// Number of workers to use by default: hardware concurrency clamped to
-/// [1, 16] so experiment binaries behave on small containers.
+/// [1, 16] so experiment binaries behave on small containers. The
+/// DPAUDIT_THREADS environment variable (clamped to [1, 256]) overrides the
+/// hardware-derived value — results are bit-identical for any thread count,
+/// so this only trades wall clock for parallelism (and lets sanitizer CI
+/// force real concurrency on small runners).
 size_t DefaultThreadCount();
 
 /// Thread budget for each inner parallel region when `outer_tasks` of them

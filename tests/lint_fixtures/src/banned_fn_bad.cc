@@ -1,0 +1,14 @@
+// Fixture: dpaudit-banned-fn must flag each unbounded/locale-dependent call.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+void Banned(char* dst, const char* src, const char* num) {
+  strcpy(dst, src);
+  std::strcat(dst, src);
+  sprintf(dst, "%s", src);
+  double parsed = atof(num);
+  int parsed_int = std::atoi(num);
+  (void)parsed;
+  (void)parsed_int;
+}

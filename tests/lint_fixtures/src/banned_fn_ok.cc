@@ -1,0 +1,15 @@
+// Fixture: bounded/checked replacements are compliant, and identifiers that
+// merely contain a banned name (snprintf, my_atof) or calls named in
+// strings must not be flagged.
+#include <cstdio>
+#include <cstdlib>
+
+double my_atof(const char* s) { return strtod(s, nullptr); }
+
+void Safe(char* dst, size_t n, const char* src, const char* num) {
+  std::snprintf(dst, n, "%s", src);
+  double parsed = strtod(num, nullptr);
+  (void)parsed;
+  const char* note = "sprintf( and strcpy( are banned";
+  (void)note;
+}

@@ -1,0 +1,7 @@
+// Fixture: dpaudit-cerr must flag direct std::cerr/std::clog diagnostics.
+#include <iostream>
+
+void WarnDirectly(int code) {
+  std::cerr << "warning: code " << code << "\n";
+  std::clog << "note: code " << code << "\n";
+}

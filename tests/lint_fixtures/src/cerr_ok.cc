@@ -1,0 +1,13 @@
+// Fixture: diagnostics through DPAUDIT_LOG are compliant, and the word
+// "cerr" inside strings/comments must not trip the matcher (std::cerr).
+#define DPAUDIT_LOG(severity) DummyStream()
+
+struct Dummy {
+  template <typename T>
+  Dummy& operator<<(const T&) { return *this; }
+};
+inline Dummy DummyStream() { return {}; }
+
+void WarnProperly(int code) {
+  DPAUDIT_LOG(WARNING) << "warning: code " << code;
+}

@@ -1,0 +1,5 @@
+// Fixture: dpaudit-include-guard must flag a header with no guard at all.
+
+namespace dpaudit {
+int Unguarded();
+}  // namespace dpaudit

@@ -1,0 +1,10 @@
+// Fixture: dpaudit-include-guard must flag a guard that does not follow the
+// DPAUDIT_<PATH>_H_ convention for this header's path.
+#ifndef SOME_OTHER_GUARD_H
+#define SOME_OTHER_GUARD_H
+
+namespace dpaudit {
+int WronglyGuarded();
+}  // namespace dpaudit
+
+#endif  // SOME_OTHER_GUARD_H

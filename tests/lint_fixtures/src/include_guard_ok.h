@@ -1,0 +1,9 @@
+// Fixture: the conventional guard for src/include_guard_ok.h.
+#ifndef DPAUDIT_INCLUDE_GUARD_OK_H_
+#define DPAUDIT_INCLUDE_GUARD_OK_H_
+
+namespace dpaudit {
+int ProperlyGuarded();
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_INCLUDE_GUARD_OK_H_

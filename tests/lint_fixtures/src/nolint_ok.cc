@@ -1,0 +1,14 @@
+// Fixture: every violation here carries a suppression, so the file must
+// produce zero findings — exercising same-line NOLINT with a rule list,
+// bare NOLINT, and NOLINTNEXTLINE.
+#include <cstdio>
+#include <iostream>
+#include <random>
+
+void Suppressed(double value) {
+  std::cout << value << "\n";  // NOLINT(dpaudit-stdout)
+  std::cerr << value << "\n";  // NOLINT
+  // NOLINTNEXTLINE(dpaudit-rng)
+  std::mt19937 engine(7);
+  printf("%f %u\n", value, engine());  // NOLINT(dpaudit-stdout, dpaudit-rng)
+}

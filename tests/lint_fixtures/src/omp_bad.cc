@@ -1,0 +1,7 @@
+// Fixture: dpaudit-omp must flag OpenMP pragmas.
+void ScaleAll(double* values, int n) {
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    values[i] *= 2.0;
+  }
+}

@@ -1,0 +1,8 @@
+// Fixture: other pragmas are compliant, and "omp" inside identifiers
+// (Compare, compute) or strings must not trip the token matcher.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic pop
+
+const char* kNote = "#pragma omp is banned";
+
+int ComputeCompare(int a, int b) { return a < b ? a : b; }

@@ -1,0 +1,10 @@
+// Fixture: dpaudit-raw-thread must flag raw std::thread/std::async use.
+#include <future>
+#include <thread>
+
+void SpawnDirectly() {
+  std::thread worker([] {});
+  auto result = std::async(std::launch::async, [] { return 1; });
+  (void)result.get();
+  worker.join();
+}

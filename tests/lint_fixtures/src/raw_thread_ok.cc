@@ -1,0 +1,14 @@
+// Fixture: fan-out through util/thread_pool is compliant, and tokens like
+// std::this_thread or thread_local must not trip the matcher.
+#include <cstddef>
+
+namespace dpaudit {
+class ThreadPool;
+void RunOnPool(ThreadPool& pool, size_t n);
+
+thread_local int tls_counter = 0;
+
+void SpawnProperly(ThreadPool& pool) {
+  RunOnPool(pool, 8);
+}
+}  // namespace dpaudit

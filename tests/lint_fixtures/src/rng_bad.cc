@@ -1,0 +1,10 @@
+// Fixture: dpaudit-rng must flag every ad-hoc randomness source.
+#include <cstdlib>
+#include <random>
+
+int AdHocRandomness() {
+  std::random_device rd;
+  std::mt19937 engine(rd());
+  std::srand(42);
+  return static_cast<int>(engine()) + std::rand();
+}

@@ -1,0 +1,11 @@
+// Fixture: randomness drawn through util/random's Rng is compliant; the
+// word "randomness" and strings like "mt19937 is banned" must not trip the
+// token matcher.
+namespace dpaudit {
+class Rng;
+double DrawGaussian(Rng& rng);
+
+const char* kNote = "mt19937 and rand() are banned outside util/random";
+
+double CompliantRandomness(Rng& rng) { return DrawGaussian(rng); }
+}  // namespace dpaudit

@@ -1,0 +1,9 @@
+// Fixture: dpaudit-stdout must flag library code writing to stdout.
+#include <cstdio>
+#include <iostream>
+
+void PrintResult(double value) {
+  std::cout << "epsilon = " << value << "\n";
+  printf("epsilon = %f\n", value);
+  std::fprintf(stdout, "epsilon = %f\n", value);
+}

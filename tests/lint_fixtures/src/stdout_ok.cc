@@ -1,0 +1,10 @@
+// Fixture: writing to a caller-supplied stream is the compliant pattern;
+// snprintf and fprintf(stderr, ...) must not trip the stdout tokens.
+#include <cstdio>
+#include <ostream>
+
+void WriteResult(std::ostream& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "epsilon = %f\n", value);
+  out << buffer;
+}

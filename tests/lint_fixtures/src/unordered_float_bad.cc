@@ -1,0 +1,22 @@
+// Fixture: dpaudit-unordered-float must flag floating-point accumulation
+// driven by unordered-container iteration order.
+#include <string>
+#include <unordered_map>
+
+double SumScores(const std::unordered_map<std::string, double>& scores) {
+  double total = 0.0;
+  for (const auto& [name, score] : scores) {
+    total += score;
+  }
+  return total;
+}
+
+double SumDeclaredEarlier() {
+  std::unordered_map<int, double> weights;
+  weights[1] = 0.5;
+  double total = 0.0;
+  for (const auto& entry : weights) {
+    total += entry.second;
+  }
+  return total;
+}

@@ -1,0 +1,22 @@
+// Fixture: accumulating over ordered containers is compliant, as is
+// unordered iteration that only copies (no accumulation).
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+double SumScores(const std::map<std::string, double>& scores) {
+  double total = 0.0;
+  for (const auto& [name, score] : scores) {
+    total += score;
+  }
+  return total;
+}
+
+std::vector<int> CopyMembers(const std::unordered_set<int>& members) {
+  std::vector<int> out;
+  for (const int m : members) {
+    out.push_back(m);
+  }
+  return out;
+}

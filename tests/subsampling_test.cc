@@ -8,6 +8,7 @@
 #include "core/scores.h"
 #include "dp/rdp_accountant.h"
 #include "tests/test_helpers.h"
+#include "util/thread_pool.h"
 
 namespace dpaudit {
 namespace {
@@ -279,6 +280,28 @@ TEST(SampledExperimentTest, DeterministicAcrossThreadCounts) {
   ASSERT_TRUE(serial.ok());
   ASSERT_TRUE(parallel.ok());
   EXPECT_EQ(serial->final_beliefs, parallel->final_beliefs);
+  EXPECT_EQ(serial->decisions_d, parallel->decisions_d);
+}
+
+// Regression test: decisions_d used to be std::vector<bool>, whose bit
+// packing made the per-repetition slot writes in RunSampledDiExperiment race
+// on shared words (ThreadSanitizer report; neighboring repetitions could
+// lose each other's decisions). The element type must stay byte-addressable
+// so concurrent writes to distinct slots are safe; this hammers exactly that
+// write pattern and fails under TSan (and statistically without it) if the
+// packed type comes back.
+TEST(SampledExperimentTest, ConcurrentDecisionSlotWritesAreLossless) {
+  constexpr size_t kSlots = 4096;
+  for (int round = 0; round < 4; ++round) {
+    SampledExperimentSummary summary;
+    summary.decisions_d.assign(kSlots, 0);
+    ThreadPool::ParallelFor(kSlots, 8, [&summary](size_t i) {
+      summary.decisions_d[i] = 1;
+    });
+    size_t written = 0;
+    for (uint8_t d : summary.decisions_d) written += d;
+    ASSERT_EQ(written, kSlots) << "lost concurrent slot writes";
+  }
 }
 
 }  // namespace

@@ -1,0 +1,136 @@
+// dpaudit_lint — repo-specific invariant linter. See tools/lint/lint.h and
+// DESIGN.md §10 for what each rule protects.
+//
+// Usage:
+//   dpaudit_lint [--root=DIR] [--format=text|json] [--rule=NAME ...]
+//                [--list-rules] [paths...]
+//
+// Paths (files or directories) are resolved against --root; with none given
+// the default trees src/ bench/ tools/ tests/ are scanned. Exit status: 0
+// clean, 1 findings, 2 usage or I/O error.
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int Usage(std::ostream& out, int code) {
+  out << "usage: dpaudit_lint [--root=DIR] [--format=text|json]\n"
+         "                    [--rule=NAME ...] [--list-rules] [paths...]\n"
+         "\n"
+         "Lints C++ sources against dpaudit's repo invariants. With no\n"
+         "paths, scans src/ bench/ tools/ tests/ under --root (default:\n"
+         "current directory). Suppress one line with\n"
+         "// NOLINT(dpaudit-<rule>); see --list-rules for rule names.\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string format = "text";
+  std::vector<std::string> rules;
+  std::vector<std::string> paths;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    // Accepts both --flag=value and --flag value.
+    const auto value = [&](const std::string& flag) -> std::string {
+      if (arg.size() > flag.size() + 1 && arg[flag.size()] == '=') {
+        return arg.substr(flag.size() + 1);
+      }
+      if (arg == flag && i + 1 < argc) return argv[++i];
+      std::cerr << "dpaudit_lint: " << flag << " needs a value\n";
+      std::exit(2);
+    };
+    if (arg == "--help" || arg == "-h") {
+      return Usage(std::cout, 0);
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg.rfind("--root", 0) == 0) {
+      root = value("--root");
+    } else if (arg.rfind("--format", 0) == 0) {
+      format = value("--format");
+    } else if (arg.rfind("--rule", 0) == 0) {
+      rules.push_back(value("--rule"));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "dpaudit_lint: unknown flag " << arg << "\n";
+      return Usage(std::cerr, 2);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (format != "text" && format != "json") {
+    std::cerr << "dpaudit_lint: --format must be text or json\n";
+    return 2;
+  }
+  if (list_rules) {
+    for (const dpaudit::lint::Rule& rule : dpaudit::lint::AllRules()) {
+      std::cout << rule.name << ": " << rule.summary << "\n";
+    }
+    return 0;
+  }
+  for (const std::string& rule : rules) {
+    bool known = false;
+    for (const dpaudit::lint::Rule& r : dpaudit::lint::AllRules()) {
+      known = known || r.name == rule;
+    }
+    if (!known) {
+      std::cerr << "dpaudit_lint: unknown rule " << rule
+                << " (see --list-rules)\n";
+      return 2;
+    }
+  }
+
+  if (paths.empty()) {
+    for (const char* tree : {"src", "bench", "tools", "tests"}) {
+      if (fs::is_directory(fs::path(root) / tree)) paths.push_back(tree);
+    }
+    if (paths.empty()) {
+      std::cerr << "dpaudit_lint: no default trees under " << root << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<dpaudit::lint::Finding> findings;
+  size_t files_scanned = 0;
+  for (const std::string& path : paths) {
+    fs::path resolved(path);
+    if (resolved.is_relative() && !fs::exists(resolved)) {
+      resolved = fs::path(root) / path;
+    }
+    const std::vector<std::string> files =
+        dpaudit::lint::CollectFiles(resolved.string());
+    if (files.empty()) {
+      std::cerr << "dpaudit_lint: no lintable files under " << path << "\n";
+      return 2;
+    }
+    for (const std::string& file : files) {
+      if (!dpaudit::lint::LintPath(file, root, rules, &findings)) {
+        std::cerr << "dpaudit_lint: cannot read " << file << "\n";
+        return 2;
+      }
+      ++files_scanned;
+    }
+  }
+
+  if (format == "json") {
+    dpaudit::lint::WriteJson(findings, files_scanned, std::cout);
+  } else {
+    dpaudit::lint::WriteText(findings, std::cout);
+    if (!findings.empty()) {
+      std::cout << findings.size() << " finding(s) in " << files_scanned
+                << " file(s)\n";
+    }
+  }
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+// dpaudit_lint: a repo-specific invariant linter.
+//
+// Token/line-level (no compiler dependency) checks for the invariants the
+// audit pipeline's determinism and reproducibility claims rest on: single
+// RNG discipline, no stray stdout, diagnostics through DPAUDIT_LOG, no
+// unordered-container iteration feeding floating-point accumulation, no
+// OpenMP pragmas (threading goes through util/thread_pool), header guard
+// hygiene, and a banned-function list. See DESIGN.md §10 for the rationale
+// behind each rule.
+//
+// Suppression mirrors clang-tidy: a trailing `// NOLINT` comment suppresses
+// every rule on that line, `// NOLINT(dpaudit-<rule>)` suppresses one rule,
+// and `// NOLINTNEXTLINE(...)` applies the same to the following line.
+
+#ifndef DPAUDIT_TOOLS_LINT_LINT_H_
+#define DPAUDIT_TOOLS_LINT_LINT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dpaudit {
+namespace lint {
+
+/// One rule violation at a specific source line.
+struct Finding {
+  std::string file;  // path as reported (repo-relative when under --root)
+  int line = 0;      // 1-based
+  std::string rule;  // e.g. "dpaudit-stdout"
+  std::string message;
+};
+
+/// A source file prepared for linting: the raw lines (used for NOLINT
+/// detection) plus a "code view" with comment bodies and string/char
+/// literal contents blanked out so token rules cannot fire inside them.
+struct SourceFile {
+  std::string rel;  // repo-relative path with forward slashes
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> code_lines;
+};
+
+/// Builds the code view from file contents. Handles //, /* */, string and
+/// character literals (with escapes), and R"(...)"-style raw strings.
+SourceFile PrepareSource(const std::string& rel, const std::string& contents);
+
+/// Metadata plus implementation for one lint rule.
+struct Rule {
+  std::string name;     // "dpaudit-<slug>"
+  std::string summary;  // one line, shown by --list-rules
+  void (*check)(const SourceFile& file, std::vector<Finding>* out);
+};
+
+/// Every registered rule, in stable (alphabetical) order.
+const std::vector<Rule>& AllRules();
+
+/// Runs `rules` over `file` and appends NOLINT-filtered findings to `out`.
+/// An empty `rules` list means all rules.
+void LintFile(const SourceFile& file, const std::vector<std::string>& rules,
+              std::vector<Finding>* out);
+
+/// Loads `path` from disk, computes its path relative to `root` (used for
+/// rule scoping), lints it, and appends findings. Returns false if the file
+/// cannot be read.
+bool LintPath(const std::string& path, const std::string& root,
+              const std::vector<std::string>& rules,
+              std::vector<Finding>* out);
+
+/// Recursively collects lintable files (.h/.cc/.hpp/.cpp) under `path`,
+/// skipping build trees, hidden directories, and tests/lint_fixtures (the
+/// fixtures intentionally violate every rule). Returns sorted paths.
+std::vector<std::string> CollectFiles(const std::string& path);
+
+/// Writes findings as "file:line: [rule] message", one per line.
+void WriteText(const std::vector<Finding>& findings, std::ostream& out);
+
+/// Writes the machine-readable report:
+/// {"findings":[{file,line,rule,message}...],"finding_count":N,
+///  "files_scanned":M}.
+void WriteJson(const std::vector<Finding>& findings, size_t files_scanned,
+               std::ostream& out);
+
+/// The include-guard name this repo's convention assigns to a header path,
+/// e.g. "src/util/logging.h" -> "DPAUDIT_UTIL_LOGGING_H_" and
+/// "bench/bench_common.h" -> "DPAUDIT_BENCH_BENCH_COMMON_H_".
+std::string ExpectedGuard(const std::string& rel);
+
+}  // namespace lint
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_TOOLS_LINT_LINT_H_
