@@ -18,11 +18,15 @@ void Run() {
   if (TraceStore* store = TraceStore::FromEnv()) {
     std::cerr << "trace cache: " << store->directory() << "\n";
   }
-  for (auto make_task :
-       {bench::MakeMnistTask, bench::MakePurchaseTask}) {
-    bench::Task task = make_task(params);
-    std::vector<bench::AuditSweepRow> rows =
-        bench::RunAuditSweep(params, task);
+  // Both tasks feed one flattened (cell x repetition) grid: Purchase cells
+  // start the moment workers drain the MNIST tail (core/sweep_scheduler.h).
+  bench::Task tasks[] = {bench::MakeMnistTask(params),
+                         bench::MakePurchaseTask(params)};
+  auto rows_per_task =
+      bench::RunAuditSweeps(params, {&tasks[0], &tasks[1]});
+  for (size_t t = 0; t < 2; ++t) {
+    const bench::Task& task = tasks[t];
+    const std::vector<bench::AuditSweepRow>& rows = rows_per_task[t];
     TableWriter table({"dataset", "target eps", "Delta f", "eps' (beta_k)",
                        "eps' / eps"});
     for (const bench::AuditSweepRow& row : rows) {

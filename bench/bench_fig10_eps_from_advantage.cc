@@ -22,11 +22,15 @@ void Run() {
   if (TraceStore* store = TraceStore::FromEnv()) {
     std::cerr << "trace cache: " << store->directory() << "\n";
   }
-  for (auto make_task :
-       {bench::MakeMnistTask, bench::MakePurchaseTask}) {
-    bench::Task task = make_task(params);
-    std::vector<bench::AuditSweepRow> rows =
-        bench::RunAuditSweep(params, task, /*reps_override=*/params.reps);
+  // Both tasks feed one flattened (cell x repetition) grid: Purchase cells
+  // start the moment workers drain the MNIST tail (core/sweep_scheduler.h).
+  bench::Task tasks[] = {bench::MakeMnistTask(params),
+                         bench::MakePurchaseTask(params)};
+  auto rows_per_task = bench::RunAuditSweeps(params, {&tasks[0], &tasks[1]},
+                                             /*reps_override=*/params.reps);
+  for (size_t t = 0; t < 2; ++t) {
+    const bench::Task& task = tasks[t];
+    const std::vector<bench::AuditSweepRow>& rows = rows_per_task[t];
     TableWriter table({"dataset", "target eps", "Delta f", "Adv",
                        "Adv 95% lo", "Adv 95% hi", "eps' (Adv^DI,Gau)",
                        "eps' / eps"});

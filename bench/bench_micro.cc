@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "core/adversary.h"
 #include "core/belief.h"
 #include "data/dissimilarity.h"
@@ -18,6 +20,7 @@
 #include "obs/telemetry.h"
 #include "stats/normal.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace dpaudit {
 namespace {
@@ -301,6 +304,42 @@ void BM_TelemetryCounterEnabled(benchmark::State& state) {
   obs::EnableTelemetryForTest(false);
 }
 BENCHMARK(BM_TelemetryCounterEnabled);
+
+// Pool-churn cost the persistent shared pool removed: the pre-scheduler
+// ParallelFor constructed, spawned, and joined a fresh pool on EVERY call,
+// which dominated short parallel regions (a 30-step experiment issues one
+// region per trial batch). FreshPool reproduces that structure; SharedPool
+// is the current dispatch path. The delta is pure thread spawn/join
+// overhead.
+void BM_ParallelForFreshPool(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::atomic<uint64_t> sink{0};
+  for (auto _ : state) {
+    ThreadPool pool(4);
+    for (size_t i = 0; i < n; ++i) {
+      pool.Schedule([&sink, i] {
+        sink.fetch_add(i, std::memory_order_relaxed);
+      });
+    }
+    pool.Wait();
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ParallelForFreshPool)->Arg(16)->Arg(256);
+
+void BM_ParallelForSharedPool(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::atomic<uint64_t> sink{0};
+  for (auto _ : state) {
+    ThreadPool::ParallelFor(n, 4, [&sink](size_t i) {
+      sink.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ParallelForSharedPool)->Arg(16)->Arg(256);
 
 void BM_Hamming600(benchmark::State& state) {
   SyntheticPurchaseGenerator generator(SyntheticPurchaseConfig{}, 7);

@@ -7,9 +7,13 @@
 // rho_alpha target; the GS bounded row falls clearly below it.
 
 #include <iostream>
+#include <vector>
 
+#include "bench/bench_audit_sweep.h"
 #include "bench/bench_common.h"
 #include "core/scores.h"
+#include "core/sweep_scheduler.h"
+#include "core/trace.h"
 #include "stats/summary.h"
 
 namespace dpaudit {
@@ -40,17 +44,44 @@ void Run() {
 
   Task tasks[] = {bench::MakeMnistTask(params),
                   bench::MakePurchaseTask(params)};
+
+  // All 8 (task, scenario) experiments flatten into one dynamically
+  // dispatched trial grid (core/sweep_scheduler.h); calibration runs on the
+  // workers and the trace store is resolved once for the whole table.
+  std::vector<SweepCell> cells;
+  for (const Task& task : tasks) {
+    for (const Scenario& scenario : kScenarios) {
+      SweepCell cell;
+      cell.architecture = &task.architecture;
+      cell.d = &task.d;
+      cell.d_prime = &bench::NeighborFor(task, scenario.neighbors);
+      cell.config.repetitions = params.reps;
+      cell.config.seed = params.seed;
+      cell.configure = [&params, &task, epsilon,
+                        scenario](DiExperimentConfig* config) {
+        DiExperimentConfig base = bench::MakeScenarioConfig(
+            params, task, epsilon, scenario.sensitivity, scenario.neighbors);
+        base.repetitions = config->repetitions;
+        base.trace_store = config->trace_store;
+        *config = base;
+        return Status::Ok();
+      };
+      cells.push_back(std::move(cell));
+    }
+  }
+  SweepOptions options;
+  options.mode = bench::SweepModeFromEnv();
+  options.trace_store = TraceStore::FromEnv();
+  auto summaries = RunSweep(cells, options);
+
   TableWriter table({"Delta f", "DP", "dataset", "rho_alpha target",
                      "Adv^DI,Gau", "Adv 95% lo", "Adv 95% hi",
                      "empirical delta"});
+  size_t cell_index = 0;
   for (const Task& task : tasks) {
     double rho_alpha = *RhoAlpha(epsilon, task.delta);
     for (const Scenario& scenario : kScenarios) {
-      DiExperimentConfig config = bench::MakeScenarioConfig(
-          params, task, epsilon, scenario.sensitivity, scenario.neighbors);
-      auto summary = RunDiExperiment(
-          task.architecture, task.d,
-          bench::NeighborFor(task, scenario.neighbors), config);
+      const StatusOr<DiExperimentSummary>& summary = summaries[cell_index++];
       DPAUDIT_CHECK_OK(summary.status());
       size_t wins = 0;
       for (const DiTrialResult& trial : summary->trials) {

@@ -4,10 +4,14 @@
 #      (BM_GaussianPerturb, BM_LogLikelihoodRatio, BM_DiAdversaryOnStep);
 #   2. the fig08+fig09+fig10 trio wall-clock, cold-cache (records traces)
 #      and warm-cache (replays them), with --telemetry on so each binary's
-#      own JSONL event stream supplies per-phase columns.
-# Writes BENCH_experiment_suite.json at the repo root with the pre-change
-# baseline (measured on the same machine before the trace cache and the
-# vectorized kernels landed) embedded next to the fresh numbers. Build first:
+#      own JSONL event stream supplies per-phase columns;
+#   3. the flattened sweep scheduler vs the sequential per-cell reference
+#      path (DPAUDIT_SWEEP_MODE=percell) at DPAUDIT_THREADS 1 and 4, plus
+#      the pool-churn microbenchmarks (fresh pool per region vs the shared
+#      pool), with cells/sec and worker occupancy pulled from telemetry.
+# Writes BENCH_experiment_suite.json and BENCH_sweep_scheduler.json at the
+# repo root with the pre-change baselines (measured on the same machine
+# before each change landed) embedded next to the fresh numbers. Build first:
 #   cmake -B build -S . && cmake --build build -j
 set -euo pipefail
 
@@ -163,4 +167,170 @@ for b in TRIO:
           f"of {phases['wall_seconds']}s wall (warm)")
 for name, s in sorted(speedups.items()):
     print(f"  {name}: {s}x vs baseline")
+EOF
+
+# ---------------------------------------------------------------------------
+# Sweep scheduler: flattened (cell x repetition) grid vs the sequential
+# per-cell reference path, each cold and warm, at 1 and 4 threads.
+
+sweep_out="${repo_root}/BENCH_sweep_scheduler.json"
+pool_json="$(mktemp /tmp/dpaudit_pool_micro.XXXXXX.json)"
+sweep_tmp="$(mktemp -d /tmp/dpaudit_sweep_bench.XXXXXX)"
+trap 'rm -rf "${micro_json}" "${cache_dir}" "${telemetry_cold}" \
+             "${telemetry_warm}" "${pool_json}" "${sweep_tmp}"' EXIT
+
+echo "== pool churn microbenchmarks (fresh pool per region vs shared) =="
+"${bench_bin}" \
+  --benchmark_filter='BM_ParallelFor(FreshPool|SharedPool)/' \
+  --benchmark_out="${pool_json}" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions="${BENCH_REPETITIONS:-1}"
+
+# run_sweep_trio MODE THREADS PHASE: one trio pass; telemetry JSONL lands in
+# ${sweep_tmp}/MODE_THREADS_PHASE/, wall seconds on stdout.
+run_sweep_trio() {
+  local mode="$1" threads="$2" phase="$3"
+  local tdir="${sweep_tmp}/${mode}_${threads}t_${phase}"
+  mkdir -p "${tdir}"
+  DPAUDIT_SWEEP_MODE="${mode}" DPAUDIT_THREADS="${threads}" \
+      run_trio "${tdir}"
+}
+
+declare -A sweep_seconds
+for mode in flattened percell; do
+  for threads in 1 4; do
+    export DPAUDIT_TRACE_CACHE="${sweep_tmp}/cache_${mode}_${threads}t"
+    mkdir -p "${DPAUDIT_TRACE_CACHE}"
+    echo "== trio, mode=${mode} threads=${threads}, cold cache =="
+    sweep_seconds["${mode}_${threads}_cold"]=$(run_sweep_trio "${mode}" "${threads}" cold)
+    echo "cold: ${sweep_seconds[${mode}_${threads}_cold]}s"
+    echo "== trio, mode=${mode} threads=${threads}, warm cache =="
+    sweep_seconds["${mode}_${threads}_warm"]=$(run_sweep_trio "${mode}" "${threads}" warm)
+    echo "warm: ${sweep_seconds[${mode}_${threads}_warm]}s"
+    unset DPAUDIT_TRACE_CACHE
+  done
+done
+
+python3 - "${sweep_out}" "${pool_json}" "${sweep_tmp}" \
+    "${sweep_seconds[flattened_1_cold]}" "${sweep_seconds[flattened_1_warm]}" \
+    "${sweep_seconds[flattened_4_cold]}" "${sweep_seconds[flattened_4_warm]}" \
+    "${sweep_seconds[percell_1_cold]}" "${sweep_seconds[percell_1_warm]}" \
+    "${sweep_seconds[percell_4_cold]}" "${sweep_seconds[percell_4_warm]}" <<'EOF'
+import json, os, sys
+(out_path, pool_path, tmp_dir,
+ f1c, f1w, f4c, f4w, p1c, p1w, p4c, p4w) = sys.argv[1:12]
+with open(pool_path) as f:
+    pool_micro = json.load(f)
+
+TRIO = ["bench_fig08_eps_from_sensitivity",
+        "bench_fig09_eps_from_belief",
+        "bench_fig10_eps_from_advantage"]
+
+
+def read_run(mode, threads, phase):
+    """Sweep counters + worker occupancy from the trio's events.jsonl."""
+    tdir = os.path.join(tmp_dir, f"{mode}_{threads}t_{phase}")
+    counters = {}
+    execute_us = 0.0
+    wall_ns = 0
+    for binary in TRIO:
+        with open(os.path.join(tdir, binary + ".events.jsonl")) as f:
+            for line in f:
+                event = json.loads(line)
+                if event.get("type") == "run":
+                    wall_ns += int(event["wall_ns"])
+                elif (event.get("type") == "counter" and
+                      event["name"].startswith("dpaudit_sweep_")):
+                    counters[event["name"]] = (
+                        counters.get(event["name"], 0) + int(event["value"]))
+                elif (event.get("type") == "distribution" and
+                      event["name"] == "dpaudit_pool_execute_us"):
+                    execute_us += event["count"] * event["mean"]
+    wall_s = wall_ns / 1e9
+    cells = counters.get("dpaudit_sweep_cells_total", 0)
+    # Occupancy: summed task execute time over the workers' capacity. The
+    # calling thread drains chunks too, so > 1/threads means real overlap.
+    occupancy = (execute_us / 1e6) / (wall_s * int(threads)) if wall_s else 0.0
+    return {
+        "wall_seconds": round(wall_s, 3),
+        "cells": cells,
+        "cells_per_second": round(cells / wall_s, 3) if wall_s else 0.0,
+        "worker_occupancy": round(occupancy, 3),
+        "sweep_counters": counters,
+    }
+
+runs = {}
+seconds = {("flattened", "1", "cold"): f1c, ("flattened", "1", "warm"): f1w,
+           ("flattened", "4", "cold"): f4c, ("flattened", "4", "warm"): f4w,
+           ("percell", "1", "cold"): p1c, ("percell", "1", "warm"): p1w,
+           ("percell", "4", "cold"): p4c, ("percell", "4", "warm"): p4w}
+for (mode, threads, phase), measured in seconds.items():
+    entry = read_run(mode, threads, phase)
+    entry["measured_seconds"] = float(measured)
+    runs[f"{mode}_{threads}t_{phase}"] = entry
+
+doc = {
+    "description": "Flattened (cell x repetition) sweep scheduler vs the "
+                   "sequential per-cell reference path "
+                   "(DPAUDIT_SWEEP_MODE=percell) over the fig08+fig09+fig10 "
+                   "trio, cold and warm trace cache, 1 and 4 threads; plus "
+                   "the pool-churn microbenchmarks. cells/sec and worker "
+                   "occupancy come from each binary's telemetry JSONL.",
+    "pool_microbenchmarks": [
+        b for b in pool_micro.get("benchmarks", [])
+        if b.get("run_type", "iteration") != "aggregate"
+    ],
+    "context": pool_micro.get("context", {}),
+    "trio_runs": runs,
+    # Measured on the same machine (default bench params) immediately before
+    # this change: per-cell ParallelFor with a pool constructed per region,
+    # sequential cells, and repetition counts baked into the trace
+    # fingerprint (so fig10's 24 reps could not extend fig08/09's 12-rep
+    # recordings).
+    "pre_pr_baseline": {
+        "trio_cold_seconds_1t": 51.92,
+        "trio_warm_seconds_1t": 0.15,
+        "trio_cold_seconds_4t": 51.63,
+        "trio_warm_seconds_4t": 0.13,
+        "per_binary_cold_seconds_1t": {
+            "bench_fig08_eps_from_sensitivity": 17.45,
+            "bench_fig09_eps_from_belief": 0.04,
+            "bench_fig10_eps_from_advantage": 34.87,
+        },
+        "notes": "4-thread baseline shows no speedup because this "
+                 "machine exposes a single core; the per-cell path also "
+                 "could not overlap cells regardless of width.",
+    },
+}
+
+base = doc["pre_pr_baseline"]
+doc["speedups"] = {
+    "flattened_cold_1t_vs_pre_pr": round(
+        base["trio_cold_seconds_1t"] / runs["flattened_1t_cold"]["measured_seconds"], 2),
+    "flattened_cold_4t_vs_pre_pr": round(
+        base["trio_cold_seconds_4t"] / runs["flattened_4t_cold"]["measured_seconds"], 2),
+    "flattened_vs_percell_cold_4t": round(
+        runs["percell_4t_cold"]["measured_seconds"] /
+        runs["flattened_4t_cold"]["measured_seconds"], 2),
+}
+pool = {b["name"]: b["real_time"] for b in doc["pool_microbenchmarks"]}
+for n in (16, 256):
+    fresh, shared = pool.get(f"BM_ParallelForFreshPool/{n}"), pool.get(
+        f"BM_ParallelForSharedPool/{n}")
+    if fresh and shared:
+        doc["speedups"][f"shared_pool_vs_fresh_pool/{n}"] = round(
+            fresh / shared, 2)
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+print(f"wrote {out_path}")
+for key in ("flattened_1t_cold", "flattened_1t_warm",
+            "flattened_4t_cold", "flattened_4t_warm",
+            "percell_4t_cold", "percell_4t_warm"):
+    r = runs[key]
+    print(f"  {key}: {r['measured_seconds']}s, {r['cells']} cells, "
+          f"{r['cells_per_second']} cells/s, "
+          f"occupancy {r['worker_occupancy']}")
+for name, s in sorted(doc["speedups"].items()):
+    print(f"  {name}: {s}x")
 EOF

@@ -61,6 +61,74 @@ std::vector<double> DiExperimentSummary::TestAccuracies() const {
   return accuracies;
 }
 
+Status RunDiTrial(const Network& architecture, const Dataset& d,
+                  const Dataset& d_prime, const DiExperimentConfig& config,
+                  size_t rep, DiTrialResult* trial_out, TrialTrace* record,
+                  const Dataset* test_set) {
+  // Nests under the scheduling span: pool tasks adopt the scheduling
+  // thread's span through the telemetry hooks.
+  DPAUDIT_SPAN("repetition");
+  DPAUDIT_METRIC_COUNT("dpaudit_repetitions_total", 1);
+  Rng rng = Rng(config.seed).Split(rep);
+  Network model = architecture.Clone();
+  if (config.reinitialize_weights) model.Initialize(rng);
+
+  bool train_on_d =
+      config.randomize_challenge_bit ? rng.Bernoulli(0.5) : true;
+
+  DiAdversary adversary;
+  StatusOr<DpSgdResult> run = RunDpSgd(model, d, d_prime, train_on_d,
+                                       config.dpsgd, rng, &adversary);
+  if (!run.ok()) return run.status();
+
+  DiTrialResult& trial = *trial_out;
+  trial.trained_on_d = train_on_d;
+  trial.adversary_says_d = adversary.DecideD();
+  // The adversary tracks belief in D; when training ran on D' its belief in
+  // the true dataset is the complement, but we always store belief in D so
+  // the Figure 6 distributions are comparable.
+  trial.final_belief_d = adversary.FinalBeliefD();
+  trial.max_belief_d = adversary.MaxBeliefD();
+  trial.local_sensitivities.reserve(run->steps.size());
+  trial.sigmas.reserve(run->steps.size());
+  for (const DpSgdStepRecord& step : run->steps) {
+    trial.local_sensitivities.push_back(step.local_sensitivity);
+    trial.sigmas.push_back(step.sigma);
+  }
+  if (test_set != nullptr && !test_set->empty()) {
+    trial.test_accuracy =
+        run->model.Accuracy(test_set->inputs, test_set->labels);
+  }
+
+  if (record != nullptr) {
+    TrialTrace& recorded = *record;
+    recorded.trained_on_d = trial.trained_on_d;
+    recorded.adversary_says_d = trial.adversary_says_d;
+    recorded.final_belief_d = trial.final_belief_d;
+    recorded.max_belief_d = trial.max_belief_d;
+    recorded.test_accuracy = trial.test_accuracy;
+    recorded.belief_history = adversary.BeliefHistory();
+    const std::vector<double>& log_d = adversary.StepLogDensitiesD();
+    const std::vector<double>& log_dp = adversary.StepLogDensitiesDPrime();
+    recorded.steps.resize(run->steps.size());
+    for (size_t i = 0; i < run->steps.size(); ++i) {
+      StepTraceRecord& step = recorded.steps[i];
+      const DpSgdStepRecord& step_record = run->steps[i];
+      step.clip_norm = step_record.clip_norm;
+      step.local_sensitivity = step_record.local_sensitivity;
+      step.sensitivity_used = step_record.sensitivity_used;
+      step.sigma = step_record.sigma;
+      step.log_density_d = i < log_d.size() ? log_d[i] : 0.0;
+      step.log_density_dprime = i < log_dp.size() ? log_dp[i] : 0.0;
+      // history[0] is the prior, history[i+1] the belief after step i.
+      step.belief_d = i + 1 < recorded.belief_history.size()
+                          ? recorded.belief_history[i + 1]
+                          : recorded.final_belief_d;
+    }
+  }
+  return Status::Ok();
+}
+
 StatusOr<DiExperimentSummary> RunDiExperiment(const Network& architecture,
                                               const Dataset& d,
                                               const Dataset& d_prime,
@@ -72,10 +140,17 @@ StatusOr<DiExperimentSummary> RunDiExperiment(const Network& architecture,
     return Status::InvalidArgument("repetitions must be > 0");
   }
 
+  DiExperimentSummary summary;
+  summary.trials.resize(config.repetitions);
+  ExperimentTrace trace;
+  size_t replayed = 0;  // leading trials reused from a cached recording
+
   // Record/replay: on a cache hit the recorded trace reconstructs the
   // summary bit-identically (all doubles round-trip as IEEE-754 bit
-  // patterns), so the expensive repeated training below is skipped. Any
-  // cache problem degrades to a live run.
+  // patterns), so the expensive repeated training below is skipped. A
+  // recording with fewer trials than requested replays as a prefix — trial
+  // results never depend on the total repetition count — and only the tail
+  // trains live. Any cache problem degrades to a live run.
   TraceFingerprint trace_key;
   if (config.trace_store != nullptr) {
     DPAUDIT_SPAN("trace_replay");
@@ -83,28 +158,28 @@ StatusOr<DiExperimentSummary> RunDiExperiment(const Network& architecture,
                                       test_set);
     StatusOr<ExperimentTrace> cached = config.trace_store->Load(trace_key);
     if (cached.ok()) {
-      if (cached->trials.size() == config.repetitions) {
-        return cached->ToSummary();
+      if (cached->trials.size() >= config.repetitions) {
+        return cached->ToSummaryPrefix(config.repetitions);
       }
-      DPAUDIT_LOG(WARNING) << "trace " << trace_key.ToHex()
-                           << " has wrong repetition count; rerunning";
+      replayed = cached->trials.size();
+      trace.trials = std::move(cached->trials);
+      for (size_t i = 0; i < replayed; ++i) {
+        summary.trials[i] = ToTrialResult(trace.trials[i]);
+      }
+      DPAUDIT_LOG(INFO) << "trace " << trace_key.ToHex() << " replays "
+                        << replayed << "/" << config.repetitions
+                        << " repetitions; extending";
     } else if (cached.status().code() != StatusCode::kNotFound) {
       DPAUDIT_LOG(WARNING) << "ignoring unreadable trace "
                            << trace_key.ToHex() << ": "
                            << cached.status().message();
     }
-  }
-
-  ExperimentTrace trace;
-  trace.fingerprint = trace_key;
-  if (config.trace_store != nullptr) {
+    trace.fingerprint = trace_key;
     trace.trials.resize(config.repetitions);
   }
 
-  DiExperimentSummary summary;
-  summary.trials.resize(config.repetitions);
-  std::vector<Status> trial_status(config.repetitions, Status::Ok());
-  Rng root(config.seed);
+  const size_t live = config.repetitions - replayed;
+  std::vector<Status> trial_status(live, Status::Ok());
   size_t threads =
       config.threads == 0 ? DefaultThreadCount() : config.threads;
 
@@ -112,80 +187,21 @@ StatusOr<DiExperimentSummary> RunDiExperiment(const Network& architecture,
   // repetitions get at most `threads` workers, and each repetition's
   // per-example gradient engine gets the remainder, so trials x examples
   // never oversubscribes the budget. An explicit config.dpsgd.threads wins.
-  size_t outer = std::min(threads, config.repetitions);
-  DpSgdConfig dpsgd_config = config.dpsgd;
-  if (dpsgd_config.threads == 0) {
-    dpsgd_config.threads = NestedThreadBudget(threads, outer);
+  size_t outer = std::min(threads, live);
+  DiExperimentConfig trial_config = config;
+  if (trial_config.dpsgd.threads == 0) {
+    trial_config.dpsgd.threads = NestedThreadBudget(threads, outer);
   }
 
-  ThreadPool::ParallelFor(
-      config.repetitions, threads, [&](size_t rep) {
-        // Nests under di_experiment: pool tasks adopt the scheduling
-        // thread's span through the telemetry hooks.
-        DPAUDIT_SPAN("repetition");
-        DPAUDIT_METRIC_COUNT("dpaudit_repetitions_total", 1);
-        Rng rng = root.Split(rep);
-        Network model = architecture.Clone();
-        if (config.reinitialize_weights) model.Initialize(rng);
-
-        bool train_on_d =
-            config.randomize_challenge_bit ? rng.Bernoulli(0.5) : true;
-
-        DiAdversary adversary;
-        StatusOr<DpSgdResult> run = RunDpSgd(model, d, d_prime, train_on_d,
-                                             dpsgd_config, rng, &adversary);
-        if (!run.ok()) {
-          trial_status[rep] = run.status();
-          return;
-        }
-
-        DiTrialResult& trial = summary.trials[rep];
-        trial.trained_on_d = train_on_d;
-        trial.adversary_says_d = adversary.DecideD();
-        // The adversary tracks belief in D; when training ran on D' its
-        // belief in the true dataset is the complement, but we always store
-        // belief in D so the Figure 6 distributions are comparable.
-        trial.final_belief_d = adversary.FinalBeliefD();
-        trial.max_belief_d = adversary.MaxBeliefD();
-        trial.local_sensitivities.reserve(run->steps.size());
-        trial.sigmas.reserve(run->steps.size());
-        for (const DpSgdStepRecord& step : run->steps) {
-          trial.local_sensitivities.push_back(step.local_sensitivity);
-          trial.sigmas.push_back(step.sigma);
-        }
-        if (test_set != nullptr && !test_set->empty()) {
-          trial.test_accuracy =
-              run->model.Accuracy(test_set->inputs, test_set->labels);
-        }
-
-        if (config.trace_store != nullptr) {
-          TrialTrace& recorded = trace.trials[rep];
-          recorded.trained_on_d = trial.trained_on_d;
-          recorded.adversary_says_d = trial.adversary_says_d;
-          recorded.final_belief_d = trial.final_belief_d;
-          recorded.max_belief_d = trial.max_belief_d;
-          recorded.test_accuracy = trial.test_accuracy;
-          recorded.belief_history = adversary.BeliefHistory();
-          const std::vector<double>& log_d = adversary.StepLogDensitiesD();
-          const std::vector<double>& log_dp =
-              adversary.StepLogDensitiesDPrime();
-          recorded.steps.resize(run->steps.size());
-          for (size_t i = 0; i < run->steps.size(); ++i) {
-            StepTraceRecord& step = recorded.steps[i];
-            const DpSgdStepRecord& record = run->steps[i];
-            step.clip_norm = record.clip_norm;
-            step.local_sensitivity = record.local_sensitivity;
-            step.sensitivity_used = record.sensitivity_used;
-            step.sigma = record.sigma;
-            step.log_density_d = i < log_d.size() ? log_d[i] : 0.0;
-            step.log_density_dprime = i < log_dp.size() ? log_dp[i] : 0.0;
-            // history[0] is the prior, history[i+1] the belief after step i.
-            step.belief_d = i + 1 < recorded.belief_history.size()
-                                ? recorded.belief_history[i + 1]
-                                : recorded.final_belief_d;
-          }
-        }
-      });
+  // Trials are heavyweight; grain 1 gives the dynamic dispatcher maximal
+  // freedom to balance them across the shared pool.
+  ThreadPool::ParallelForChunked(live, threads, /*grain=*/1, [&](size_t i) {
+    const size_t rep = replayed + i;
+    trial_status[i] = RunDiTrial(
+        architecture, d, d_prime, trial_config, rep, &summary.trials[rep],
+        config.trace_store != nullptr ? &trace.trials[rep] : nullptr,
+        test_set);
+  });
 
   for (const Status& st : trial_status) {
     if (!st.ok()) return st;

@@ -18,6 +18,7 @@
 namespace dpaudit {
 
 class TraceStore;
+struct TrialTrace;
 
 struct DiExperimentConfig {
   DpSgdConfig dpsgd;
@@ -76,9 +77,28 @@ struct DiExperimentSummary {
   std::vector<double> TestAccuracies() const;
 };
 
+/// Runs repetition `rep` of the experiment: one weight init, one DPSGD run
+/// observed by A_DI, one decision. The result is a pure function of
+/// (architecture, d, d_prime, config, rep) — per-trial randomness comes from
+/// Rng(config.seed).Split(rep), so it does NOT depend on config.repetitions,
+/// on which thread runs the trial, or on how many trials run around it.
+/// That independence is what makes flattened sweep scheduling
+/// (core/sweep_scheduler.h) and trace prefix reuse (core/trace.h) sound.
+/// Fills `*trial`; when `record` is non-null, also fills the step-trace
+/// record for the cache. Callers are expected to resolve
+/// config.dpsgd.threads (0 means "let RunDpSgd pick") before fanning trials
+/// out, so nested parallelism stays within one budget.
+Status RunDiTrial(const Network& architecture, const Dataset& d,
+                  const Dataset& d_prime, const DiExperimentConfig& config,
+                  size_t rep, DiTrialResult* trial, TrialTrace* record,
+                  const Dataset* test_set = nullptr);
+
 /// Runs the repeated experiment. `test_set`, when non-null, is evaluated on
 /// every trial's final model (Figure 7). Trials are deterministic given
-/// `config.seed` regardless of thread count.
+/// `config.seed` regardless of thread count. With a trace store configured,
+/// a cached recording with at least config.repetitions trials replays
+/// bit-identically; a shorter recording replays as a prefix and only the
+/// missing repetitions train live (the extended trace is saved back).
 StatusOr<DiExperimentSummary> RunDiExperiment(const Network& architecture,
                                               const Dataset& d,
                                               const Dataset& d_prime,

@@ -1,0 +1,268 @@
+#include "core/sweep_scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "core/trace.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace dpaudit {
+namespace {
+
+// Mutable per-cell state of one flattened sweep. Prep runs under the
+// once_flag on whichever thread claims one of the cell's trials first;
+// call_once publishes every field it writes to the other trial tasks.
+struct CellRun {
+  const SweepCell* cell = nullptr;
+  TraceStore* store = nullptr;  // effective store (options override applied)
+
+  std::once_flag once;
+  Status prep_status = Status::Ok();
+  DiExperimentConfig config;  // configured copy, dpsgd.threads resolved
+  TraceFingerprint key;
+  ExperimentTrace trace;
+  bool record = false;   // trace.trials collects this run for Save()
+  size_t replayed = 0;   // leading trials replayed from the cache
+  DiExperimentSummary summary;
+  std::vector<Status> trial_status;
+};
+
+// Lazy per-cell setup: deferred calibration, validation, trace-cache probe,
+// prefix replay. Runs inside the trial task set, so a later cell's (often
+// expensive) calibration overlaps earlier cells' training instead of
+// serializing the sweep.
+void PrepareCell(size_t inner_threads, CellRun* run) {
+  DPAUDIT_SPAN("sweep_cell_prep");
+  const SweepCell& cell = *run->cell;
+  run->config = cell.config;
+  if (cell.configure) {
+    Status st = cell.configure(&run->config);
+    if (!st.ok()) {
+      run->prep_status = st;
+      return;
+    }
+    if (run->config.repetitions != cell.config.repetitions) {
+      run->prep_status = Status::InvalidArgument(
+          "SweepCell::configure must not change repetitions");
+      return;
+    }
+  }
+  Status valid = run->config.dpsgd.Validate();
+  if (!valid.ok()) {
+    run->prep_status = valid;
+    return;
+  }
+  if (run->config.dpsgd.threads == 0) {
+    // The flattened grid saturates the pool with trials, so each trial's
+    // gradient engine gets a nested budget of threads/threads = 1.
+    run->config.dpsgd.threads = NestedThreadBudget(inner_threads,
+                                                   inner_threads);
+  }
+
+  const size_t reps = run->config.repetitions;
+  run->summary.trials.resize(reps);
+  run->trial_status.assign(reps, Status::Ok());
+
+  if (run->store == nullptr) return;
+  run->key = FingerprintExperiment(*cell.architecture, *cell.d,
+                                   *cell.d_prime, run->config,
+                                   cell.test_set);
+  StatusOr<ExperimentTrace> cached = run->store->Load(run->key);
+  if (cached.ok()) {
+    run->replayed = std::min(cached->trials.size(), reps);
+    if (cached->trials.size() < reps) {
+      // Shorter recording: keep it as the prefix of this run's trace and
+      // train only the tail (the prefix-extensible contract, core/trace.h).
+      run->trace.trials = std::move(cached->trials);
+      DPAUDIT_LOG(INFO) << "trace " << run->key.ToHex() << " replays "
+                        << run->replayed << "/" << reps
+                        << " repetitions; extending";
+    }
+    const std::vector<TrialTrace>& source =
+        run->trace.trials.empty() ? cached->trials : run->trace.trials;
+    for (size_t i = 0; i < run->replayed; ++i) {
+      run->summary.trials[i] = ToTrialResult(source[i]);
+    }
+  } else if (cached.status().code() != StatusCode::kNotFound) {
+    DPAUDIT_LOG(WARNING) << "ignoring unreadable trace " << run->key.ToHex()
+                         << ": " << cached.status().message();
+  }
+  if (run->replayed < reps) {
+    run->trace.fingerprint = run->key;
+    run->trace.trials.resize(reps);
+    run->record = true;
+  }
+}
+
+void CountSweepMetrics(const SweepStats& stats) {
+  DPAUDIT_METRIC_COUNT("dpaudit_sweep_cells_total", stats.cells);
+  DPAUDIT_METRIC_COUNT("dpaudit_sweep_trace_full_hits_total",
+                       stats.trace_full_hits);
+  DPAUDIT_METRIC_COUNT("dpaudit_sweep_trace_prefix_hits_total",
+                       stats.trace_prefix_hits);
+  DPAUDIT_METRIC_COUNT("dpaudit_sweep_trace_misses_total",
+                       stats.trace_misses);
+  DPAUDIT_METRIC_COUNT("dpaudit_sweep_trials_replayed_total",
+                       stats.trials_replayed);
+  DPAUDIT_METRIC_COUNT("dpaudit_sweep_trials_trained_total",
+                       stats.trials_trained);
+}
+
+TraceStore* EffectiveStore(const SweepOptions& options,
+                           const SweepCell& cell) {
+  return options.trace_store != nullptr ? options.trace_store
+                                        : cell.config.trace_store;
+}
+
+std::vector<StatusOr<DiExperimentSummary>> RunSweepPerCell(
+    const std::vector<SweepCell>& cells, const SweepOptions& options,
+    size_t threads, SweepStats* stats) {
+  std::vector<StatusOr<DiExperimentSummary>> results;
+  results.reserve(cells.size());
+  for (const SweepCell& cell : cells) {
+    DiExperimentConfig config = cell.config;
+    if (cell.configure) {
+      Status st = cell.configure(&config);
+      if (!st.ok()) {
+        results.emplace_back(st);
+        continue;
+      }
+    }
+    config.trace_store = EffectiveStore(options, cell);
+    config.threads = threads;
+    const TraceCacheCounters before = GetTraceCacheCounters();
+    results.push_back(RunDiExperiment(*cell.architecture, *cell.d,
+                                      *cell.d_prime, config, cell.test_set));
+    if (stats != nullptr && results.back().ok()) {
+      const TraceCacheCounters after = GetTraceCacheCounters();
+      const bool hit = after.hits > before.hits;
+      if (config.trace_store != nullptr) {
+        if (hit) {
+          ++stats->trace_full_hits;  // full or prefix; per-cell path cannot
+                                     // tell without re-probing — close enough
+                                     // for the reference mode
+        } else {
+          ++stats->trace_misses;
+        }
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace
+
+std::vector<StatusOr<DiExperimentSummary>> RunSweep(
+    const std::vector<SweepCell>& cells, const SweepOptions& options,
+    SweepStats* stats) {
+  DPAUDIT_SPAN("sweep_schedule");
+  const size_t threads =
+      options.threads == 0 ? DefaultThreadCount() : options.threads;
+  SweepStats local;
+  local.cells = cells.size();
+
+  if (options.mode == SweepMode::kPerCell) {
+    auto results = RunSweepPerCell(cells, options, threads, &local);
+    CountSweepMetrics(local);
+    if (stats != nullptr) *stats = local;
+    return results;
+  }
+
+  // Flattened grid: cell i owns flat indices [offset[i], offset[i] + reps_i).
+  // Repetition counts come from the static configs — configure may not
+  // change them — so the grid is fully shaped before any cell runs.
+  std::vector<CellRun> runs(cells.size());
+  std::vector<size_t> offset(cells.size() + 1, 0);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    runs[i].cell = &cells[i];
+    runs[i].store = EffectiveStore(options, cells[i]);
+    offset[i + 1] = offset[i] + cells[i].config.repetitions;
+  }
+  const size_t total = offset.back();
+
+  ThreadPool::ParallelForChunked(total, threads, /*grain=*/1,
+                                 [&](size_t flat) {
+    // flat -> (cell, rep). Cells are few; binary search keeps the map O(log).
+    const size_t c = static_cast<size_t>(
+        std::upper_bound(offset.begin(), offset.end(), flat) -
+        offset.begin()) - 1;
+    const size_t rep = flat - offset[c];
+    CellRun& run = runs[c];
+    std::call_once(run.once, [&] { PrepareCell(threads, &run); });
+    if (!run.prep_status.ok() || rep < run.replayed) return;
+    // A worker hopping to a different cell than its previous trial is the
+    // work-stealing event worth counting: it means dynamic dispatch moved
+    // idle capacity across a former cell barrier.
+    thread_local const void* last_cell = nullptr;
+    if (last_cell != static_cast<const void*>(&run)) {
+      if (last_cell != nullptr) {
+        DPAUDIT_METRIC_COUNT("dpaudit_sweep_cell_switches_total", 1);
+      }
+      last_cell = static_cast<const void*>(&run);
+    }
+    run.trial_status[rep] = RunDiTrial(
+        *run.cell->architecture, *run.cell->d, *run.cell->d_prime,
+        run.config, rep, &run.summary.trials[rep],
+        run.record ? &run.trace.trials[rep] : nullptr, run.cell->test_set);
+  });
+
+  std::vector<StatusOr<DiExperimentSummary>> results;
+  results.reserve(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    CellRun& run = runs[i];
+    if (cells[i].config.repetitions == 0) {
+      // Zero-width cells never enter the grid, so prep never ran.
+      results.emplace_back(
+          Status::InvalidArgument("repetitions must be > 0"));
+      continue;
+    }
+    if (!run.prep_status.ok()) {
+      results.emplace_back(run.prep_status);
+      continue;
+    }
+    Status failed = Status::Ok();
+    for (const Status& st : run.trial_status) {
+      if (!st.ok()) {
+        failed = st;
+        break;
+      }
+    }
+    if (!failed.ok()) {
+      results.emplace_back(failed);
+      continue;
+    }
+    const size_t reps = run.config.repetitions;
+    if (run.record) {
+      DPAUDIT_SPAN("trace_record");
+      Status saved = run.store->Save(run.trace);
+      if (!saved.ok()) {
+        DPAUDIT_LOG(WARNING) << "cannot cache trace " << run.key.ToHex()
+                             << ": " << saved.message();
+      }
+    }
+    if (run.store != nullptr) {
+      if (run.replayed == reps) {
+        ++local.trace_full_hits;
+      } else if (run.replayed > 0) {
+        ++local.trace_prefix_hits;
+      } else {
+        ++local.trace_misses;
+      }
+    }
+    local.trials_replayed += run.replayed;
+    local.trials_trained += reps - run.replayed;
+    results.push_back(std::move(run.summary));
+  }
+
+  CountSweepMetrics(local);
+  if (stats != nullptr) *stats = local;
+  return results;
+}
+
+}  // namespace dpaudit

@@ -1,0 +1,96 @@
+// Flattened (cell x repetition) scheduling for audit sweeps.
+//
+// The paper's headline artifacts (Figures 8-10, Table 2) are sweeps: a grid
+// of (epsilon, sensitivity-mode) cells, each repeating Exp^DI dozens of
+// times. Running the cells sequentially puts a full barrier at every cell
+// boundary — the machine idles behind each cell's slowest trial. RunSweep
+// instead flattens the whole grid into one task set of trials dispatched
+// dynamically on the shared persistent pool (util/thread_pool.h): trials
+// from cell N+1 start the moment workers free up, and per-cell setup
+// (deferred calibration, trace-cache probing, prefix replay) runs lazily on
+// whichever worker reaches the cell first, overlapped with earlier cells'
+// trials.
+//
+// Determinism: trial r of a cell is a pure function of the cell's inputs and
+// r (see RunDiTrial), and results are reduced into per-cell summary slots by
+// index, so the returned summaries are bit-identical to running
+// RunDiExperiment per cell — for any thread count, any dispatch order, and
+// any trace-cache state. SweepMode::kPerCell keeps the sequential reference
+// path selectable for A/B benchmarking and differential tests.
+
+#ifndef DPAUDIT_CORE_SWEEP_SCHEDULER_H_
+#define DPAUDIT_CORE_SWEEP_SCHEDULER_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/status.h"
+
+namespace dpaudit {
+
+class TraceStore;
+
+/// One cell of a sweep grid: which experiment to run, on what data. The
+/// pointed-to objects are borrowed and must outlive the RunSweep call.
+struct SweepCell {
+  const Network* architecture = nullptr;
+  const Dataset* d = nullptr;
+  const Dataset* d_prime = nullptr;
+  const Dataset* test_set = nullptr;  // optional, evaluated per trial
+
+  /// Static part of the experiment config. `repetitions` and `seed` must be
+  /// final here: the flattened trial grid is sized (and per-trial seeds are
+  /// derived) before `configure` runs.
+  DiExperimentConfig config;
+
+  /// Optional deferred setup — typically noise calibration through the RDP
+  /// accountant. Runs at most once per cell, on whichever thread reaches the
+  /// cell first, overlapped with earlier cells' trials. May adjust anything
+  /// in the config except `repetitions` (enforced) and should leave `seed`
+  /// alone (changing it forfeits cache hits, not correctness).
+  std::function<Status(DiExperimentConfig*)> configure;
+};
+
+enum class SweepMode {
+  /// One flattened (cell x repetition) grid, dynamic chunked dispatch on the
+  /// shared pool. The default.
+  kFlattened,
+  /// Sequential cells, ParallelFor within each — the pre-scheduler reference
+  /// path, kept for A/B benchmarking (DPAUDIT_SWEEP_MODE=percell) and the
+  /// bit-identity tests.
+  kPerCell,
+};
+
+struct SweepOptions {
+  size_t threads = 0;  // 0: DefaultThreadCount()
+  SweepMode mode = SweepMode::kFlattened;
+  /// When set, overrides every cell's config.trace_store — the sweep layer
+  /// resolves the store once (e.g. TraceStore::FromEnv()) instead of per
+  /// cell. nullptr falls back to each cell's own config.trace_store.
+  TraceStore* trace_store = nullptr;
+};
+
+/// What one sweep did, for logs and telemetry. Mirrored into the metrics
+/// registry as dpaudit_sweep_* counters.
+struct SweepStats {
+  size_t cells = 0;
+  size_t trace_full_hits = 0;    // cells replayed entirely from cache
+  size_t trace_prefix_hits = 0;  // cached prefix replayed, tail trained
+  size_t trace_misses = 0;       // cells trained from scratch (store set)
+  size_t trials_replayed = 0;
+  size_t trials_trained = 0;
+};
+
+/// Runs every cell and returns its summary (or error) in cell order. The
+/// summaries are bit-identical to calling RunDiExperiment per cell with the
+/// same configs — for any thread count, either mode, cold or warm cache.
+/// `stats`, when non-null, receives the per-sweep cache/trial accounting.
+std::vector<StatusOr<DiExperimentSummary>> RunSweep(
+    const std::vector<SweepCell>& cells, const SweepOptions& options = {},
+    SweepStats* stats = nullptr);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_CORE_SWEEP_SCHEDULER_H_

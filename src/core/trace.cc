@@ -54,7 +54,8 @@ constexpr char kTraceSuffix[] = ".dptrace";
 
 // Bump whenever the canonical fingerprint encoding or the trace payload
 // schema changes; old cache entries then simply stop matching/parsing.
-constexpr uint32_t kTraceSchemaVersion = 1;
+// v2: repetitions removed from the fingerprint (prefix-extensible traces).
+constexpr uint32_t kTraceSchemaVersion = 2;
 
 // Second FNV-1a offset basis (the standard basis with a flipped low byte)
 // so hi and lo are independent 64-bit streams over the same bytes.
@@ -152,8 +153,10 @@ TraceFingerprint FingerprintExperiment(const Network& architecture,
   wire::PutF64(bytes, dpsgd.clip_smoothing);
   PutBool(bytes, dpsgd.per_layer_clipping);
 
-  // Experiment-level knobs.
-  wire::PutU64(bytes, config.repetitions);
+  // Experiment-level knobs. config.repetitions is deliberately omitted:
+  // trial r depends only on (seed, r), so a shorter recording is a
+  // bit-identical prefix of a longer run and shares its key (the
+  // prefix-extensible contract in the header).
   wire::PutU64(bytes, config.seed);
   PutBool(bytes, config.randomize_challenge_bit);
   PutBool(bytes, config.reinitialize_weights);
@@ -177,23 +180,34 @@ TraceFingerprint FingerprintExperiment(const Network& architecture,
   return key;
 }
 
+DiTrialResult ToTrialResult(const TrialTrace& trace) {
+  DiTrialResult trial;
+  trial.trained_on_d = trace.trained_on_d;
+  trial.adversary_says_d = trace.adversary_says_d;
+  trial.final_belief_d = trace.final_belief_d;
+  trial.max_belief_d = trace.max_belief_d;
+  trial.test_accuracy = trace.test_accuracy;
+  trial.local_sensitivities.reserve(trace.steps.size());
+  trial.sigmas.reserve(trace.steps.size());
+  for (const StepTraceRecord& step : trace.steps) {
+    trial.local_sensitivities.push_back(step.local_sensitivity);
+    trial.sigmas.push_back(step.sigma);
+  }
+  return trial;
+}
+
 DiExperimentSummary ExperimentTrace::ToSummary() const {
+  return ToSummaryPrefix(trials.size());
+}
+
+DiExperimentSummary ExperimentTrace::ToSummaryPrefix(
+    size_t repetitions) const {
+  DPAUDIT_CHECK(repetitions <= trials.size())
+      << "prefix of " << repetitions << " from a trace of " << trials.size();
   DiExperimentSummary summary;
-  summary.trials.resize(trials.size());
-  for (size_t i = 0; i < trials.size(); ++i) {
-    const TrialTrace& trace = trials[i];
-    DiTrialResult& trial = summary.trials[i];
-    trial.trained_on_d = trace.trained_on_d;
-    trial.adversary_says_d = trace.adversary_says_d;
-    trial.final_belief_d = trace.final_belief_d;
-    trial.max_belief_d = trace.max_belief_d;
-    trial.test_accuracy = trace.test_accuracy;
-    trial.local_sensitivities.reserve(trace.steps.size());
-    trial.sigmas.reserve(trace.steps.size());
-    for (const StepTraceRecord& step : trace.steps) {
-      trial.local_sensitivities.push_back(step.local_sensitivity);
-      trial.sigmas.push_back(step.sigma);
-    }
+  summary.trials.resize(repetitions);
+  for (size_t i = 0; i < repetitions; ++i) {
+    summary.trials[i] = ToTrialResult(trials[i]);
   }
   return summary;
 }

@@ -15,12 +15,21 @@
 //
 // Fingerprint contract: the key hashes the full DpSgdConfig (minus the
 // thread count — results are thread-invariant by the gradient engine's
-// determinism contract), the experiment repetitions/seed/challenge flags,
-// the network architecture (description, parameter count, and current
-// parameter values, which seed theta_0 when reinitialize_weights is false),
-// and content digests of D, D', and the optional test set. Any change to any
-// of these produces a different key, so a stale cache can never be replayed
-// against new inputs.
+// determinism contract), the experiment seed/challenge flags, the network
+// architecture (description, parameter count, and current parameter values,
+// which seed theta_0 when reinitialize_weights is false), and content
+// digests of D, D', and the optional test set. Any change to any of these
+// produces a different key, so a stale cache can never be replayed against
+// new inputs.
+//
+// The repetition count is deliberately NOT part of the key: trial r is a
+// pure function of (inputs above, r) via Rng::Split, so a recording with R
+// trials is a bit-identical prefix of any run with R' >= R repetitions.
+// Traces are therefore prefix-extensible — RunDiExperiment replays the
+// cached prefix, trains only the missing tail, and saves the extended
+// recording under the same key. Concurrent writers of the same key may race
+// recordings of different lengths; Save is atomic (write + rename), every
+// length is a valid prefix, and the last rename wins.
 
 #ifndef DPAUDIT_CORE_TRACE_H_
 #define DPAUDIT_CORE_TRACE_H_
@@ -85,7 +94,16 @@ struct ExperimentTrace {
   /// summary — and every epsilon' estimator computed from it — is
   /// bit-identical to the recording run.
   DiExperimentSummary ToSummary() const;
+
+  /// ToSummary() restricted to the first `repetitions` trials (which must
+  /// not exceed trials.size()): exactly the summary a live run with that
+  /// repetition count would have produced, by the prefix property of the
+  /// fingerprint contract above.
+  DiExperimentSummary ToSummaryPrefix(size_t repetitions) const;
 };
+
+/// Reconstructs the DiTrialResult one recorded repetition replays to.
+DiTrialResult ToTrialResult(const TrialTrace& trial);
 
 /// Process-wide trace-cache activity, mirrored into the obs metrics registry
 /// (dpaudit_trace_cache_{hits,misses,corrupt,evictions}_total). Counted

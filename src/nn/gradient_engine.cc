@@ -22,7 +22,13 @@ GradientEngine::GradientEngine(const Network& architecture, Options options)
   }
   workspaces_.resize(threads_);
   slots_.resize(threads_ == 1 ? 1 : threads_ * chunk_);
-  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+  // Worker-affine state (per-worker model replicas and workspaces indexed by
+  // worker id) needs a dedicated pool with a stable width; the shared pool's
+  // width is a process-global setting. One pool per engine, reused across
+  // every wave of the training run — not per-call churn.
+  if (threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(threads_);  // NOLINT(dpaudit-raw-pool)
+  }
 }
 
 void GradientEngine::SyncParams(const Network& source) {

@@ -89,11 +89,19 @@ void PoolRecordTaskNs(uint64_t queue_ns, uint64_t execute_ns) {
   execute_us.Record(static_cast<double>(execute_ns) * 1e-3);
 }
 
+void PoolRecordQueueDepth(size_t depth) {
+  static DistributionMetric& queue_depth =
+      MetricsRegistry::Global().GetDistribution("dpaudit_pool_queue_depth",
+                                                0.0, 4096.0, 128);
+  queue_depth.Record(static_cast<double>(depth));
+}
+
 constexpr ThreadPoolTelemetryHooks kPoolHooks = {
     &PoolCaptureContext,
     &PoolEnterContext,
     &PoolExitContext,
     &PoolRecordTaskNs,
+    &PoolRecordQueueDepth,
 };
 
 // ---------------------------------------------------------------------------

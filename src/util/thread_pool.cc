@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
 
 #include "util/env.h"
 #include "util/logging.h"
@@ -51,13 +52,19 @@ void ThreadPool::Schedule(std::function<void()> fn) {
     task.context = task.hooks->capture_context();
     task.enqueue_ns = PoolNowNs();
   }
+  const ThreadPoolTelemetryHooks* hooks = task.hooks;
+  size_t depth = 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
     DPAUDIT_CHECK(!shutting_down_) << "Schedule() after shutdown";
     queue_.push(std::move(task));
     ++in_flight_;
+    depth = queue_.size();
   }
   work_available_.notify_one();
+  if (hooks != nullptr && hooks->record_queue_depth != nullptr) {
+    hooks->record_queue_depth(depth);
+  }
 }
 
 void ThreadPool::Wait() {
@@ -98,18 +105,79 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+namespace {
+
+// Shared state of one ParallelFor region. Held by shared_ptr: a runner task
+// that wakes after the region completed (every chunk already claimed) only
+// touches the atomic cursor and returns, so the caller may leave the region
+// while late runners still hold a reference.
+struct ParallelForState {
+  std::function<void(size_t)> fn;
+  size_t n = 0;
+  size_t grain = 1;
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done;
+  size_t completed = 0;  // guarded by mu
+};
+
+// Self-scheduling loop: claim `grain` consecutive indices from the shared
+// cursor, run them, repeat until the range is exhausted. Both the pool
+// runners and the calling thread execute this, so the region always makes
+// progress even when every pool worker is busy elsewhere (nested regions).
+void DrainParallelFor(const std::shared_ptr<ParallelForState>& state) {
+  for (;;) {
+    const size_t begin =
+        state->next.fetch_add(state->grain, std::memory_order_relaxed);
+    if (begin >= state->n) return;
+    const size_t end = std::min(state->n, begin + state->grain);
+    for (size_t i = begin; i < end; ++i) state->fn(i);
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->completed += end - begin;
+    if (state->completed == state->n) state->done.notify_all();
+  }
+}
+
+}  // namespace
+
 void ThreadPool::ParallelFor(size_t n, size_t num_threads,
                              const std::function<void(size_t)>& fn) {
+  ParallelForChunked(n, num_threads, /*grain=*/0, fn);
+}
+
+void ThreadPool::ParallelForChunked(size_t n, size_t num_threads, size_t grain,
+                                    const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   if (num_threads <= 1 || n == 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  ThreadPool pool(std::min(num_threads, n));
-  for (size_t i = 0; i < n; ++i) {
-    pool.Schedule([&fn, i] { fn(i); });
+  ThreadPool& pool = SharedThreadPool();
+  auto state = std::make_shared<ParallelForState>();
+  state->fn = fn;
+  state->n = n;
+  const size_t width = std::min(num_threads, n);
+  // Auto grain: ~4 chunks per participant balances cursor traffic against
+  // tail imbalance for cheap bodies; callers with heavyweight bodies pass 1.
+  state->grain = grain > 0 ? grain : std::max<size_t>(1, n / (4 * width));
+  // The caller drains chunks too, so schedule one runner fewer than the
+  // width; extra runners beyond the pool size would only queue up behind
+  // each other.
+  const size_t runners = std::min(width - 1, pool.num_threads());
+  for (size_t r = 0; r < runners; ++r) {
+    pool.Schedule([state] { DrainParallelFor(state); });
   }
-  pool.Wait();
+  DrainParallelFor(state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&] { return state->completed == state->n; });
+}
+
+ThreadPool& SharedThreadPool() {
+  // Meyers singleton: constructed at first parallel region, joined at static
+  // destruction (a leaked pool would trip LeakSanitizer and leave detached
+  // threads racing static teardown under TSan).
+  static ThreadPool pool(DefaultThreadCount());
+  return pool;
 }
 
 size_t DefaultThreadCount() {

@@ -34,6 +34,10 @@ struct ThreadPoolTelemetryHooks {
   /// Called on the worker after each task with its queue-wait and execution
   /// time in nanoseconds.
   void (*record_task_ns)(uint64_t queue_ns, uint64_t execute_ns);
+  /// Called on the scheduling thread right after each enqueue with the queue
+  /// length it observed (the task itself included), so exports can show how
+  /// far ahead of the workers the schedulers run.
+  void (*record_queue_depth)(size_t depth);
 };
 
 /// Installs (or, with nullptr, removes) the process-wide hooks. The struct
@@ -60,10 +64,29 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  /// `fn` must be safe to invoke concurrently for distinct i.
+  /// Runs fn(i) for i in [0, n) and waits for completion. `fn` must be safe
+  /// to invoke concurrently for distinct i.
+  ///
+  /// Dispatches dynamically sized chunks of the index range on the shared
+  /// persistent pool (SharedThreadPool()) instead of spawning a pool per
+  /// call; `num_threads` caps how many workers participate in THIS loop, not
+  /// how many threads exist. The calling thread claims chunks alongside the
+  /// workers, which (a) removes one scheduled task of latency and (b) makes
+  /// nested calls — a ParallelFor issued from inside a pool task — deadlock
+  /// free: the inner caller can always drain its own range even when every
+  /// worker is busy. num_threads <= 1 (or n == 1) runs inline, in order, on
+  /// the caller.
   static void ParallelFor(size_t n, size_t num_threads,
                           const std::function<void(size_t)>& fn);
+
+  /// ParallelFor with an explicit chunk size: workers repeatedly claim
+  /// `grain` consecutive indices from a shared cursor (work stealing in the
+  /// self-scheduling sense — an idle worker takes the next chunk no matter
+  /// which conceptual "cell" it belongs to). grain = 0 picks a default that
+  /// amortizes the cursor contention for cheap bodies; heavyweight bodies
+  /// (experiment trials) should pass grain = 1 for maximal balance.
+  static void ParallelForChunked(size_t n, size_t num_threads, size_t grain,
+                                 const std::function<void(size_t)>& fn);
 
  private:
   struct Task {
@@ -83,6 +106,16 @@ class ThreadPool {
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
 };
+
+/// The process-wide persistent pool every ParallelFor (and the sweep
+/// scheduler, core/sweep_scheduler.h) dispatches on. Created on first use
+/// with DefaultThreadCount() workers — so DPAUDIT_THREADS is read once, at
+/// the first parallel region — and torn down at static destruction, joining
+/// all workers (no leaked threads under LeakSanitizer). Do not construct
+/// ThreadPool directly outside util/ (enforced by the dpaudit-raw-pool lint
+/// rule); schedule through this instance so the process never pays per-call
+/// thread spawn/join and never oversubscribes the machine with rival pools.
+ThreadPool& SharedThreadPool();
 
 /// Number of workers to use by default: hardware concurrency clamped to
 /// [1, 16] so experiment binaries behave on small containers. The

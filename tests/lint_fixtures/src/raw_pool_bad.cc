@@ -1,0 +1,20 @@
+// Fixture: dpaudit-raw-pool must flag direct ThreadPool construction —
+// stack instances, temporaries, and heap allocation all spawn/join a private
+// worker set instead of reusing the shared pool.
+#include <memory>
+
+#include "util/thread_pool.h"
+
+namespace dpaudit {
+void ChurnsAStackPool() {
+  ThreadPool pool(4);
+  pool.Wait();
+}
+
+void ChurnsAHeapPool() {
+  auto owned = std::make_unique<ThreadPool>(8);
+  ThreadPool* leaked = new ThreadPool(2);
+  (void)owned;
+  (void)leaked;
+}
+}  // namespace dpaudit

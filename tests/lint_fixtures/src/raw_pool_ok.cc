@@ -1,0 +1,29 @@
+// Fixture: compliant pool use — static ParallelFor entry points, the shared
+// singleton, references/pointers, and a justified NOLINT escape for the one
+// legitimate dedicated-pool owner pattern.
+#include <cstddef>
+#include <memory>
+
+#include "util/thread_pool.h"
+
+namespace dpaudit {
+void FanOut(size_t n) {
+  ThreadPool::ParallelFor(n, 4, [](size_t) {});
+  ThreadPool& pool = SharedThreadPool();
+  pool.Wait();
+}
+
+void Borrow(ThreadPool& pool, const ThreadPool* observer) {
+  (void)pool;
+  (void)observer;
+}
+
+struct PoolOwner {
+  std::unique_ptr<ThreadPool> pool;  // holding a pointer is not construction
+
+  PoolOwner() {
+    // Worker-affine replicas need a dedicated pool with a stable width.
+    pool = std::make_unique<ThreadPool>(4);  // NOLINT(dpaudit-raw-pool)
+  }
+};
+}  // namespace dpaudit

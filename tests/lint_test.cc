@@ -49,6 +49,7 @@ const FixtureCase kFixtureCases[] = {
      "include_guard_ok.h"},
     {"dpaudit-banned-fn", "banned_fn_bad.cc", "banned_fn_ok.cc"},
     {"dpaudit-raw-thread", "raw_thread_bad.cc", "raw_thread_ok.cc"},
+    {"dpaudit-raw-pool", "raw_pool_bad.cc", "raw_pool_ok.cc"},
 };
 
 TEST(LintFixtures, EveryBadFixtureIsFlaggedByExactlyItsRule) {
@@ -97,7 +98,7 @@ TEST(LintFixtures, EveryRuleHasAFixture) {
     EXPECT_EQ(covered.count(rule.name), 1u)
         << rule.name << " has no fixture pair";
   }
-  EXPECT_EQ(AllRules().size(), 8u);
+  EXPECT_EQ(AllRules().size(), 9u);
 }
 
 TEST(LintEngine, RuleFilterRunsOnlyRequestedRules) {

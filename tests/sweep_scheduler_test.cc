@@ -1,0 +1,221 @@
+// Determinism and cache tests for the flattened sweep scheduler: the
+// flattened (cell x repetition) dispatch must produce bit-identical
+// AuditSweepRow vectors vs the sequential per-cell reference path, for any
+// DPAUDIT_THREADS, cold and warm trace cache.
+
+#include "core/sweep_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_audit_sweep.h"
+#include "core/trace.h"
+
+namespace dpaudit {
+namespace {
+
+/// Fresh per-test cache directory under gtest's temp dir.
+class ScopedCacheDir {
+ public:
+  explicit ScopedCacheDir(const std::string& name)
+      : path_(::testing::TempDir() + "/dpaudit_sweep_" + name) {
+    std::filesystem::remove_all(path_);
+  }
+  ~ScopedCacheDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+bench::BenchParams TinyParams() {
+  bench::BenchParams params;
+  params.reps = 8;
+  params.mnist_n = 8;
+  params.purchase_n = 8;
+  params.epochs = 3;
+  params.seed = 42;
+  return params;
+}
+
+void ExpectRowsBitIdentical(const std::vector<bench::AuditSweepRow>& expected,
+                            const std::vector<bench::AuditSweepRow>& got) {
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    const bench::AuditSweepRow& a = expected[i];
+    const bench::AuditSweepRow& b = got[i];
+    EXPECT_EQ(a.dataset, b.dataset) << "row " << i;
+    EXPECT_EQ(a.target_epsilon, b.target_epsilon) << "row " << i;
+    EXPECT_EQ(a.sensitivity, b.sensitivity) << "row " << i;
+    // Bit-identity: exact double equality on every estimator, no tolerance.
+    EXPECT_EQ(a.report.epsilon_from_sensitivities,
+              b.report.epsilon_from_sensitivities)
+        << "row " << i;
+    EXPECT_EQ(a.report.epsilon_from_belief, b.report.epsilon_from_belief)
+        << "row " << i;
+    EXPECT_EQ(a.report.epsilon_from_advantage,
+              b.report.epsilon_from_advantage)
+        << "row " << i;
+    EXPECT_EQ(a.advantage, b.advantage) << "row " << i;
+    EXPECT_EQ(a.repetitions, b.repetitions) << "row " << i;
+    EXPECT_EQ(a.wins, b.wins) << "row " << i;
+  }
+}
+
+class SweepSchedulerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // TraceStore::FromEnv() latches on first use; every test here passes
+    // explicit stores, and the mode comes in explicitly too.
+    unsetenv("DPAUDIT_TRACE_CACHE");
+    unsetenv("DPAUDIT_SWEEP_MODE");
+  }
+  void TearDown() override { unsetenv("DPAUDIT_THREADS"); }
+};
+
+TEST_F(SweepSchedulerTest, FlattenedMatchesSequentialAcrossThreadsAndCache) {
+  bench::BenchParams params = TinyParams();
+  bench::Task task = bench::MakeMnistTask(params);
+
+  // Reference: the sequential per-cell path, single-threaded, no cache.
+  setenv("DPAUDIT_THREADS", "1", 1);
+  std::vector<bench::AuditSweepRow> reference = bench::RunAuditSweep(
+      params, task, /*reps_override=*/4, /*store=*/nullptr,
+      SweepMode::kPerCell);
+  ASSERT_EQ(reference.size(), 8u);  // 4 epsilons x {LS, GS}
+
+  for (const char* threads : {"1", "4", "13"}) {
+    SCOPED_TRACE(std::string("DPAUDIT_THREADS=") + threads);
+    setenv("DPAUDIT_THREADS", threads, 1);
+    ScopedCacheDir cache(std::string("threads_") + threads);
+    TraceStore store(cache.path());
+
+    // Cold cache: every cell trains through the flattened grid.
+    std::vector<bench::AuditSweepRow> cold = bench::RunAuditSweep(
+        params, task, /*reps_override=*/4, &store, SweepMode::kFlattened);
+    ExpectRowsBitIdentical(reference, cold);
+
+    // Warm cache: every cell replays.
+    std::vector<bench::AuditSweepRow> warm = bench::RunAuditSweep(
+        params, task, /*reps_override=*/4, &store, SweepMode::kFlattened);
+    ExpectRowsBitIdentical(reference, warm);
+
+    // The sequential path reads the scheduler's recordings compatibly.
+    std::vector<bench::AuditSweepRow> percell = bench::RunAuditSweep(
+        params, task, /*reps_override=*/4, &store, SweepMode::kPerCell);
+    ExpectRowsBitIdentical(reference, percell);
+  }
+}
+
+TEST_F(SweepSchedulerTest, FlattenedSweepExtendsCachedPrefixes) {
+  bench::BenchParams params = TinyParams();
+  bench::Task task = bench::MakeMnistTask(params);
+  setenv("DPAUDIT_THREADS", "4", 1);
+  ScopedCacheDir cache("prefix");
+  TraceStore store(cache.path());
+
+  // Record 3 repetitions per cell, then ask for 6: the cached prefixes
+  // replay and only the tails train (prefix-extensible traces).
+  bench::RunAuditSweep(params, task, /*reps_override=*/3, &store,
+                       SweepMode::kFlattened);
+  std::vector<bench::AuditSweepRow> extended = bench::RunAuditSweep(
+      params, task, /*reps_override=*/6, &store, SweepMode::kFlattened);
+
+  setenv("DPAUDIT_THREADS", "1", 1);
+  std::vector<bench::AuditSweepRow> reference = bench::RunAuditSweep(
+      params, task, /*reps_override=*/6, /*store=*/nullptr,
+      SweepMode::kPerCell);
+  ExpectRowsBitIdentical(reference, extended);
+}
+
+TEST_F(SweepSchedulerTest, ReportsCacheOutcomesInStats) {
+  bench::BenchParams params = TinyParams();
+  bench::Task task = bench::MakeMnistTask(params);
+  setenv("DPAUDIT_THREADS", "4", 1);
+  ScopedCacheDir cache("stats");
+  TraceStore store(cache.path());
+
+  auto make_cell = [&](double epsilon) {
+    SweepCell cell;
+    cell.architecture = &task.architecture;
+    cell.d = &task.d;
+    cell.d_prime = &task.d_prime_bounded;
+    cell.config = bench::MakeScenarioConfig(params, task, epsilon,
+                                            SensitivityMode::kLocalHat,
+                                            NeighborMode::kBounded);
+    cell.config.repetitions = 2;
+    return cell;
+  };
+  std::vector<SweepCell> cells = {make_cell(1.1), make_cell(2.2)};
+  SweepOptions options;
+  options.trace_store = &store;
+
+  SweepStats stats;
+  auto cold = RunSweep(cells, options, &stats);
+  ASSERT_TRUE(cold[0].ok());
+  ASSERT_TRUE(cold[1].ok());
+  EXPECT_EQ(stats.cells, 2u);
+  EXPECT_EQ(stats.trace_misses, 2u);
+  EXPECT_EQ(stats.trials_trained, 4u);
+  EXPECT_EQ(stats.trials_replayed, 0u);
+
+  auto warm = RunSweep(cells, options, &stats);
+  ASSERT_TRUE(warm[0].ok());
+  EXPECT_EQ(stats.trace_full_hits, 2u);
+  EXPECT_EQ(stats.trials_replayed, 4u);
+  EXPECT_EQ(stats.trials_trained, 0u);
+
+  // Raising the repetition count turns both into prefix hits.
+  cells[0].config.repetitions = 3;
+  cells[1].config.repetitions = 3;
+  auto bigger = RunSweep(cells, options, &stats);
+  ASSERT_TRUE(bigger[0].ok());
+  EXPECT_EQ(stats.trace_prefix_hits, 2u);
+  EXPECT_EQ(stats.trials_replayed, 4u);
+  EXPECT_EQ(stats.trials_trained, 2u);
+}
+
+TEST_F(SweepSchedulerTest, SurfacesPerCellErrors) {
+  bench::BenchParams params = TinyParams();
+  bench::Task task = bench::MakeMnistTask(params);
+  setenv("DPAUDIT_THREADS", "4", 1);
+
+  SweepCell good;
+  good.architecture = &task.architecture;
+  good.d = &task.d;
+  good.d_prime = &task.d_prime_bounded;
+  good.config = bench::MakeScenarioConfig(params, task, 1.1,
+                                          SensitivityMode::kLocalHat,
+                                          NeighborMode::kBounded);
+  good.config.repetitions = 2;
+
+  SweepCell bad_configure = good;
+  bad_configure.configure = [](DiExperimentConfig*) {
+    return Status::InvalidArgument("calibration failed");
+  };
+
+  SweepCell mutates_reps = good;
+  mutates_reps.configure = [](DiExperimentConfig* config) {
+    config->repetitions += 1;
+    return Status::Ok();
+  };
+
+  SweepCell zero_reps = good;
+  zero_reps.config.repetitions = 0;
+
+  std::vector<SweepCell> cells = {good, bad_configure, mutates_reps,
+                                  zero_reps};
+  auto results = RunSweep(cells);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].ok()) << results[0].status();
+  EXPECT_EQ(results[1].status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(results[2].status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(results[3].status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dpaudit

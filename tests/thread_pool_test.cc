@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "util/random.h"
@@ -80,6 +81,53 @@ TEST(ParallelForTest, SeededFanOutIsThreadCountInvariant) {
     return out;
   };
   EXPECT_EQ(run(1), run(8));
+}
+
+TEST(ParallelForTest, ChunkedCoversEveryIndexExactlyOnce) {
+  // Any grain — including auto (0) and grain > n — claims each index once.
+  for (size_t grain : {size_t{0}, size_t{1}, size_t{7}, size_t{2000}}) {
+    std::vector<std::atomic<int>> hits(1000);
+    ThreadPool::ParallelForChunked(1000, 8, grain, [&hits](size_t i) {
+      hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1) << "grain " << grain;
+  }
+}
+
+TEST(ParallelForTest, NestedParallelForCompletes) {
+  // Inner regions issued from pool workers drain on the same shared pool
+  // without deadlock: the calling thread claims chunks itself, so progress
+  // never depends on a free worker.
+  std::atomic<int> count{0};
+  ThreadPool::ParallelFor(8, 4, [&count](size_t) {
+    ThreadPool::ParallelFor(16, 4, [&count](size_t) {
+      count.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(count.load(), 8 * 16);
+}
+
+TEST(ParallelForTest, ConcurrentRegionsShareOnePool) {
+  // Independent threads each running their own ParallelFor interleave their
+  // chunks on the one shared pool and all complete.
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&total] {
+      ThreadPool::ParallelFor(100, 4, [&total](size_t) {
+        total.fetch_add(1);
+      });
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(SharedThreadPoolTest, IsProcessWideSingleton) {
+  ThreadPool& a = SharedThreadPool();
+  ThreadPool& b = SharedThreadPool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1u);
 }
 
 TEST(DefaultThreadCountTest, Bounded) {

@@ -179,6 +179,13 @@ TEST(TraceFingerprintTest, EachConfigFieldInvalidatesTheKey) {
   threads.dpsgd.threads = 3;
   EXPECT_EQ(FingerprintExperiment(f.net, f.d, f.d_prime, threads), key);
 
+  // The repetition count is excluded by design too: trial r depends only on
+  // (seed, r), so a shorter recording is a bit-identical prefix of a longer
+  // run and must share its key (prefix-extensible traces).
+  DiExperimentConfig reps = base;
+  reps.repetitions = 17;
+  EXPECT_EQ(FingerprintExperiment(f.net, f.d, f.d_prime, reps), key);
+
   // Every semantic field must change the key.
   std::vector<DiExperimentConfig> variants;
   {
@@ -234,11 +241,6 @@ TEST(TraceFingerprintTest, EachConfigFieldInvalidatesTheKey) {
   {
     DiExperimentConfig c = base;
     c.dpsgd.per_layer_clipping = true;
-    variants.push_back(c);
-  }
-  {
-    DiExperimentConfig c = base;
-    c.repetitions = 17;
     variants.push_back(c);
   }
   {
@@ -428,6 +430,74 @@ TEST(TraceCacheTest, TestSetAccuracySurvivesReplay) {
   auto entries = store.List();
   ASSERT_TRUE(entries.ok());
   EXPECT_EQ(entries->size(), 2u);
+}
+
+void ExpectTrialPrefixBitIdentical(const DiExperimentSummary& reference,
+                                   const DiExperimentSummary& got,
+                                   size_t count) {
+  ASSERT_LE(count, reference.trials.size());
+  ASSERT_EQ(got.trials.size(), count);
+  for (size_t i = 0; i < count; ++i) {
+    const DiTrialResult& a = reference.trials[i];
+    const DiTrialResult& b = got.trials[i];
+    EXPECT_EQ(a.trained_on_d, b.trained_on_d);
+    EXPECT_EQ(a.adversary_says_d, b.adversary_says_d);
+    EXPECT_EQ(a.final_belief_d, b.final_belief_d);
+    EXPECT_EQ(a.max_belief_d, b.max_belief_d);
+    EXPECT_EQ(a.test_accuracy, b.test_accuracy);
+    ASSERT_EQ(a.local_sensitivities.size(), b.local_sensitivities.size());
+    for (size_t s = 0; s < a.local_sensitivities.size(); ++s) {
+      EXPECT_EQ(a.local_sensitivities[s], b.local_sensitivities[s]);
+      EXPECT_EQ(a.sigmas[s], b.sigmas[s]);
+    }
+  }
+}
+
+TEST(TraceCacheTest, ShorterRecordingReplaysAsPrefixAndExtends) {
+  Fixture f;
+  ScopedCacheDir cache("prefix");
+  TraceStore store(cache.path());
+
+  // Reference: 8 repetitions, no cache involved.
+  DiExperimentConfig config = FastExperiment();
+  config.repetitions = 8;
+  auto reference = RunDiExperiment(f.net, f.d, f.d_prime, config);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  // Record only 4 repetitions. Trial r depends on (seed, r) alone, so these
+  // are bit-identical to the reference's first four.
+  config.repetitions = 4;
+  config.trace_store = &store;
+  auto small = RunDiExperiment(f.net, f.d, f.d_prime, config);
+  ASSERT_TRUE(small.ok()) << small.status();
+  ExpectTrialPrefixBitIdentical(*reference, *small, 4);
+  auto entries = store.List();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ(entries->front().repetitions, 4u);
+
+  // Asking for 8 replays the cached prefix, trains only the tail, and saves
+  // the extended recording under the SAME key (repetitions are not part of
+  // the fingerprint).
+  config.repetitions = 8;
+  auto extended = RunDiExperiment(f.net, f.d, f.d_prime, config);
+  ASSERT_TRUE(extended.ok()) << extended.status();
+  ExpectTrialPrefixBitIdentical(*reference, *extended, 8);
+  entries = store.List();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ(entries->front().repetitions, 8u);
+
+  // A longer recording serves shorter requests as a pure replay (no train,
+  // no rewrite).
+  config.repetitions = 3;
+  auto prefix = RunDiExperiment(f.net, f.d, f.d_prime, config);
+  ASSERT_TRUE(prefix.ok()) << prefix.status();
+  ExpectTrialPrefixBitIdentical(*reference, *prefix, 3);
+  entries = store.List();
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ(entries->front().repetitions, 8u);
 }
 
 TEST(TraceCacheTest, CorruptCacheEntryFallsBackToLiveRun) {
