@@ -215,6 +215,37 @@ BENCHMARK(BM_ClippedGradientSumMnist)
     ->ArgsProduct({{16, 64, 256}, {1, 4, 8}})
     ->Unit(benchmark::kMillisecond);
 
+// Batched lane path vs the scalar path on the same workload. Args are
+// {batch size, engine worker threads, batch lanes} with lanes = 0 selecting
+// the legacy one-example-at-a-time path; results are bit-identical, only
+// throughput differs. scripts/run_experiment_bench.sh snapshots the
+// single-thread b64 pair into BENCH_batched_lanes.json.
+void BM_ClippedGradientSumMnistLanes(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  Network net = BuildMnistNetwork();
+  Rng rng(9);
+  net.Initialize(rng);
+  SyntheticMnistConfig config;
+  std::vector<Tensor> inputs;
+  std::vector<size_t> labels;
+  for (size_t i = 0; i < batch; ++i) {
+    inputs.push_back(RenderSyntheticDigit(i % 10, config, rng));
+    labels.push_back(i % 10);
+  }
+  GradientEngine::Options options;
+  options.threads = static_cast<size_t>(state.range(1));
+  options.batch_lanes = static_cast<size_t>(state.range(2));
+  GradientEngine engine(net, options);
+  engine.SyncParams(net);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.ClippedGradientSum(inputs, labels, 1.0));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ClippedGradientSumMnistLanes)
+    ->ArgsProduct({{64}, {1}, {0, 8}})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ClippedGradientSumPurchase(benchmark::State& state) {
   const size_t batch = static_cast<size_t>(state.range(0));
   Network net = BuildPurchaseNetwork();

@@ -8,10 +8,15 @@
 #   3. the flattened sweep scheduler vs the sequential per-cell reference
 #      path (DPAUDIT_SWEEP_MODE=percell) at DPAUDIT_THREADS 1 and 4, plus
 #      the pool-churn microbenchmarks (fresh pool per region vs the shared
-#      pool), with cells/sec and worker occupancy pulled from telemetry.
-# Writes BENCH_experiment_suite.json and BENCH_sweep_scheduler.json at the
-# repo root with the pre-change baselines (measured on the same machine
-# before each change landed) embedded next to the fresh numbers. Build first:
+#      pool), with cells/sec and worker occupancy pulled from telemetry;
+#   4. the batched-lane gradient engine (DPAUDIT_BATCH_LANES=8) vs the
+#      scalar path (DPAUDIT_BATCH_LANES=0): the MNIST b64 clipped-gradient
+#      microbenchmark plus fig08 wall-clock, cold and warm trace cache,
+#      with per-phase telemetry columns.
+# Writes BENCH_experiment_suite.json, BENCH_sweep_scheduler.json, and
+# BENCH_batched_lanes.json at the repo root with the pre-change baselines
+# (measured on the same machine before each change landed) embedded next to
+# the fresh numbers. Build first:
 #   cmake -B build -S . && cmake --build build -j
 set -euo pipefail
 
@@ -333,4 +338,154 @@ for key in ("flattened_1t_cold", "flattened_1t_warm",
           f"occupancy {r['worker_occupancy']}")
 for name, s in sorted(doc["speedups"].items()):
     print(f"  {name}: {s}x")
+EOF
+
+# ---------------------------------------------------------------------------
+# Batched multi-example lanes: the gradient engine walks lane-packs of eight
+# examples through one fused forward/backward pass (DPAUDIT_BATCH_LANES=8)
+# vs the one-example-at-a-time scalar path (DPAUDIT_BATCH_LANES=0). Both
+# paths are bit-identical by construction; this section measures them.
+
+lanes_out="${repo_root}/BENCH_batched_lanes.json"
+lanes_json="$(mktemp /tmp/dpaudit_lanes_micro.XXXXXX.json)"
+lanes_tmp="$(mktemp -d /tmp/dpaudit_lanes_bench.XXXXXX)"
+trap 'rm -rf "${micro_json}" "${cache_dir}" "${telemetry_cold}" \
+             "${telemetry_warm}" "${pool_json}" "${sweep_tmp}" \
+             "${lanes_json}" "${lanes_tmp}"' EXIT
+
+echo "== clipped-gradient-sum microbenchmark, scalar vs 8-lane packs =="
+"${bench_bin}" \
+  --benchmark_filter='BM_ClippedGradientSumMnistLanes/' \
+  --benchmark_out="${lanes_json}" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions="${BENCH_REPETITIONS:-3}"
+
+# run_fig08 LANES PHASE: one fig08 pass under DPAUDIT_BATCH_LANES=LANES;
+# telemetry JSONL lands in ${lanes_tmp}/lanes<LANES>_<PHASE>/, wall seconds
+# on stdout.
+run_fig08() {
+  local lanes="$1" phase="$2"
+  local tdir="${lanes_tmp}/lanes${lanes}_${phase}"
+  mkdir -p "${tdir}"
+  local start end
+  start=$(date +%s.%N)
+  DPAUDIT_BATCH_LANES="${lanes}" \
+      "${build_dir}/bench/bench_fig08_eps_from_sensitivity" \
+      --telemetry="${tdir}" > /dev/null 2> "${tdir}/stderr.log"
+  end=$(date +%s.%N)
+  python3 -c "print(f'{${end} - ${start}:.2f}')"
+}
+
+declare -A lanes_seconds
+for lanes in 0 8; do
+  export DPAUDIT_TRACE_CACHE="${lanes_tmp}/cache_lanes${lanes}"
+  mkdir -p "${DPAUDIT_TRACE_CACHE}"
+  echo "== fig08, DPAUDIT_BATCH_LANES=${lanes}, cold cache =="
+  lanes_seconds["${lanes}_cold"]=$(run_fig08 "${lanes}" cold)
+  echo "cold: ${lanes_seconds[${lanes}_cold]}s"
+  echo "== fig08, DPAUDIT_BATCH_LANES=${lanes}, warm cache =="
+  lanes_seconds["${lanes}_warm"]=$(run_fig08 "${lanes}" warm)
+  echo "warm: ${lanes_seconds[${lanes}_warm]}s"
+  unset DPAUDIT_TRACE_CACHE
+done
+
+python3 - "${lanes_out}" "${lanes_json}" "${lanes_tmp}" \
+    "${lanes_seconds[0_cold]}" "${lanes_seconds[0_warm]}" \
+    "${lanes_seconds[8_cold]}" "${lanes_seconds[8_warm]}" <<'EOF'
+import json, os, statistics, sys
+out_path, micro_path, tmp_dir, c0, w0, c8, w8 = sys.argv[1:8]
+with open(micro_path) as f:
+    micro = json.load(f)
+
+FIG08 = "bench_fig08_eps_from_sensitivity"
+
+
+def read_phases(tdir, binary):
+    """Per-phase span columns from the binary's own events.jsonl."""
+    path = os.path.join(tdir, binary + ".events.jsonl")
+    wall_ns = 0
+    phases = {}
+    with open(path) as f:
+        for line in f:
+            event = json.loads(line)
+            if event.get("type") == "run":
+                wall_ns = int(event["wall_ns"])
+            elif event.get("type") == "span":
+                phases[event["path"]] = {
+                    "count": int(event["count"]),
+                    "total_ms": round(int(event["total_ns"]) / 1e6, 3),
+                    "self_ms": round(int(event["self_ns"]) / 1e6, 3),
+                }
+    if not phases:
+        raise SystemExit(f"no span events in {path}")
+    top_ns = sum(p["total_ms"] for name, p in phases.items()
+                 if "/" not in name) * 1e6
+    return {
+        "wall_seconds": round(wall_ns / 1e9, 3),
+        "span_coverage": round(top_ns / wall_ns, 3) if wall_ns else 0.0,
+        "phases": phases,
+    }
+
+
+def median_ms(name):
+    # The lanes benchmarks declare Unit(kMillisecond), so real_time is
+    # already in milliseconds.
+    times = [b["real_time"] for b in micro.get("benchmarks", [])
+             if b["name"] == name
+             and b.get("run_type", "iteration") != "aggregate"]
+    if not times:
+        raise SystemExit(f"benchmark {name} missing from {micro_path}")
+    return statistics.median(times)
+
+scalar_ms = median_ms("BM_ClippedGradientSumMnistLanes/64/1/0")
+lanes8_ms = median_ms("BM_ClippedGradientSumMnistLanes/64/1/8")
+
+runs = {}
+for lanes, phase, measured in (("0", "cold", c0), ("0", "warm", w0),
+                               ("8", "cold", c8), ("8", "warm", w8)):
+    runs[f"lanes{lanes}_{phase}"] = {
+        "measured_seconds": float(measured),
+        "per_phase": read_phases(
+            os.path.join(tmp_dir, f"lanes{lanes}_{phase}"), FIG08),
+    }
+
+doc = {
+    "description": "Batched multi-example lane packs through the "
+                   "per-example gradient engine (DPAUDIT_BATCH_LANES=8) vs "
+                   "the scalar path (DPAUDIT_BATCH_LANES=0): MNIST b64 "
+                   "single-thread clipped-gradient-sum microbenchmark and "
+                   "fig08 wall-clock, cold and warm trace cache, with "
+                   "per-phase telemetry columns. Both paths produce "
+                   "bit-identical per-example gradients; warm runs replay "
+                   "the step-trace cache and are lane-independent.",
+    "context": micro.get("context", {}),
+    "microbenchmarks": [
+        b for b in micro.get("benchmarks", [])
+        if b.get("run_type", "iteration") != "aggregate"
+    ],
+    "clipped_gradient_sum_mnist_b64_1t": {
+        "scalar_ms": round(scalar_ms, 3),
+        "lanes8_ms": round(lanes8_ms, 3),
+        "speedup_lanes8_vs_scalar": round(scalar_ms / lanes8_ms, 2),
+    },
+    "fig08_runs": runs,
+    "fig08_speedups": {
+        "cold_lanes8_vs_scalar": round(float(c0) / float(c8), 2),
+        "warm_lanes8_vs_scalar": round(float(w0) / float(w8), 2),
+    },
+}
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+print(f"wrote {out_path}")
+cg = doc["clipped_gradient_sum_mnist_b64_1t"]
+print(f"  ClippedGradientSum MNIST b64 1t: {cg['scalar_ms']}ms scalar, "
+      f"{cg['lanes8_ms']}ms 8-lane "
+      f"({cg['speedup_lanes8_vs_scalar']}x)")
+for key in ("lanes0_cold", "lanes8_cold", "lanes0_warm", "lanes8_warm"):
+    r = runs[key]
+    print(f"  fig08 {key}: {r['measured_seconds']}s "
+          f"(span coverage {r['per_phase']['span_coverage'] * 100:.1f}%)")
+print(f"  fig08 cold speedup: "
+      f"{doc['fig08_speedups']['cold_lanes8_vs_scalar']}x")
 EOF

@@ -14,7 +14,7 @@ if [[ ! -x "${bench_bin}" ]]; then
 fi
 
 "${bench_bin}" \
-  --benchmark_filter='BM_ClippedGradientSum(Mnist|Purchase)' \
+  --benchmark_filter='BM_ClippedGradientSum(Mnist|Purchase)/' \
   --benchmark_out="${out}" \
   --benchmark_out_format=json \
   --benchmark_repetitions="${BENCH_REPETITIONS:-1}" \

@@ -24,6 +24,7 @@
 
 #include "data/dataset.h"
 #include "dp/privacy_params.h"
+#include "nn/gradient_engine.h"
 #include "nn/network.h"
 #include "nn/optimizer.h"
 #include "util/random.h"
@@ -66,6 +67,11 @@ struct DpSgdConfig {
   /// RunDiExperiment lowers this automatically when repetitions already run
   /// in parallel.
   size_t threads = 0;
+
+  /// Lane count for the gradient engine's batched forward/backward path
+  /// (kBatchLanesAuto = read DPAUDIT_BATCH_LANES, 0 = scalar path). Results
+  /// are bit-identical for any value.
+  size_t batch_lanes = GradientEngine::Options::kBatchLanesAuto;
 
   Status Validate() const;
 };

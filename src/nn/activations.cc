@@ -51,7 +51,7 @@ __attribute__((target("avx2"))) void ReluBackwardAvx2(const float* x,
 }  // namespace
 
 void Relu::ForwardInto(const Tensor& input, Tensor* output) {
-  last_input_ = input;
+  last_input_ = &input;
   output->ResizeTo(input.shape());
   const float* in = input.data();
   float* out = output->data();
@@ -66,10 +66,11 @@ void Relu::ForwardInto(const Tensor& input, Tensor* output) {
 }
 
 void Relu::BackwardInto(const Tensor& grad_output, Tensor* grad_input) {
-  DPAUDIT_CHECK_EQ(grad_output.size(), last_input_.size());
+  DPAUDIT_CHECK(last_input_ != nullptr) << "Backward before Forward";
+  DPAUDIT_CHECK_EQ(grad_output.size(), last_input_->size());
   grad_input->ResizeTo(grad_output.shape());
   const float* g = grad_output.data();
-  const float* x = last_input_.data();
+  const float* x = last_input_->data();
   float* gi = grad_input->data();
   const size_t n = grad_output.size();
 #if defined(DPAUDIT_X86_DISPATCH)
@@ -79,6 +80,22 @@ void Relu::BackwardInto(const Tensor& grad_output, Tensor* grad_input) {
   }
 #endif
   for (size_t i = 0; i < n; ++i) gi[i] = x[i] <= 0.0f ? 0.0f : g[i];
+}
+
+void Relu::ForwardBatchInto(const Tensor& input, size_t lanes,
+                            Tensor* output) {
+  DPAUDIT_CHECK_GT(lanes, 0u);
+  DPAUDIT_CHECK_EQ(input.size() % lanes, 0u);
+  // The lane dimension is innermost and max(0, x) is elementwise, so the
+  // scalar path over the packed storage computes exactly the per-lane values.
+  ForwardInto(input, output);
+}
+
+void Relu::BackwardBatchInto(const Tensor& grad_output, size_t lanes,
+                             Tensor* grad_input) {
+  DPAUDIT_CHECK_GT(lanes, 0u);
+  if (grad_input == nullptr) return;  // no parameters, nothing else to do
+  BackwardInto(grad_output, grad_input);
 }
 
 void Softmax::ForwardInto(const Tensor& input, Tensor* output) {

@@ -15,13 +15,22 @@ class Relu : public Layer {
  public:
   void ForwardInto(const Tensor& input, Tensor* output) override;
   void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
+  // Elementwise, so the lane tensor is just a longer flat array; the scalar
+  // kernels apply unchanged and per-lane results are trivially identical.
+  bool SupportsBatchLanes() const override { return true; }
+  void ForwardBatchInto(const Tensor& input, size_t lanes,
+                        Tensor* output) override;
+  void BackwardBatchInto(const Tensor& grad_output, size_t lanes,
+                         Tensor* grad_input) override;
   std::unique_ptr<Layer> Clone() const override {
     return std::make_unique<Relu>();
   }
   std::string Name() const override { return "relu"; }
 
  private:
-  Tensor last_input_;
+  // Cached pointer to the forward input (see the lifetime contract in
+  // layer.h); the caller keeps it alive through backward.
+  const Tensor* last_input_ = nullptr;
 };
 
 /// Numerically stable softmax over a rank-1 tensor. Only used standalone for

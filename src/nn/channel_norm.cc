@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/env.h"
 #include "util/logging.h"
 #include "util/simd.h"
 
@@ -60,6 +61,172 @@ __attribute__((target("avx2"))) void GradInputChannelAvx2(
   }
 }
 
+#endif  // DPAUDIT_X86_DISPATCH
+
+// ---- Batched lane kernels --------------------------------------------------
+//
+// Bodies shared between the portable path (runtime `lanes`) and the AVX2
+// wrappers (lanes pinned to 8). Each (channel, lane) pair keeps its own
+// double accumulator chain advancing in ascending spatial order — the exact
+// chains the scalar passes run — so statistics, normalized values, and
+// gradients are bit-identical per lane.
+
+DPAUDIT_LANE_INLINE void ChannelNormForwardLanesBody(
+    const float* in, const float* gamma, const float* beta, double epsilon,
+    float* nh, float* o, double* mean, double* inv_std, size_t channels,
+    size_t m, size_t lanes) {
+  for (size_t c = 0; c < channels; ++c) {
+    const float* p = in + c * m * lanes;
+    double* mc = mean + c * lanes;
+    double* sc = inv_std + c * lanes;
+    double acc[kMaxBatchLanes];
+    for (size_t l = 0; l < lanes; ++l) acc[l] = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      const float* pv = p + i * lanes;
+      for (size_t l = 0; l < lanes; ++l) acc[l] += pv[l];
+    }
+    for (size_t l = 0; l < lanes; ++l) mc[l] = acc[l] / static_cast<double>(m);
+    double vacc[kMaxBatchLanes];
+    for (size_t l = 0; l < lanes; ++l) vacc[l] = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      const float* pv = p + i * lanes;
+      for (size_t l = 0; l < lanes; ++l) {
+        const double d = pv[l] - mc[l];
+        vacc[l] += d * d;
+      }
+    }
+    for (size_t l = 0; l < lanes; ++l) {
+      const double var = vacc[l] / static_cast<double>(m);
+      sc[l] = 1.0 / std::sqrt(var + epsilon);
+    }
+    const float gcf = gamma[c];
+    const float bcf = beta[c];
+    float* nhc = nh + c * m * lanes;
+    float* oc = o + c * m * lanes;
+    for (size_t i = 0; i < m; ++i) {
+      const float* pv = p + i * lanes;
+      float* nv = nhc + i * lanes;
+      float* ov = oc + i * lanes;
+      for (size_t l = 0; l < lanes; ++l) {
+        const double xhat = (pv[l] - mc[l]) * sc[l];
+        nv[l] = static_cast<float>(xhat);
+        ov[l] = static_cast<float>(gcf * xhat + bcf);
+      }
+    }
+  }
+}
+
+DPAUDIT_LANE_INLINE void ChannelNormBackwardLanesBody(
+    const float* g, const float* nh, const float* gamma,
+    const double* inv_std, float* dgamma, float* dbeta, float* gx,
+    size_t channels, size_t m, size_t lanes) {
+  for (size_t c = 0; c < channels; ++c) {
+    const float* gc = g + c * m * lanes;
+    const float* xc = nh + c * m * lanes;
+    double s[kMaxBatchLanes];
+    double t[kMaxBatchLanes];
+    for (size_t l = 0; l < lanes; ++l) {
+      s[l] = 0.0;
+      t[l] = 0.0;
+    }
+    for (size_t i = 0; i < m; ++i) {
+      const float* gv = gc + i * lanes;
+      const float* xv = xc + i * lanes;
+      for (size_t l = 0; l < lanes; ++l) {
+        s[l] += gv[l];
+        t[l] += static_cast<double>(gv[l]) * xv[l];
+      }
+    }
+    for (size_t l = 0; l < lanes; ++l) {
+      dbeta[c * lanes + l] = static_cast<float>(s[l]);
+      dgamma[c * lanes + l] = static_cast<float>(t[l]);
+    }
+    if (gx == nullptr) continue;
+    const float gcf = gamma[c];
+    const double md = static_cast<double>(m);
+    double scale[kMaxBatchLanes];
+    for (size_t l = 0; l < lanes; ++l) {
+      scale[l] = gcf * inv_std[c * lanes + l] / md;
+    }
+    float* gxc = gx + c * m * lanes;
+    for (size_t i = 0; i < m; ++i) {
+      const float* gv = gc + i * lanes;
+      const float* xv = xc + i * lanes;
+      float* gxv = gxc + i * lanes;
+      for (size_t l = 0; l < lanes; ++l) {
+        gxv[l] = static_cast<float>(scale[l] *
+                                    (md * gv[l] - s[l] - xv[l] * t[l]));
+      }
+    }
+  }
+}
+
+#if defined(DPAUDIT_X86_DISPATCH)
+__attribute__((target("avx2"))) void ChannelNormForwardLanes8Avx2(
+    const float* in, const float* gamma, const float* beta, double epsilon,
+    float* nh, float* o, double* mean, double* inv_std, size_t channels,
+    size_t m) {
+  ChannelNormForwardLanesBody(in, gamma, beta, epsilon, nh, o, mean, inv_std,
+                              channels, m, 8);
+}
+
+// Hand-vectorized: the eight lanes split into two 4-wide double halves, each
+// lane keeping its own sum chains advancing in ascending spatial order and
+// the grad-input pass transcribing the scalar expression operation for
+// operation (explicit mul/sub, never FMA-contracted), so every lane is
+// bit-identical to the portable body. Intrinsics because the float->double
+// widening defeats the autovectorizer here.
+__attribute__((target("avx2"))) void ChannelNormBackwardLanes8Avx2(
+    const float* g, const float* nh, const float* gamma,
+    const double* inv_std, float* dgamma, float* dbeta, float* gx,
+    size_t channels, size_t m) {
+  for (size_t c = 0; c < channels; ++c) {
+    const float* gc = g + c * m * 8;
+    const float* xc = nh + c * m * 8;
+    __m256d s_lo = _mm256_setzero_pd();
+    __m256d s_hi = _mm256_setzero_pd();
+    __m256d t_lo = _mm256_setzero_pd();
+    __m256d t_hi = _mm256_setzero_pd();
+    for (size_t i = 0; i < m; ++i) {
+      const __m256d gv_lo = _mm256_cvtps_pd(_mm_loadu_ps(gc + i * 8));
+      const __m256d gv_hi = _mm256_cvtps_pd(_mm_loadu_ps(gc + i * 8 + 4));
+      const __m256d xv_lo = _mm256_cvtps_pd(_mm_loadu_ps(xc + i * 8));
+      const __m256d xv_hi = _mm256_cvtps_pd(_mm_loadu_ps(xc + i * 8 + 4));
+      s_lo = _mm256_add_pd(s_lo, gv_lo);
+      s_hi = _mm256_add_pd(s_hi, gv_hi);
+      t_lo = _mm256_add_pd(t_lo, _mm256_mul_pd(gv_lo, xv_lo));
+      t_hi = _mm256_add_pd(t_hi, _mm256_mul_pd(gv_hi, xv_hi));
+    }
+    _mm_storeu_ps(dbeta + c * 8, _mm256_cvtpd_ps(s_lo));
+    _mm_storeu_ps(dbeta + c * 8 + 4, _mm256_cvtpd_ps(s_hi));
+    _mm_storeu_ps(dgamma + c * 8, _mm256_cvtpd_ps(t_lo));
+    _mm_storeu_ps(dgamma + c * 8 + 4, _mm256_cvtpd_ps(t_hi));
+    if (gx == nullptr) continue;
+    const __m256d vg = _mm256_set1_pd(static_cast<double>(gamma[c]));
+    const __m256d vmd = _mm256_set1_pd(static_cast<double>(m));
+    const __m256d scale_lo = _mm256_div_pd(
+        _mm256_mul_pd(vg, _mm256_loadu_pd(inv_std + c * 8)), vmd);
+    const __m256d scale_hi = _mm256_div_pd(
+        _mm256_mul_pd(vg, _mm256_loadu_pd(inv_std + c * 8 + 4)), vmd);
+    float* gxc = gx + c * m * 8;
+    for (size_t i = 0; i < m; ++i) {
+      const __m256d gv_lo = _mm256_cvtps_pd(_mm_loadu_ps(gc + i * 8));
+      const __m256d gv_hi = _mm256_cvtps_pd(_mm_loadu_ps(gc + i * 8 + 4));
+      const __m256d xv_lo = _mm256_cvtps_pd(_mm_loadu_ps(xc + i * 8));
+      const __m256d xv_hi = _mm256_cvtps_pd(_mm_loadu_ps(xc + i * 8 + 4));
+      const __m256d r_lo = _mm256_mul_pd(
+          scale_lo,
+          _mm256_sub_pd(_mm256_sub_pd(_mm256_mul_pd(vmd, gv_lo), s_lo),
+                        _mm256_mul_pd(xv_lo, t_lo)));
+      const __m256d r_hi = _mm256_mul_pd(
+          scale_hi,
+          _mm256_sub_pd(_mm256_sub_pd(_mm256_mul_pd(vmd, gv_hi), s_hi),
+                        _mm256_mul_pd(xv_hi, t_hi)));
+      _mm_storeu_ps(gxc + i * 8, _mm256_cvtpd_ps(r_lo));
+      _mm_storeu_ps(gxc + i * 8 + 4, _mm256_cvtpd_ps(r_hi));
+    }
+  }
+}
 #endif  // DPAUDIT_X86_DISPATCH
 
 }  // namespace
@@ -249,6 +416,74 @@ void ChannelNorm::BackwardInto(const Tensor& grad_output, Tensor* grad_input) {
             scale * (static_cast<double>(m) * gc[i] - sum_g - xh[i] * sum_gx));
       }
     }
+  }
+}
+
+void ChannelNorm::ForwardBatchInto(const Tensor& input, size_t lanes,
+                                   Tensor* output) {
+  DPAUDIT_CHECK_GT(lanes, 0u);
+  DPAUDIT_CHECK_LE(lanes, kMaxBatchLanes);
+  DPAUDIT_CHECK_EQ(input.rank(), 4u);  // [C, H, W, lanes]
+  DPAUDIT_CHECK_EQ(input.dim(0), channels_);
+  DPAUDIT_CHECK_EQ(input.dim(3), lanes);
+  const size_t m = input.dim(1) * input.dim(2);
+  DPAUDIT_CHECK_GT(m, 1u) << "channel norm needs > 1 value per channel";
+  batch_lanes_ = lanes;
+  lane_normalized_.ResizeTo(input.shape());
+  lane_mean_.resize(channels_ * lanes);
+  lane_inv_std_.resize(channels_ * lanes);
+  output->ResizeTo(input.shape());
+#if defined(DPAUDIT_X86_DISPATCH)
+  if (lanes == 8 && HasAvx2()) {
+    ChannelNormForwardLanes8Avx2(input.data(), gamma_.data(), beta_.data(),
+                                 epsilon_, lane_normalized_.data(),
+                                 output->data(), lane_mean_.data(),
+                                 lane_inv_std_.data(), channels_, m);
+    return;
+  }
+#endif
+  ChannelNormForwardLanesBody(input.data(), gamma_.data(), beta_.data(),
+                              epsilon_, lane_normalized_.data(),
+                              output->data(), lane_mean_.data(),
+                              lane_inv_std_.data(), channels_, m, lanes);
+}
+
+void ChannelNorm::BackwardBatchInto(const Tensor& grad_output, size_t lanes,
+                                    Tensor* grad_input) {
+  DPAUDIT_CHECK_EQ(lanes, batch_lanes_);
+  DPAUDIT_CHECK(grad_output.shape() == lane_normalized_.shape())
+      << "Backward before Forward, or shape changed";
+  const size_t m = grad_output.dim(1) * grad_output.dim(2);
+  lane_dgamma_.resize(channels_ * lanes);
+  lane_dbeta_.resize(channels_ * lanes);
+  float* gx = nullptr;
+  if (grad_input != nullptr) {
+    grad_input->ResizeTo(grad_output.shape());
+    gx = grad_input->data();
+  }
+#if defined(DPAUDIT_X86_DISPATCH)
+  if (lanes == 8 && HasAvx2()) {
+    ChannelNormBackwardLanes8Avx2(grad_output.data(), lane_normalized_.data(),
+                                  gamma_.data(), lane_inv_std_.data(),
+                                  lane_dgamma_.data(), lane_dbeta_.data(), gx,
+                                  channels_, m);
+    return;
+  }
+#endif
+  ChannelNormBackwardLanesBody(grad_output.data(), lane_normalized_.data(),
+                               gamma_.data(), lane_inv_std_.data(),
+                               lane_dgamma_.data(), lane_dbeta_.data(), gx,
+                               channels_, m, lanes);
+}
+
+void ChannelNorm::LaneGradsTo(size_t lane, float* dst) const {
+  DPAUDIT_CHECK_LT(lane, batch_lanes_);
+  for (size_t c = 0; c < channels_; ++c) {
+    dst[c] = lane_dgamma_[c * batch_lanes_ + lane];
+  }
+  dst += channels_;
+  for (size_t c = 0; c < channels_; ++c) {
+    dst[c] = lane_dbeta_[c * batch_lanes_ + lane];
   }
 }
 

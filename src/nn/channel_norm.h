@@ -30,6 +30,12 @@ class ChannelNorm : public Layer {
 
   void ForwardInto(const Tensor& input, Tensor* output) override;
   void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
+  bool SupportsBatchLanes() const override { return true; }
+  void ForwardBatchInto(const Tensor& input, size_t lanes,
+                        Tensor* output) override;
+  void BackwardBatchInto(const Tensor& grad_output, size_t lanes,
+                         Tensor* grad_input) override;
+  void LaneGradsTo(size_t lane, float* dst) const override;
   std::vector<Tensor*> Params() override { return {&gamma_, &beta_}; }
   std::vector<Tensor*> Grads() override { return {&dgamma_, &dbeta_}; }
   std::unique_ptr<Layer> Clone() const override;
@@ -53,6 +59,14 @@ class ChannelNorm : public Layer {
   std::vector<double> var_;
   std::vector<double> sum_g_;
   std::vector<double> sum_gx_;
+  // Batched lane state: per-(channel, lane) statistics and per-lane
+  // parameter gradients, all lane-SoA.
+  Tensor lane_normalized_;
+  std::vector<double> lane_mean_;     // [C, lanes]
+  std::vector<double> lane_inv_std_;  // [C, lanes]
+  std::vector<float> lane_dgamma_;    // [C, lanes]
+  std::vector<float> lane_dbeta_;     // [C, lanes]
+  size_t batch_lanes_ = 0;
 };
 
 }  // namespace dpaudit

@@ -7,6 +7,7 @@
 #include <emmintrin.h>
 #endif
 
+#include "util/env.h"
 #include "util/logging.h"
 #include "util/simd.h"
 
@@ -253,6 +254,206 @@ __attribute__((target("avx2"))) void GradInputK3Avx2(
 
 #endif  // DPAUDIT_X86_DISPATCH
 
+// ---- Batched lane kernels --------------------------------------------------
+//
+// Bodies shared between the portable path (runtime `lanes`, runtime kernel
+// size) and the AVX2 wrappers (lanes pinned to 8, kernel pinned to 3 so the
+// tap loops fully unroll and each output element's lane vector stays in one
+// ymm register across all taps). Lanes are independent examples; per lane the
+// addition chains are exactly the scalar ones — forward: bias first, then
+// input channels ascending with taps in (ky, kx) order; weight grad: one
+// double accumulator per (tap, lane) advanced in (y, x) order; grad input:
+// per element taps in (f, ky, kx) ascending order; bias grad: plane in index
+// order — so per-lane results are bit-identical.
+
+DPAUDIT_LANE_INLINE void ConvForwardLanesBody(
+    const float* __restrict__ in, const float* __restrict__ weights,
+    const float* __restrict__ bias, float* __restrict__ out, size_t C,
+    size_t F, size_t k, size_t h, size_t w, size_t oh, size_t ow,
+    size_t lanes) {
+  // Each output element's lane accumulator lives in a local array (one ymm
+  // register once `lanes` is pinned to 8) across all channels and taps: one
+  // store per element instead of a load+store round trip per tap. The chain
+  // is still bias first, then channels ascending with taps in (ky, kx) order.
+  for (size_t f = 0; f < F; ++f) {
+    float* out_plane = out + f * oh * ow * lanes;
+    const float bf = bias[f];
+    const float* kf = weights + f * C * k * k;
+    for (size_t y = 0; y < oh; ++y) {
+      float* out_row = out_plane + y * ow * lanes;
+      for (size_t x = 0; x < ow; ++x) {
+        float acc[kMaxBatchLanes];
+        for (size_t l = 0; l < lanes; ++l) acc[l] = bf;
+        for (size_t c = 0; c < C; ++c) {
+          const float* in_plane = in + c * h * w * lanes;
+          const float* kp = kf + c * k * k;
+          for (size_t ky = 0; ky < k; ++ky) {
+            const float* iv = in_plane + ((y + ky) * w + x) * lanes;
+            const float* krow = kp + ky * k;
+            for (size_t kx = 0; kx < k; ++kx) {
+              const float kv = krow[kx];
+              const float* ivx = iv + kx * lanes;
+              for (size_t l = 0; l < lanes; ++l) acc[l] += kv * ivx[l];
+            }
+          }
+        }
+        float* ov = out_row + x * lanes;
+        for (size_t l = 0; l < lanes; ++l) ov[l] = acc[l];
+      }
+    }
+  }
+}
+
+DPAUDIT_LANE_INLINE void ConvBiasGradLanesBody(const float* g, float* dbias,
+                                               size_t F, size_t n,
+                                               size_t lanes) {
+  for (size_t f = 0; f < F; ++f) {
+    const float* gp = g + f * n * lanes;
+    double acc[kMaxBatchLanes];
+    for (size_t l = 0; l < lanes; ++l) acc[l] = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const float* gv = gp + i * lanes;
+      for (size_t l = 0; l < lanes; ++l) acc[l] += gv[l];
+    }
+    for (size_t l = 0; l < lanes; ++l) {
+      dbias[f * lanes + l] = static_cast<float>(acc[l]);
+    }
+  }
+}
+
+DPAUDIT_LANE_INLINE void ConvWgradLanesBody(
+    const float* __restrict__ g, const float* __restrict__ in,
+    float* __restrict__ dw, double* __restrict__ wacc, size_t C, size_t F,
+    size_t k, size_t h, size_t w, size_t oh, size_t ow, size_t lanes) {
+  const size_t kk = k * k;
+  for (size_t f = 0; f < F; ++f) {
+    const float* g_plane = g + f * oh * ow * lanes;
+    for (size_t c = 0; c < C; ++c) {
+      const float* in_plane = in + c * h * w * lanes;
+      float* dwt = dw + (f * C + c) * kk * lanes;
+      if (k == 3) {
+        // One kernel row per sweep: the row's three tap accumulator groups
+        // (3 * lanes doubles) stay in registers across the whole (y, x)
+        // sweep. Each tap's chain still advances in (y, x) order, so the
+        // sums match the tap-at-a-time reference bit for bit.
+        for (size_t ky = 0; ky < 3; ++ky) {
+          double acc[3 * kMaxBatchLanes];
+          for (size_t i = 0; i < 3 * lanes; ++i) acc[i] = 0.0;
+          for (size_t y = 0; y < oh; ++y) {
+            const float* g_row = g_plane + y * ow * lanes;
+            const float* in_row = in_plane + (y + ky) * w * lanes;
+            for (size_t x = 0; x < ow; ++x) {
+              const float* gv = g_row + x * lanes;
+              const float* iv = in_row + x * lanes;
+              for (size_t kx = 0; kx < 3; ++kx) {
+                double* a = acc + kx * lanes;
+                const float* ivx = iv + kx * lanes;
+                for (size_t l = 0; l < lanes; ++l) {
+                  a[l] += static_cast<double>(gv[l]) *
+                          static_cast<double>(ivx[l]);
+                }
+              }
+            }
+          }
+          for (size_t kx = 0; kx < 3; ++kx) {
+            for (size_t l = 0; l < lanes; ++l) {
+              dwt[(ky * 3 + kx) * lanes + l] =
+                  static_cast<float>(acc[kx * lanes + l]);
+            }
+          }
+        }
+        continue;
+      }
+      for (size_t i = 0; i < kk * lanes; ++i) wacc[i] = 0.0;
+      for (size_t y = 0; y < oh; ++y) {
+        for (size_t x = 0; x < ow; ++x) {
+          const float* gv = g_plane + (y * ow + x) * lanes;
+          for (size_t ky = 0; ky < k; ++ky) {
+            const float* iv = in_plane + ((y + ky) * w + x) * lanes;
+            for (size_t kx = 0; kx < k; ++kx) {
+              double* a = wacc + (ky * k + kx) * lanes;
+              const float* ivx = iv + kx * lanes;
+              for (size_t l = 0; l < lanes; ++l) {
+                a[l] += static_cast<double>(gv[l]) *
+                        static_cast<double>(ivx[l]);
+              }
+            }
+          }
+        }
+      }
+      for (size_t i = 0; i < kk * lanes; ++i) {
+        dwt[i] = static_cast<float>(wacc[i]);
+      }
+    }
+  }
+}
+
+DPAUDIT_LANE_INLINE void ConvGradInputLanesBody(
+    const float* __restrict__ g, const float* __restrict__ weights,
+    float* __restrict__ gi, size_t C, size_t F, size_t k, size_t h, size_t w,
+    size_t oh, size_t ow, size_t lanes) {
+  const size_t kk = k * k;
+  // Gather form with the whole per-element tap sum held in a local lane
+  // accumulator: one store per input element, taps applied in (f, ky, kx)
+  // ascending order — the scatter reference's traversal with c fixed.
+  for (size_t c = 0; c < C; ++c) {
+    float* gi_plane = gi + c * h * w * lanes;
+    for (size_t iy = 0; iy < h; ++iy) {
+      float* gi_row = gi_plane + iy * w * lanes;
+      const size_t ky_lo = iy >= oh ? iy - (oh - 1) : 0;
+      const size_t ky_hi = iy < k - 1 ? iy : k - 1;
+      for (size_t ix = 0; ix < w; ++ix) {
+        const size_t kx_lo = ix >= ow ? ix - (ow - 1) : 0;
+        const size_t kx_hi = ix < k - 1 ? ix : k - 1;
+        float acc[kMaxBatchLanes];
+        for (size_t l = 0; l < lanes; ++l) acc[l] = 0.0f;
+        for (size_t f = 0; f < F; ++f) {
+          const float* g_base = g + f * oh * ow * lanes;
+          const float* kp = weights + (f * C + c) * kk;
+          for (size_t ky = ky_lo; ky <= ky_hi; ++ky) {
+            const float* g_row = g_base + (iy - ky) * ow * lanes;
+            const float* krow = kp + ky * k;
+            for (size_t kx = kx_lo; kx <= kx_hi; ++kx) {
+              const float kv = krow[kx];
+              const float* gvx = g_row + (ix - kx) * lanes;
+              for (size_t l = 0; l < lanes; ++l) acc[l] += kv * gvx[l];
+            }
+          }
+        }
+        float* giv = gi_row + ix * lanes;
+        for (size_t l = 0; l < lanes; ++l) giv[l] = acc[l];
+      }
+    }
+  }
+}
+
+#if defined(DPAUDIT_X86_DISPATCH)
+__attribute__((target("avx2"))) void ConvForwardLanes8K3Avx2(
+    const float* in, const float* weights, const float* bias, float* out,
+    size_t C, size_t F, size_t h, size_t w, size_t oh, size_t ow) {
+  ConvForwardLanesBody(in, weights, bias, out, C, F, 3, h, w, oh, ow, 8);
+}
+
+__attribute__((target("avx2"))) void ConvBiasGradLanes8Avx2(const float* g,
+                                                            float* dbias,
+                                                            size_t F,
+                                                            size_t n) {
+  ConvBiasGradLanesBody(g, dbias, F, n, 8);
+}
+
+__attribute__((target("avx2"))) void ConvWgradLanes8K3Avx2(
+    const float* g, const float* in, float* dw, double* wacc, size_t C,
+    size_t F, size_t h, size_t w, size_t oh, size_t ow) {
+  ConvWgradLanesBody(g, in, dw, wacc, C, F, 3, h, w, oh, ow, 8);
+}
+
+__attribute__((target("avx2"))) void ConvGradInputLanes8K3Avx2(
+    const float* g, const float* weights, float* gi, size_t C, size_t F,
+    size_t h, size_t w, size_t oh, size_t ow) {
+  ConvGradInputLanesBody(g, weights, gi, C, F, 3, h, w, oh, ow, 8);
+}
+#endif  // DPAUDIT_X86_DISPATCH
+
 }  // namespace
 
 Conv2d::Conv2d(size_t in_channels, size_t out_channels, size_t kernel)
@@ -290,7 +491,7 @@ void Conv2d::ForwardInto(const Tensor& input, Tensor* output) {
   DPAUDIT_CHECK_GE(w, kernel_);
   const size_t oh = h - kernel_ + 1;
   const size_t ow = w - kernel_ + 1;
-  last_input_ = input;
+  last_input_ = &input;
   output->ResizeTo({out_channels_, oh, ow});
   const float* in = input.data();
   const float* weights = weight_.data();
@@ -367,16 +568,16 @@ void Conv2d::ForwardInto(const Tensor& input, Tensor* output) {
 void Conv2d::BackwardInto(const Tensor& grad_output, Tensor* grad_input) {
   DPAUDIT_CHECK_EQ(grad_output.rank(), 3u);
   DPAUDIT_CHECK_EQ(grad_output.dim(0), out_channels_);
-  DPAUDIT_CHECK(!last_input_.empty()) << "Backward before Forward";
-  const size_t h = last_input_.dim(1);
-  const size_t w = last_input_.dim(2);
+  DPAUDIT_CHECK(last_input_ != nullptr) << "Backward before Forward";
+  const size_t h = last_input_->dim(1);
+  const size_t w = last_input_->dim(2);
   const size_t oh = grad_output.dim(1);
   const size_t ow = grad_output.dim(2);
   DPAUDIT_CHECK_EQ(oh, h - kernel_ + 1);
   DPAUDIT_CHECK_EQ(ow, w - kernel_ + 1);
-  grad_input->ResizeTo(last_input_.shape());
+  grad_input->ResizeTo(last_input_->shape());
   grad_input->Fill(0.0f);
-  const float* in = last_input_.data();
+  const float* in = last_input_->data();
   const float* g = grad_output.data();
   const float* weights = weight_.data();
   float* dw = dweight_.data();
@@ -617,6 +818,102 @@ void Conv2d::BackwardInto(const Tensor& grad_output, Tensor* grad_input) {
         }
       }
     }
+  }
+}
+
+void Conv2d::ForwardBatchInto(const Tensor& input, size_t lanes,
+                              Tensor* output) {
+  DPAUDIT_CHECK_GT(lanes, 0u);
+  DPAUDIT_CHECK_LE(lanes, kMaxBatchLanes);
+  DPAUDIT_CHECK_EQ(input.rank(), 4u);  // [C, H, W, lanes]
+  DPAUDIT_CHECK_EQ(input.dim(0), in_channels_);
+  DPAUDIT_CHECK_EQ(input.dim(3), lanes);
+  const size_t h = input.dim(1);
+  const size_t w = input.dim(2);
+  DPAUDIT_CHECK_GE(h, kernel_);
+  DPAUDIT_CHECK_GE(w, kernel_);
+  const size_t oh = h - kernel_ + 1;
+  const size_t ow = w - kernel_ + 1;
+  last_batch_input_ = &input;
+  batch_lanes_ = lanes;
+  output->ResizeTo({out_channels_, oh, ow, lanes});
+#if defined(DPAUDIT_X86_DISPATCH)
+  if (lanes == 8 && kernel_ == 3 && HasAvx2()) {
+    ConvForwardLanes8K3Avx2(input.data(), weight_.data(), bias_.data(),
+                            output->data(), in_channels_, out_channels_, h, w,
+                            oh, ow);
+    return;
+  }
+#endif
+  ConvForwardLanesBody(input.data(), weight_.data(), bias_.data(),
+                       output->data(), in_channels_, out_channels_, kernel_, h,
+                       w, oh, ow, lanes);
+}
+
+void Conv2d::BackwardBatchInto(const Tensor& grad_output, size_t lanes,
+                               Tensor* grad_input) {
+  DPAUDIT_CHECK(last_batch_input_ != nullptr) << "Backward before Forward";
+  DPAUDIT_CHECK_EQ(lanes, batch_lanes_);
+  DPAUDIT_CHECK_EQ(grad_output.rank(), 4u);
+  DPAUDIT_CHECK_EQ(grad_output.dim(0), out_channels_);
+  DPAUDIT_CHECK_EQ(grad_output.dim(3), lanes);
+  const size_t h = last_batch_input_->dim(1);
+  const size_t w = last_batch_input_->dim(2);
+  const size_t oh = grad_output.dim(1);
+  const size_t ow = grad_output.dim(2);
+  DPAUDIT_CHECK_EQ(oh, h - kernel_ + 1);
+  DPAUDIT_CHECK_EQ(ow, w - kernel_ + 1);
+  const size_t kk = kernel_ * kernel_;
+  lane_dweight_.resize(out_channels_ * in_channels_ * kk * lanes);
+  lane_dbias_.resize(out_channels_ * lanes);
+  lane_wacc_.resize(kk * lanes);
+  const float* g = grad_output.data();
+  const float* in = last_batch_input_->data();
+#if defined(DPAUDIT_X86_DISPATCH)
+  if (lanes == 8 && HasAvx2()) {
+    ConvBiasGradLanes8Avx2(g, lane_dbias_.data(), out_channels_, oh * ow);
+    if (kernel_ == 3) {
+      ConvWgradLanes8K3Avx2(g, in, lane_dweight_.data(), lane_wacc_.data(),
+                            in_channels_, out_channels_, h, w, oh, ow);
+      if (grad_input != nullptr) {
+        grad_input->ResizeTo(last_batch_input_->shape());
+        ConvGradInputLanes8K3Avx2(g, weight_.data(), grad_input->data(),
+                                  in_channels_, out_channels_, h, w, oh, ow);
+      }
+      return;
+    }
+    ConvWgradLanesBody(g, in, lane_dweight_.data(), lane_wacc_.data(),
+                       in_channels_, out_channels_, kernel_, h, w, oh, ow,
+                       lanes);
+    if (grad_input != nullptr) {
+      grad_input->ResizeTo(last_batch_input_->shape());
+      ConvGradInputLanesBody(g, weight_.data(), grad_input->data(),
+                             in_channels_, out_channels_, kernel_, h, w, oh,
+                             ow, lanes);
+    }
+    return;
+  }
+#endif
+  ConvBiasGradLanesBody(g, lane_dbias_.data(), out_channels_, oh * ow, lanes);
+  ConvWgradLanesBody(g, in, lane_dweight_.data(), lane_wacc_.data(),
+                     in_channels_, out_channels_, kernel_, h, w, oh, ow,
+                     lanes);
+  if (grad_input != nullptr) {
+    grad_input->ResizeTo(last_batch_input_->shape());
+    ConvGradInputLanesBody(g, weight_.data(), grad_input->data(), in_channels_,
+                           out_channels_, kernel_, h, w, oh, ow, lanes);
+  }
+}
+
+void Conv2d::LaneGradsTo(size_t lane, float* dst) const {
+  DPAUDIT_CHECK_LT(lane, batch_lanes_);
+  const size_t wsize = out_channels_ * in_channels_ * kernel_ * kernel_;
+  for (size_t p = 0; p < wsize; ++p) {
+    dst[p] = lane_dweight_[p * batch_lanes_ + lane];
+  }
+  dst += wsize;
+  for (size_t p = 0; p < out_channels_; ++p) {
+    dst[p] = lane_dbias_[p * batch_lanes_ + lane];
   }
 }
 

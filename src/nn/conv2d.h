@@ -20,6 +20,12 @@ class Conv2d : public Layer {
 
   void ForwardInto(const Tensor& input, Tensor* output) override;
   void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
+  bool SupportsBatchLanes() const override { return true; }
+  void ForwardBatchInto(const Tensor& input, size_t lanes,
+                        Tensor* output) override;
+  void BackwardBatchInto(const Tensor& grad_output, size_t lanes,
+                         Tensor* grad_input) override;
+  void LaneGradsTo(size_t lane, float* dst) const override;
   std::vector<Tensor*> Params() override { return {&weight_, &bias_}; }
   std::vector<Tensor*> Grads() override { return {&dweight_, &dbias_}; }
   void Initialize(Rng& rng) override;
@@ -34,7 +40,9 @@ class Conv2d : public Layer {
   Tensor bias_;     // [F]
   Tensor dweight_;
   Tensor dbias_;
-  Tensor last_input_;  // [C, H, W]
+  // Cached pointer to the forward input (see the lifetime contract in
+  // layer.h); the caller keeps it alive through backward.
+  const Tensor* last_input_ = nullptr;  // [C, H, W]
   // Backward-pass accumulators for the generic (non-3x3) kernel path, kept
   // as a member so steady-state passes do not allocate.
   std::vector<double> wacc_;
@@ -42,6 +50,13 @@ class Conv2d : public Layer {
   // weight-gradient kernels (widening is exact, so sums are unchanged).
   std::vector<double> in_pd_;
   std::vector<double> g_pd_;
+  // Batched lane state: per-lane parameter gradients in lane-SoA form plus
+  // the tap-accumulator scratch for the lane weight-gradient pass.
+  const Tensor* last_batch_input_ = nullptr;  // [C, H, W, lanes]
+  size_t batch_lanes_ = 0;
+  std::vector<float> lane_dweight_;  // [F * C * k * k, lanes]
+  std::vector<float> lane_dbias_;    // [F, lanes]
+  std::vector<double> lane_wacc_;    // [k * k, lanes]
 };
 
 }  // namespace dpaudit

@@ -3,9 +3,115 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/env.h"
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace dpaudit {
+namespace {
+
+// ---- Batched lane kernels --------------------------------------------------
+//
+// One body per direction, shared between the portable path (runtime `lanes`)
+// and the AVX2 wrappers (lanes pinned to 8 so the lane loops vectorize to one
+// ymm register each). Lanes are independent examples, so vectorizing across
+// them reorders nothing: every lane's accumulation chain is the same
+// bias-first, ascending-i chain the scalar path runs, hence bit-identical
+// outputs.
+
+DPAUDIT_LANE_INLINE void DenseForwardLanesBody(const float* w, const float* b,
+                                               const float* x, float* out,
+                                               size_t in, size_t out_features,
+                                               size_t lanes) {
+  for (size_t o = 0; o < out_features; ++o) {
+    const float* wrow = w + o * in;
+    double acc[kMaxBatchLanes];
+    for (size_t l = 0; l < lanes; ++l) acc[l] = b[o];
+    for (size_t i = 0; i < in; ++i) {
+      const double wi = wrow[i];
+      const float* xl = x + i * lanes;
+      for (size_t l = 0; l < lanes; ++l) {
+        acc[l] += wi * static_cast<double>(xl[l]);
+      }
+    }
+    float* ol = out + o * lanes;
+    for (size_t l = 0; l < lanes; ++l) ol[l] = static_cast<float>(acc[l]);
+  }
+}
+
+DPAUDIT_LANE_INLINE void DenseBackwardLanesBody(
+    const float* __restrict__ w, const float* __restrict__ g,
+    const float* __restrict__ x, float* __restrict__ dw,
+    float* __restrict__ db, float* __restrict__ gx, size_t in,
+    size_t out_features, size_t lanes) {
+  // dw and db are pure per-(o, i) products — no accumulation chain to
+  // preserve. The local copy of the output-gradient lanes keeps the streaming
+  // dw store loop free of reloads.
+  for (size_t o = 0; o < out_features; ++o) {
+    const float* gol = g + o * lanes;
+    float go[kMaxBatchLanes];
+    for (size_t l = 0; l < lanes; ++l) go[l] = gol[l];
+    float* dbl = db + o * lanes;
+    for (size_t l = 0; l < lanes; ++l) dbl[l] = go[l];
+    const float* xl = x;
+    float* dwl = dw + o * in * lanes;
+    for (size_t i = 0; i < in; ++i, xl += lanes, dwl += lanes) {
+      for (size_t l = 0; l < lanes; ++l) dwl[l] = go[l] * xl[l];
+    }
+  }
+  if (gx == nullptr) return;
+  // grad-input: each element's lane accumulator stays in registers across
+  // the o loop, summing in ascending output order — the scalar chain.
+  for (size_t i = 0; i < in; ++i) {
+    float acc[kMaxBatchLanes];
+    for (size_t l = 0; l < lanes; ++l) acc[l] = 0.0f;
+    for (size_t o = 0; o < out_features; ++o) {
+      const float wv = w[o * in + i];
+      const float* gol = g + o * lanes;
+      for (size_t l = 0; l < lanes; ++l) acc[l] += gol[l] * wv;
+    }
+    float* gxl = gx + i * lanes;
+    for (size_t l = 0; l < lanes; ++l) gxl[l] = acc[l];
+  }
+}
+
+#if defined(DPAUDIT_X86_DISPATCH)
+__attribute__((target("avx2"))) void DenseForwardLanes8Avx2(
+    const float* w, const float* b, const float* x, float* out, size_t in,
+    size_t out_features) {
+  DenseForwardLanesBody(w, b, x, out, in, out_features, 8);
+}
+
+// Hand-vectorized: one ymm per lane group, explicit mul-then-add (no FMA
+// contraction). dw and db are pure products; each gx element's accumulator
+// sums in ascending output order — the scalar chain — so results are
+// bit-identical. Intrinsics because the autovectorizer scalarizes this body.
+__attribute__((target("avx2"))) void DenseBackwardLanes8Avx2(
+    const float* w, const float* g, const float* x, float* dw, float* db,
+    float* gx, size_t in, size_t out_features) {
+  for (size_t o = 0; o < out_features; ++o) {
+    const __m256 go = _mm256_loadu_ps(g + o * 8);
+    _mm256_storeu_ps(db + o * 8, go);
+    float* dwrow = dw + o * in * 8;
+    for (size_t i = 0; i < in; ++i) {
+      _mm256_storeu_ps(dwrow + i * 8,
+                       _mm256_mul_ps(go, _mm256_loadu_ps(x + i * 8)));
+    }
+  }
+  if (gx == nullptr) return;
+  for (size_t i = 0; i < in; ++i) {
+    __m256 acc = _mm256_setzero_ps();
+    for (size_t o = 0; o < out_features; ++o) {
+      acc = _mm256_add_ps(acc,
+                          _mm256_mul_ps(_mm256_loadu_ps(g + o * 8),
+                                        _mm256_broadcast_ss(w + o * in + i)));
+    }
+    _mm256_storeu_ps(gx + i * 8, acc);
+  }
+}
+#endif  // DPAUDIT_X86_DISPATCH
+
+}  // namespace
 
 Dense::Dense(size_t in_features, size_t out_features)
     : in_(in_features),
@@ -30,8 +136,7 @@ void Dense::Initialize(Rng& rng) {
 void Dense::ForwardInto(const Tensor& input, Tensor* output) {
   DPAUDIT_CHECK_EQ(input.size(), in_)
       << "dense expects volume " << in_ << ", got " << input.ShapeString();
-  last_input_shape_ = input.shape();
-  last_input_ = input;
+  last_input_ = &input;
   output->ResizeTo({out_});
   const float* w = weight_.data();
   const float* x = input.data();
@@ -83,13 +188,14 @@ void Dense::ForwardInto(const Tensor& input, Tensor* output) {
 
 void Dense::BackwardInto(const Tensor& grad_output, Tensor* grad_input) {
   DPAUDIT_CHECK_EQ(grad_output.size(), out_);
-  DPAUDIT_CHECK_EQ(last_input_.size(), in_) << "Backward before Forward";
+  DPAUDIT_CHECK(last_input_ != nullptr) << "Backward before Forward";
+  DPAUDIT_CHECK_EQ(last_input_->size(), in_);
   const float* g = grad_output.data();
-  const float* x = last_input_.data();
+  const float* x = last_input_->data();
   const float* w = weight_.data();
   float* dw = dweight_.data();
   float* db = dbias_.data();
-  grad_input->ResizeTo(last_input_shape_);
+  grad_input->ResizeTo(last_input_->shape());
   float* gx = grad_input->data();
   for (size_t i = 0; i < in_; ++i) gx[i] = 0.0f;
   for (size_t o = 0; o < out_; ++o) {
@@ -101,6 +207,64 @@ void Dense::BackwardInto(const Tensor& grad_output, Tensor* grad_input) {
       dwrow[i] += go * x[i];
       gx[i] += go * wrow[i];
     }
+  }
+}
+
+void Dense::ForwardBatchInto(const Tensor& input, size_t lanes,
+                             Tensor* output) {
+  DPAUDIT_CHECK_GT(lanes, 0u);
+  DPAUDIT_CHECK_LE(lanes, kMaxBatchLanes);
+  DPAUDIT_CHECK_EQ(input.size(), in_ * lanes)
+      << "dense expects lane volume " << in_ * lanes << ", got "
+      << input.ShapeString();
+  last_batch_input_ = &input;
+  batch_lanes_ = lanes;
+  output->ResizeTo({out_, lanes});
+#if defined(DPAUDIT_X86_DISPATCH)
+  if (lanes == 8 && HasAvx2()) {
+    DenseForwardLanes8Avx2(weight_.data(), bias_.data(), input.data(),
+                           output->data(), in_, out_);
+    return;
+  }
+#endif
+  DenseForwardLanesBody(weight_.data(), bias_.data(), input.data(),
+                        output->data(), in_, out_, lanes);
+}
+
+void Dense::BackwardBatchInto(const Tensor& grad_output, size_t lanes,
+                              Tensor* grad_input) {
+  DPAUDIT_CHECK(last_batch_input_ != nullptr) << "Backward before Forward";
+  DPAUDIT_CHECK_EQ(lanes, batch_lanes_);
+  DPAUDIT_CHECK_EQ(grad_output.size(), out_ * lanes);
+  lane_dweight_.resize(out_ * in_ * lanes);
+  lane_dbias_.resize(out_ * lanes);
+  float* gx = nullptr;
+  if (grad_input != nullptr) {
+    grad_input->ResizeTo(last_batch_input_->shape());
+    gx = grad_input->data();
+  }
+#if defined(DPAUDIT_X86_DISPATCH)
+  if (lanes == 8 && HasAvx2()) {
+    DenseBackwardLanes8Avx2(weight_.data(), grad_output.data(),
+                            last_batch_input_->data(), lane_dweight_.data(),
+                            lane_dbias_.data(), gx, in_, out_);
+    return;
+  }
+#endif
+  DenseBackwardLanesBody(weight_.data(), grad_output.data(),
+                         last_batch_input_->data(), lane_dweight_.data(),
+                         lane_dbias_.data(), gx, in_, out_, lanes);
+}
+
+void Dense::LaneGradsTo(size_t lane, float* dst) const {
+  DPAUDIT_CHECK_LT(lane, batch_lanes_);
+  const size_t wsize = out_ * in_;
+  for (size_t p = 0; p < wsize; ++p) {
+    dst[p] = lane_dweight_[p * batch_lanes_ + lane];
+  }
+  dst += wsize;
+  for (size_t p = 0; p < out_; ++p) {
+    dst[p] = lane_dbias_[p * batch_lanes_ + lane];
   }
 }
 

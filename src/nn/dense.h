@@ -20,6 +20,12 @@ class Dense : public Layer {
 
   void ForwardInto(const Tensor& input, Tensor* output) override;
   void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
+  bool SupportsBatchLanes() const override { return true; }
+  void ForwardBatchInto(const Tensor& input, size_t lanes,
+                        Tensor* output) override;
+  void BackwardBatchInto(const Tensor& grad_output, size_t lanes,
+                         Tensor* grad_input) override;
+  void LaneGradsTo(size_t lane, float* dst) const override;
   std::vector<Tensor*> Params() override { return {&weight_, &bias_}; }
   std::vector<Tensor*> Grads() override { return {&dweight_, &dbias_}; }
   void Initialize(Rng& rng) override;
@@ -36,8 +42,14 @@ class Dense : public Layer {
   Tensor bias_;     // [out]
   Tensor dweight_;  // [out, in]
   Tensor dbias_;    // [out]
-  Tensor last_input_;
-  std::vector<size_t> last_input_shape_;
+  // Cached pointer to the forward input (see the lifetime contract in
+  // layer.h); the caller keeps it alive through backward.
+  const Tensor* last_input_ = nullptr;
+  // Batched lane state: per-lane parameter gradients in lane-SoA form.
+  const Tensor* last_batch_input_ = nullptr;
+  size_t batch_lanes_ = 0;
+  std::vector<float> lane_dweight_;  // [out * in, lanes]
+  std::vector<float> lane_dbias_;    // [out, lanes]
 };
 
 }  // namespace dpaudit

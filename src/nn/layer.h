@@ -1,9 +1,16 @@
 // Layer interface for the small neural-network library behind DPSGD.
 //
-// Layers process ONE example at a time (no batch dimension). This makes
-// per-example gradients — the quantity DPSGD clips — the natural output of a
-// single backward pass, at the cost of vectorization we do not need for the
-// paper's dataset sizes (|D| <= 1000, nets with a few thousand parameters).
+// Layers process ONE example at a time through ForwardInto/BackwardInto (no
+// batch dimension). This makes per-example gradients — the quantity DPSGD
+// clips — the natural output of a single backward pass. For throughput,
+// layers may additionally implement the *batched lane* entry points
+// (ForwardBatchInto/BackwardBatchInto), which push `lanes` independent
+// examples through the layer at once in structure-of-arrays form: a lane
+// tensor has the example's shape plus a trailing [lanes] dimension, so
+// element e of lane l lives at data[e * lanes + l]. Each lane keeps its own
+// accumulator and sums in the same ascending order as the scalar path, so
+// per-lane results are bit-identical to per-example ForwardInto/BackwardInto
+// for any lane count.
 
 #ifndef DPAUDIT_NN_LAYER_H_
 #define DPAUDIT_NN_LAYER_H_
@@ -13,6 +20,7 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/logging.h"
 #include "util/random.h"
 
 namespace dpaudit {
@@ -25,6 +33,12 @@ namespace dpaudit {
 /// tensors and reuse their storage: once shapes have stabilized (after the
 /// first example), a forward/backward pass performs no heap allocation. The
 /// output tensor must not alias the input tensor.
+///
+/// Input lifetime: the `input` tensor passed to ForwardInto (and the lane
+/// tensor passed to ForwardBatchInto) must remain valid and unmodified until
+/// the matching backward call. Layers cache a pointer to it instead of
+/// copying; Network's GradientWorkspace keeps every layer's input alive
+/// through the backward sweep.
 class Layer {
  public:
   virtual ~Layer() = default;
@@ -38,7 +52,45 @@ class Layer {
   /// dLoss/dInput into `*grad_input` (must not alias `grad_output`).
   virtual void BackwardInto(const Tensor& grad_output, Tensor* grad_input) = 0;
 
-  /// Allocating conveniences over the Into forms.
+  /// True when the layer implements the batched lane entry points below.
+  virtual bool SupportsBatchLanes() const { return false; }
+
+  /// Computes the layer output for `lanes` examples packed in lane-SoA form
+  /// (input shape = example shape + [lanes]) into `*output` (lane-SoA, must
+  /// not alias `input`). Lane l's output is bit-identical to ForwardInto on
+  /// lane l's example alone.
+  virtual void ForwardBatchInto(const Tensor& input, size_t lanes,
+                                Tensor* output) {
+    (void)input;
+    (void)lanes;
+    (void)output;
+    DPAUDIT_CHECK(false) << Name() << " does not implement batch lanes";
+  }
+
+  /// Batched counterpart of BackwardInto over the lane pack last passed
+  /// through ForwardBatchInto. Per-lane parameter gradients are stored in
+  /// the layer's lane buffers (read back via LaneGradsTo), NOT accumulated
+  /// into Grads(). A null `grad_input` skips computing dLoss/dInput — legal
+  /// only for the first layer of a network, where it would be discarded.
+  virtual void BackwardBatchInto(const Tensor& grad_output, size_t lanes,
+                                 Tensor* grad_input) {
+    (void)grad_output;
+    (void)lanes;
+    (void)grad_input;
+    DPAUDIT_CHECK(false) << Name() << " does not implement batch lanes";
+  }
+
+  /// Copies lane `lane`'s parameter gradients from the last
+  /// BackwardBatchInto into `dst`, flattened in Grads() order. Writes
+  /// nothing for parameterless layers.
+  virtual void LaneGradsTo(size_t lane, float* dst) const {
+    (void)lane;
+    (void)dst;
+  }
+
+  /// Allocating conveniences over the Into forms. The caller owns `input`
+  /// and must keep it alive until any subsequent Backward (see the input
+  /// lifetime note above).
   Tensor Forward(const Tensor& input) {
     Tensor output;
     ForwardInto(input, &output);

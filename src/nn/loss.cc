@@ -36,6 +36,41 @@ double SoftmaxCrossEntropyInto(const Tensor& logits, size_t label,
   return log_z - logits[label];
 }
 
+void SoftmaxCrossEntropyBatchInto(const Tensor& logits, const size_t* labels,
+                                  size_t lanes, Tensor* grad_logits,
+                                  double* losses) {
+  DPAUDIT_CHECK_GT(lanes, 0u);
+  DPAUDIT_CHECK_EQ(logits.size() % lanes, 0u);
+  const size_t classes = logits.size() / lanes;
+  DPAUDIT_CHECK_GT(classes, 0u);
+  grad_logits->ResizeTo(logits.shape());
+  const float* x = logits.data();
+  float* grad = grad_logits->data();
+  // Classes are tiny (10 here), so a plain per-lane loop costs nothing; what
+  // matters is running the exact scalar chain per lane.
+  for (size_t l = 0; l < lanes; ++l) {
+    const size_t label = labels[l];
+    DPAUDIT_CHECK_LT(label, classes);
+    float hi = x[l];
+    for (size_t i = 1; i < classes; ++i) {
+      const float v = x[i * lanes + l];
+      if (v > hi) hi = v;
+    }
+    double sum = 0.0;
+    for (size_t i = 0; i < classes; ++i) {
+      sum += std::exp(static_cast<double>(x[i * lanes + l]) - hi);
+    }
+    const double log_z = hi + std::log(sum);
+    for (size_t i = 0; i < classes; ++i) {
+      const double p =
+          std::exp(static_cast<double>(x[i * lanes + l]) - log_z);
+      grad[i * lanes + l] =
+          static_cast<float>(p - (i == label ? 1.0 : 0.0));
+    }
+    if (losses != nullptr) losses[l] = log_z - x[label * lanes + l];
+  }
+}
+
 LossResult SoftmaxCrossEntropy(const Tensor& logits, size_t label) {
   LossResult result;
   result.loss = SoftmaxCrossEntropyInto(logits, label, &result.grad_logits);

@@ -25,6 +25,16 @@ LossResult SoftmaxCrossEntropy(const Tensor& logits, size_t label);
 double SoftmaxCrossEntropyInto(const Tensor& logits, size_t label,
                                Tensor* grad_logits);
 
+/// Batched lane form over a [classes, lanes] logits tensor (lane-SoA, as
+/// produced by the batched layer path): computes each lane's loss gradient
+/// with exactly the chain SoftmaxCrossEntropyInto runs on that lane's logits
+/// alone — max first, then exp-sum in ascending class order — so gradients
+/// are bit-identical per lane. `labels` holds one label per lane. When
+/// `losses` is non-null it receives the per-lane losses.
+void SoftmaxCrossEntropyBatchInto(const Tensor& logits, const size_t* labels,
+                                  size_t lanes, Tensor* grad_logits,
+                                  double* losses = nullptr);
+
 /// Softmax probabilities of a rank-1 logits tensor (stable).
 Tensor SoftmaxProbabilities(const Tensor& logits);
 

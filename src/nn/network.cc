@@ -88,15 +88,15 @@ void Network::FlatGradsTo(float* dst) const {
 double Network::PerExampleGradientTo(const Tensor& input, size_t label,
                                      GradientWorkspace* ws, float* dst) {
   ZeroGrads();
-  // Forward through the ping-pong activation buffers; each layer caches
-  // whatever it needs internally, so the buffers can be reused immediately.
+  // Forward with one activation buffer per layer: every layer's input stays
+  // alive and unmodified through the backward sweep, so layers cache
+  // pointers to their inputs instead of deep-copying them (layer.h lifetime
+  // contract).
+  ws->acts.resize(layers_.size());
   const Tensor* cur = &input;
-  Tensor* next = &ws->act_a;
-  Tensor* spare = &ws->act_b;
-  for (auto& layer : layers_) {
-    layer->ForwardInto(*cur, next);
-    cur = next;
-    std::swap(next, spare);
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->ForwardInto(*cur, &ws->acts[i]);
+    cur = &ws->acts[i];
   }
   double loss = SoftmaxCrossEntropyInto(*cur, label, &ws->grad_a);
   const Tensor* gcur = &ws->grad_a;
@@ -109,6 +109,55 @@ double Network::PerExampleGradientTo(const Tensor& input, size_t label,
   }
   FlatGradsTo(dst);
   return loss;
+}
+
+bool Network::SupportsBatchLanes() const {
+  if (layers_.empty()) return false;
+  for (const auto& layer : layers_) {
+    if (!layer->SupportsBatchLanes()) return false;
+  }
+  return true;
+}
+
+void Network::PerExampleGradientBatchTo(const Tensor* const* inputs,
+                                        const size_t* labels, size_t lanes,
+                                        GradientWorkspace* ws,
+                                        float* const* dsts) {
+  DPAUDIT_CHECK_GT(lanes, 0u);
+  DPAUDIT_CHECK(!layers_.empty());
+  PackLanes(inputs, lanes, &ws->lane_input);
+  ws->lane_acts.resize(layers_.size());
+  const Tensor* cur = &ws->lane_input;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->ForwardBatchInto(*cur, lanes, &ws->lane_acts[i]);
+    cur = &ws->lane_acts[i];
+  }
+  SoftmaxCrossEntropyBatchInto(*cur, labels, lanes, &ws->grad_a);
+  const Tensor* gcur = &ws->grad_a;
+  Tensor* gnext = &ws->grad_b;
+  Tensor* gspare = &ws->grad_a;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    // Layer 0's input gradient would be discarded; skip computing it.
+    layers_[i]->BackwardBatchInto(*gcur, lanes, i == 0 ? nullptr : gnext);
+    if (i == 0) break;
+    gcur = gnext;
+    std::swap(gnext, gspare);
+  }
+  if (ws->layer_param_sizes.size() != layers_.size()) {
+    ws->layer_param_sizes.assign(layers_.size(), 0);
+    for (size_t i = 0; i < layers_.size(); ++i) {
+      for (const Tensor* p : layers_[i]->Params()) {
+        ws->layer_param_sizes[i] += p->size();
+      }
+    }
+  }
+  for (size_t l = 0; l < lanes; ++l) {
+    float* dst = dsts[l];
+    for (size_t i = 0; i < layers_.size(); ++i) {
+      layers_[i]->LaneGradsTo(l, dst);
+      dst += ws->layer_param_sizes[i];
+    }
+  }
 }
 
 double Network::PerExampleGradientInto(const Tensor& input, size_t label,

@@ -20,10 +20,22 @@ namespace dpaudit {
 /// example has sized the buffers, a per-example gradient computation performs
 /// no heap allocation. Each concurrent computation needs its own workspace
 /// (and its own Network replica, since layers cache activations).
+///
+/// Activations are kept one-buffer-per-layer (not ping-ponged): layer i's
+/// input — `acts[i-1]`, or the caller's input tensor for layer 0 — stays
+/// valid and unmodified through the backward sweep, which is what lets
+/// layers cache a pointer to their input instead of deep-copying it (see the
+/// lifetime contract in layer.h).
 struct GradientWorkspace {
-  Tensor act_a, act_b;    // forward activation ping-pong buffers
-  Tensor grad_a, grad_b;  // backward gradient ping-pong buffers
-  std::vector<float> grad;  // flat per-example gradient (NumParams floats)
+  std::vector<Tensor> acts;  // forward output of each layer (scalar path)
+  Tensor grad_a, grad_b;     // backward gradient ping-pong buffers
+  std::vector<float> grad;   // flat per-example gradient (NumParams floats)
+  // Batched lane path: the packed lane input, per-layer lane activations,
+  // and the cached per-layer flat parameter counts used to slice lane
+  // gradients back out per example.
+  Tensor lane_input;
+  std::vector<Tensor> lane_acts;
+  std::vector<size_t> layer_param_sizes;
 };
 
 /// A stack of layers ending in logits (the softmax is fused into the loss).
@@ -81,6 +93,19 @@ class Network {
   /// destination buffer (e.g. the parallel gradient engine's slots).
   double PerExampleGradientTo(const Tensor& input, size_t label,
                               GradientWorkspace* ws, float* dst);
+
+  /// True when every layer implements the batched lane entry points, i.e.
+  /// PerExampleGradientBatchTo may be used on this architecture.
+  bool SupportsBatchLanes() const;
+
+  /// Batched form of PerExampleGradientTo: packs `lanes` same-shaped
+  /// examples into one lane-SoA pass through the whole stack and writes lane
+  /// l's flat gradient into `dsts[l]` (NumParams floats each). Each lane's
+  /// gradient is bit-identical to PerExampleGradientTo on that example
+  /// alone, for any lane count. Requires SupportsBatchLanes().
+  void PerExampleGradientBatchTo(const Tensor* const* inputs,
+                                 const size_t* labels, size_t lanes,
+                                 GradientWorkspace* ws, float* const* dsts);
 
   /// Sum over the given examples of per-example gradients clipped to L2 norm
   /// `clip_norm` (Abadi et al.): g_j * min(1, C / ||g_j||). Returns the flat

@@ -20,6 +20,11 @@ class MaxPool2d : public Layer {
 
   void ForwardInto(const Tensor& input, Tensor* output) override;
   void BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
+  bool SupportsBatchLanes() const override { return true; }
+  void ForwardBatchInto(const Tensor& input, size_t lanes,
+                        Tensor* output) override;
+  void BackwardBatchInto(const Tensor& grad_output, size_t lanes,
+                         Tensor* grad_input) override;
   std::unique_ptr<Layer> Clone() const override {
     return std::make_unique<MaxPool2d>(pool_);
   }
@@ -30,6 +35,11 @@ class MaxPool2d : public Layer {
   std::vector<size_t> argmax_;  // flat input index chosen per output cell
   std::vector<size_t> input_shape_;
   std::vector<int> off_scratch_;  // plane-relative argmax lanes (AVX2 path)
+  // Batched lane state: example-flat argmax per (cell, lane), int32 since
+  // the planes here are far below 2^31 elements.
+  std::vector<int> lane_argmax_;
+  std::vector<size_t> batch_input_shape_;
+  size_t batch_lanes_ = 0;
 };
 
 }  // namespace dpaudit

@@ -160,4 +160,17 @@ class MetricsRegistry {
     }                                                                     \
   } while (0)
 
+/// Records one sample into a named distribution; same disabled-site cost as
+/// DPAUDIT_METRIC_COUNT (one branch on the telemetry flag). The (lo, hi,
+/// bins) histogram layout is fixed by the first use of the name.
+#define DPAUDIT_METRIC_DISTRIBUTION(name, lo, hi, bins, value)            \
+  do {                                                                    \
+    if (::dpaudit::obs::TelemetryEnabled()) {                             \
+      static ::dpaudit::obs::DistributionMetric& dpaudit_metric_dist =    \
+          ::dpaudit::obs::MetricsRegistry::Global().GetDistribution(      \
+              name, lo, hi, bins);                                        \
+      dpaudit_metric_dist.Record(value);                                  \
+    }                                                                     \
+  } while (0)
+
 #endif  // DPAUDIT_OBS_METRICS_H_

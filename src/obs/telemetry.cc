@@ -205,7 +205,7 @@ void RegisterBuildInfo(const std::string& binary_name) {
   std::ostringstream name;
   name << "dpaudit_build_info{binary=\"" << binary_name << "\",simd=\""
        << ActiveSimdDispatch() << "\",threads=\"" << ThreadsForBuildInfo()
-       << "\"}";
+       << "\",batch_lanes=\"" << BatchLanesFromEnv() << "\"}";
   MetricsRegistry::Global().GetGauge(name.str()).Set(1.0);
 }
 
@@ -228,7 +228,8 @@ void InitTelemetry(const std::string& argv0_or_name,
   std::atexit(&FlushTelemetry);
   DPAUDIT_LOG(INFO) << "telemetry on: binary=" << binary
                     << " simd=" << ActiveSimdDispatch()
-                    << " threads=" << ThreadsForBuildInfo() << " dir="
+                    << " threads=" << ThreadsForBuildInfo()
+                    << " batch_lanes=" << BatchLanesFromEnv() << " dir="
                     << (options.directory.empty() ? "." : options.directory);
 }
 

@@ -190,4 +190,36 @@ Tensor Transpose(const Tensor& a) {
   return out;
 }
 
+void PackLanes(const Tensor* const* examples, size_t lanes, Tensor* packed) {
+  DPAUDIT_CHECK_GT(lanes, 0u);
+  const Tensor& first = *examples[0];
+  std::vector<size_t> shape = first.shape();
+  for (size_t l = 1; l < lanes; ++l) {
+    DPAUDIT_CHECK(examples[l]->shape() == shape)
+        << "lane " << l << " shape " << examples[l]->ShapeString()
+        << " != " << first.ShapeString();
+  }
+  shape.push_back(lanes);
+  packed->ResizeTo(shape);
+  const size_t elems = first.size();
+  float* out = packed->data();
+  for (size_t l = 0; l < lanes; ++l) {
+    const float* in = examples[l]->data();
+    for (size_t e = 0; e < elems; ++e) out[e * lanes + l] = in[e];
+  }
+}
+
+void UnpackLane(const Tensor& packed, size_t lane, Tensor* example) {
+  DPAUDIT_CHECK_GE(packed.rank(), 2u);
+  const size_t lanes = packed.dim(packed.rank() - 1);
+  DPAUDIT_CHECK_LT(lane, lanes);
+  std::vector<size_t> shape = packed.shape();
+  shape.pop_back();
+  example->ResizeTo(shape);
+  const size_t elems = example->size();
+  const float* in = packed.data();
+  float* out = example->data();
+  for (size_t e = 0; e < elems; ++e) out[e] = in[e * lanes + lane];
+}
+
 }  // namespace dpaudit

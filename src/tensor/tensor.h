@@ -115,6 +115,17 @@ Tensor MatMul(const Tensor& a, const Tensor& b);
 /// Transpose of a rank-2 tensor.
 Tensor Transpose(const Tensor& a);
 
+/// Packs `lanes` same-shaped example tensors into one lane-SoA tensor of
+/// shape [example shape..., lanes], where element e of lane l lands at
+/// data[e * lanes + l]. This is the memory layout the batched-lane layer
+/// entry points (Layer::ForwardBatchInto) consume: the lane dimension is
+/// innermost, so vectorizing across lanes touches contiguous memory.
+void PackLanes(const Tensor* const* examples, size_t lanes, Tensor* packed);
+
+/// Extracts lane `lane` of a lane-SoA tensor produced by PackLanes (or by a
+/// batched layer) into `example`, dropping the trailing lane dimension.
+void UnpackLane(const Tensor& packed, size_t lane, Tensor* example);
+
 }  // namespace dpaudit
 
 #endif  // DPAUDIT_TENSOR_TENSOR_H_

@@ -23,6 +23,28 @@ inline int64_t EnvInt64(const char* name, int64_t fallback) {
   return value;
 }
 
+/// Default and maximum lane counts for the gradient engine's batched path
+/// (nn/gradient_engine.h). Defined here, next to the env parsing, so obs/
+/// can label build_info with the effective lane width without depending on
+/// nn/. 8 lanes = one AVX2 float vector; the cap bounds the fixed-size
+/// per-lane accumulator arrays in the layer kernels.
+inline constexpr size_t kDefaultBatchLanes = 8;
+inline constexpr size_t kMaxBatchLanes = 32;
+
+/// DPAUDIT_BATCH_LANES: how many examples the gradient engine packs into one
+/// forward/backward pass (0 = legacy one-example-at-a-time path). Results
+/// are bit-identical for any value; this only trades memory for throughput.
+/// Clamped to [0, kMaxBatchLanes].
+inline size_t BatchLanesFromEnv() {
+  int64_t lanes = EnvInt64("DPAUDIT_BATCH_LANES",
+                           static_cast<int64_t>(kDefaultBatchLanes));
+  if (lanes < 0) lanes = 0;
+  if (lanes > static_cast<int64_t>(kMaxBatchLanes)) {
+    lanes = static_cast<int64_t>(kMaxBatchLanes);
+  }
+  return static_cast<size_t>(lanes);
+}
+
 /// Reads a string environment variable with a fallback (used for paths such
 /// as DPAUDIT_TRACE_CACHE).
 inline std::string EnvString(const char* name, const std::string& fallback) {

@@ -7,6 +7,18 @@
 #ifndef DPAUDIT_UTIL_SIMD_H_
 #define DPAUDIT_UTIL_SIMD_H_
 
+// Forces a shared kernel body into its target("avx2") wrapper so the
+// compiler constant-propagates the wrapper's literal lane count and
+// auto-vectorizes the lane loops. The batched-lane kernels in nn/ are
+// written once as always-inline bodies with a runtime `lanes` parameter and
+// instantiated twice: a portable call and an AVX2 call with lanes pinned
+// to the vector width.
+#if defined(__GNUC__)
+#define DPAUDIT_LANE_INLINE inline __attribute__((always_inline))
+#else
+#define DPAUDIT_LANE_INLINE inline
+#endif
+
 #if defined(__x86_64__) && defined(__GNUC__)
 #define DPAUDIT_X86_DISPATCH 1
 #include <immintrin.h>

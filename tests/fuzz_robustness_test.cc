@@ -7,6 +7,7 @@
 
 #include "data/idx_format.h"
 #include "io/serialization.h"
+#include "nn/gradient_engine.h"
 #include "tests/test_helpers.h"
 #include "util/arg_parser.h"
 #include "util/random.h"
@@ -14,6 +15,7 @@
 namespace dpaudit {
 namespace {
 
+using testing_helpers::BlobDataset;
 using testing_helpers::TinyNetwork;
 
 std::vector<uint8_t> RandomBytes(size_t size, Rng& rng) {
@@ -106,6 +108,38 @@ TEST(FuzzTest, CorruptionIsActuallyDetected) {
     if (DeserializeWeights(corrupted, target).ok()) ++silent_corruptions;
   }
   EXPECT_EQ(silent_corruptions, 0u);
+}
+
+TEST(FuzzTest, BatchLanesSurviveRaggedFinalPacks) {
+  // Random (n, lanes, chunk) combinations, biased so the final pack is
+  // almost always ragged (n % lanes != 0). The lane engine must neither
+  // crash nor drift from the scalar reference by a single bit.
+  Rng rng(9);
+  Network net = TinyNetwork();
+  Rng init(10);
+  net.Initialize(init);
+  for (int trial = 0; trial < 20; ++trial) {
+    Rng data_rng(100 + trial);
+    const size_t n = 1 + rng.UniformInt(29);
+    Dataset d = BlobDataset(n, data_rng);
+    std::vector<float> ref = net.ClippedGradientSum(d.inputs, d.labels, 1.0);
+
+    GradientEngine::Options options;
+    options.threads = 1 + rng.UniformInt(4);
+    options.chunk = 1 + rng.UniformInt(8);
+    options.batch_lanes = 1 + rng.UniformInt(16);
+    GradientEngine engine(net, options);
+    engine.SyncParams(net);
+    std::vector<float> sum = engine.ClippedGradientSum(d.inputs, d.labels, 1.0);
+
+    ASSERT_EQ(ref.size(), sum.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(ref[i], sum[i])
+          << "trial=" << trial << " n=" << n << " lanes=" << options.batch_lanes
+          << " threads=" << options.threads << " chunk=" << options.chunk
+          << " i=" << i;
+    }
+  }
 }
 
 TEST(FuzzTest, ArgParserSurvivesRandomTokens) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
 #include <vector>
 
 #include "data/dataset.h"
@@ -113,6 +114,140 @@ TEST_P(GradientEngineTest, ConvolutionalNetworkMatchesNetworkBitwise) {
 
 INSTANTIATE_TEST_SUITE_P(Threads, GradientEngineTest,
                          ::testing::Values(1u, 2u, 8u));
+
+// Batched lane path: for every lane count B (including B > chunk and B that
+// leaves a ragged final pack) and every thread count, the lane engine must be
+// bit-identical to both the scalar-path engine (batch_lanes = 0) and the
+// sequential Network reference — gradients AND norms.
+class BatchLanesTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(BatchLanesTest, DenseNetworkBitIdenticalToScalarPath) {
+  const size_t lanes = std::get<0>(GetParam());
+  const size_t threads = std::get<1>(GetParam());
+  Rng rng(23);
+  Network net = TinyNetwork();
+  net.Initialize(rng);
+  Dataset d = BlobDataset(23, rng);  // 23 % B != 0 for B in {3, 8, 13}
+
+  std::vector<double> ref_norms;
+  std::vector<float> ref =
+      net.ClippedGradientSum(d.inputs, d.labels, 1.0, &ref_norms);
+
+  GradientEngine::Options options;
+  options.threads = threads;
+  options.chunk = 4;
+  options.batch_lanes = lanes;
+  GradientEngine engine(net, options);
+  EXPECT_EQ(lanes <= 1 ? 0u : lanes, engine.batch_lanes());
+  engine.SyncParams(net);
+  std::vector<double> norms;
+  std::vector<float> sum =
+      engine.ClippedGradientSum(d.inputs, d.labels, 1.0, &norms);
+
+  ASSERT_EQ(ref.size(), sum.size());
+  for (size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(ref[i], sum[i]) << i;
+  ASSERT_EQ(ref_norms.size(), norms.size());
+  for (size_t i = 0; i < norms.size(); ++i) {
+    EXPECT_EQ(ref_norms[i], norms[i]) << i;
+  }
+}
+
+TEST_P(BatchLanesTest, ConvolutionalNetworkBitIdenticalToScalarPath) {
+  const size_t lanes = std::get<0>(GetParam());
+  const size_t threads = std::get<1>(GetParam());
+  Rng rng(29);
+  Network net = BuildMnistNetwork(12);
+  net.Initialize(rng);
+  Dataset d = MnistBlobs(11, rng);  // ragged final pack for B in {3, 8, 13}
+
+  std::vector<double> ref_norms;
+  std::vector<float> ref =
+      net.ClippedGradientSum(d.inputs, d.labels, 2.0, &ref_norms);
+
+  GradientEngine::Options options;
+  options.threads = threads;
+  options.chunk = 2;  // < B for most cases: chunk must round up to a pack
+  options.batch_lanes = lanes;
+  GradientEngine engine(net, options);
+  engine.SyncParams(net);
+  std::vector<double> norms;
+  std::vector<float> sum =
+      engine.ClippedGradientSum(d.inputs, d.labels, 2.0, &norms);
+
+  ASSERT_EQ(ref.size(), sum.size());
+  for (size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(ref[i], sum[i]) << i;
+  ASSERT_EQ(ref_norms.size(), norms.size());
+  for (size_t i = 0; i < norms.size(); ++i) {
+    EXPECT_EQ(ref_norms[i], norms[i]) << i;
+  }
+}
+
+TEST_P(BatchLanesTest, PerLayerClippingBitIdenticalToScalarPath) {
+  const size_t lanes = std::get<0>(GetParam());
+  const size_t threads = std::get<1>(GetParam());
+  Rng rng(31);
+  Network net = TinyNetwork();
+  net.Initialize(rng);
+  Dataset d = BlobDataset(17, rng);
+
+  std::vector<float> ref =
+      net.PerLayerClippedGradientSum(d.inputs, d.labels, 1.0);
+
+  GradientEngine::Options options;
+  options.threads = threads;
+  options.chunk = 4;
+  options.batch_lanes = lanes;
+  GradientEngine engine(net, options);
+  engine.SyncParams(net);
+  std::vector<float> sum =
+      engine.PerLayerClippedGradientSum(d.inputs, d.labels, 1.0);
+
+  ASSERT_EQ(ref.size(), sum.size());
+  for (size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(ref[i], sum[i]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LanesByThreads, BatchLanesTest,
+    ::testing::Combine(::testing::Values(1u, 3u, 8u, 13u),
+                       ::testing::Values(1u, 4u, 13u)));
+
+// A ragged tail pack takes one of two routes: counts <= B/2 run the scalar
+// path, larger counts are padded to the full lane width (padded lanes are
+// discarded). Pin both sides of the boundary at B = 8 — tails of 4 (last
+// scalar-route count) and 5 (first padded count), plus datasets small
+// enough that the tail is the only pack — on the conv net, where the
+// padded route engages the width-pinned fast kernels.
+TEST(BatchLanesRaggedTest, TailRouteBoundaryBitIdenticalToScalarPath) {
+  for (size_t n : {4u, 5u, 12u, 13u}) {
+    Rng rng(37);
+    Network net = BuildMnistNetwork(12);
+    net.Initialize(rng);
+    Dataset d = MnistBlobs(n, rng);
+
+    std::vector<double> ref_norms;
+    std::vector<float> ref =
+        net.ClippedGradientSum(d.inputs, d.labels, 2.0, &ref_norms);
+
+    GradientEngine::Options options;
+    options.threads = 1;
+    options.batch_lanes = 8;
+    GradientEngine engine(net, options);
+    engine.SyncParams(net);
+    std::vector<double> norms;
+    std::vector<float> sum =
+        engine.ClippedGradientSum(d.inputs, d.labels, 2.0, &norms);
+
+    ASSERT_EQ(ref.size(), sum.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(ref[i], sum[i]) << "n=" << n << " i=" << i;
+    }
+    ASSERT_EQ(ref_norms.size(), norms.size());
+    for (size_t i = 0; i < norms.size(); ++i) {
+      EXPECT_EQ(ref_norms[i], norms[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
 
 TEST(GradientEngineApiTest, SyncParamsTracksUpdatedWeights) {
   Rng rng(17);

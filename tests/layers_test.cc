@@ -52,7 +52,10 @@ TEST(DenseTest, InitializationBounds) {
 
 TEST(ReluTest, ForwardBackward) {
   Relu relu;
-  Tensor y = relu.Forward(Tensor({4}, {-1.0f, 0.0f, 2.0f, -3.0f}));
+  // Named input: the layer.h lifetime contract requires the forward input to
+  // outlive the backward call (layers cache a pointer to it).
+  Tensor x({4}, {-1.0f, 0.0f, 2.0f, -3.0f});
+  Tensor y = relu.Forward(x);
   EXPECT_FLOAT_EQ(y[0], 0.0f);
   EXPECT_FLOAT_EQ(y[2], 2.0f);
   Tensor g = relu.Backward(Tensor({4}, {1.0f, 1.0f, 1.0f, 1.0f}));

@@ -1,0 +1,36 @@
+// Fixture: dpaudit-lane-alias must flag raw element pointers stored from
+// another object's lane workspace buffers — the buffers are resized and
+// overwritten on every lane pack, so the stored alias silently goes stale.
+
+namespace dpaudit {
+
+struct Tensor {
+  float* data();
+  const float* data() const;
+};
+
+struct GradientWorkspace {
+  Tensor lane_input;
+  Tensor lane_scratch;
+};
+
+void Consume(const float* p);
+
+float* CachesALaneAlias(GradientWorkspace* ws) {
+  float* alias = ws->lane_input.data();
+  return alias;
+}
+
+void StoresThroughDotAccess(GradientWorkspace& ws) {
+  const float* held = ws.lane_scratch.data();
+  Consume(held);
+}
+
+struct Holder {
+  const float* stale = nullptr;
+  void Capture(const GradientWorkspace& ws) {
+    stale = ws.lane_input.data();
+  }
+};
+
+}  // namespace dpaudit

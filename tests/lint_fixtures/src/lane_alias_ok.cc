@@ -1,0 +1,50 @@
+// Fixture: compliant lane-buffer use — buffers travel through the batched
+// layer API as tensors, .data() is called at the use site (call argument,
+// never stored), a layer's own lane_* members stay allowed, and the audited
+// escape hatch is a justified NOLINT.
+
+#include <cstddef>
+#include <vector>
+
+namespace dpaudit {
+
+struct Tensor {
+  float* data();
+  const float* data() const;
+};
+
+struct GradientWorkspace {
+  Tensor lane_input;
+  std::vector<Tensor> lane_acts;
+};
+
+void Kernel(const float* in, float* out);
+
+// .data() at the use site: the pointer never outlives the statement.
+void PassesAtCallSite(GradientWorkspace* ws) {
+  Kernel(ws->lane_input.data(), ws->lane_acts[0].data());
+}
+
+// Handles to the tensors themselves are fine — they follow resizes.
+void BindsTensors(GradientWorkspace* ws) {
+  const Tensor* cur = &ws->lane_input;
+  Kernel(cur->data(), ws->lane_acts[0].data());
+}
+
+struct LaneLayer {
+  std::vector<float> lane_dweight_;
+
+  // A layer touching its OWN lane scratch is the owner, not an alias.
+  void Backward() {
+    float* dw = lane_dweight_.data();
+    Kernel(dw, dw);
+  }
+};
+
+void AuditedAlias(GradientWorkspace* ws) {
+  // Pointer provably consumed before the next pack touches the buffer.
+  float* alias = ws->lane_input.data();  // NOLINT(dpaudit-lane-alias)
+  Kernel(alias, alias);
+}
+
+}  // namespace dpaudit

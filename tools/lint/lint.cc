@@ -295,6 +295,66 @@ void CheckIncludeGuard(const SourceFile& file, std::vector<Finding>* out) {
 }
 
 // ---------------------------------------------------------------------------
+// dpaudit-lane-alias: lane workspace buffers (GradientWorkspace's lane_* and
+// layers' per-lane scratch) are pack-transient — they are resized and
+// overwritten on every lane pack, and may belong to a different worker's
+// workspace. Storing a raw element pointer obtained through another object's
+// lane buffer (`ws->lane_input.data()`) creates an alias that silently goes
+// stale across packs; pass lane buffers through the batched layer API and
+// call .data() at the use site instead.
+
+void CheckLaneAlias(const SourceFile& file, std::vector<Finding>* out) {
+  if (!InTree(file.rel, "src")) return;
+  for (size_t i = 0; i < file.code_lines.size(); ++i) {
+    const std::string& line = file.code_lines[i];
+    size_t pos = 0;
+    bool hit = false;
+    while (!hit && (pos = line.find("lane_", pos)) != std::string::npos) {
+      // Member access on some other object: ".lane_..." or "->lane_...".
+      // A layer touching its own lane_* members (no accessor prefix) is the
+      // owner, not an alias, and stays allowed.
+      const bool dot = pos >= 1 && line[pos - 1] == '.';
+      const bool arrow =
+          pos >= 2 && line[pos - 2] == '-' && line[pos - 1] == '>';
+      if (!dot && !arrow) {
+        pos += 5;
+        continue;
+      }
+      // Raw element pointer taken from the buffer on the same line...
+      const size_t data_pos = line.find(".data(", pos);
+      if (data_pos == std::string::npos) {
+        pos += 5;
+        continue;
+      }
+      // ...and stored (an '=' to the left that is an assignment, not a
+      // comparison), rather than passed straight into a call.
+      for (size_t q = 0; q + 1 < pos; ++q) {
+        if (line[q] != '=') continue;
+        if (line[q + 1] == '=') {
+          ++q;
+          continue;
+        }
+        if (q > 0 && std::string("=!<>+-*/%&|^").find(line[q - 1]) !=
+                         std::string::npos) {
+          continue;
+        }
+        hit = true;
+        break;
+      }
+      pos += 5;
+    }
+    if (hit) {
+      Emit(file, static_cast<int>(i + 1), "dpaudit-lane-alias",
+           "raw pointer stored into another object's lane workspace buffer; "
+           "lane buffers are resized/overwritten per pack, so the alias goes "
+           "stale — pass the buffer through the batched layer API and call "
+           ".data() at the use site",
+           out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // dpaudit-banned-fn: unbounded/locale-dependent C functions with safer
 // replacements the codebase already uses.
 
@@ -600,6 +660,10 @@ const std::vector<Rule>& AllRules() {
       {"dpaudit-include-guard",
        "headers carry #pragma once or the DPAUDIT_<PATH>_H_ guard",
        &CheckIncludeGuard},
+      {"dpaudit-lane-alias",
+       "no raw pointers stored into another object's lane workspace buffers; "
+       "lane buffers are pack-transient",
+       &CheckLaneAlias},
       {"dpaudit-omp",
        "no #pragma omp; parallelism goes through util/thread_pool",
        &CheckOmp},
