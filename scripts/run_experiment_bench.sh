@@ -39,6 +39,15 @@ for bin in bench_micro bench_fig08_eps_from_sensitivity \
   fi
 done
 
+# Provenance folded into every BENCH_*.json below: the commit the numbers
+# were measured at, the ledger/telemetry schema version, and the build_info
+# gauge (simd dispatch, thread default) from the CLI's metrics exposition.
+export DPAUDIT_PROV_COMMIT="$(git -C "${repo_root}" rev-parse --short HEAD \
+                              2>/dev/null || echo unknown)"
+export DPAUDIT_PROV_SCHEMA=1
+export DPAUDIT_PROV_BUILD_INFO="$("${build_dir}/tools/dpaudit_cli" metrics \
+    2>/dev/null | grep '^dpaudit_build_info' || true)"
+
 echo "== microbenchmarks (paper gradient dimensionality) =="
 "${bench_bin}" \
   --benchmark_filter='BM_(GaussianPerturb|LogLikelihoodRatio|DiAdversaryOnStep)/' \
@@ -159,6 +168,12 @@ doc["trio_speedup_warm_vs_pre_pr"] = round(
     doc["pre_pr_baseline"]["experiment_trio_seconds"] / float(warm_s), 2)
 doc["trio_speedup_cold_vs_pre_pr"] = round(
     doc["pre_pr_baseline"]["experiment_trio_seconds"] / float(cold_s), 2)
+
+doc["provenance"] = {
+    "schema_version": int(os.environ.get("DPAUDIT_PROV_SCHEMA", "1")),
+    "git_commit": os.environ.get("DPAUDIT_PROV_COMMIT", "unknown"),
+    "build_info": os.environ.get("DPAUDIT_PROV_BUILD_INFO", ""),
+}
 
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2)
@@ -326,6 +341,12 @@ for n in (16, 256):
         doc["speedups"][f"shared_pool_vs_fresh_pool/{n}"] = round(
             fresh / shared, 2)
 
+doc["provenance"] = {
+    "schema_version": int(os.environ.get("DPAUDIT_PROV_SCHEMA", "1")),
+    "git_commit": os.environ.get("DPAUDIT_PROV_COMMIT", "unknown"),
+    "build_info": os.environ.get("DPAUDIT_PROV_BUILD_INFO", ""),
+}
+
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2)
 print(f"wrote {out_path}")
@@ -473,6 +494,12 @@ doc = {
         "cold_lanes8_vs_scalar": round(float(c0) / float(c8), 2),
         "warm_lanes8_vs_scalar": round(float(w0) / float(w8), 2),
     },
+}
+
+doc["provenance"] = {
+    "schema_version": int(os.environ.get("DPAUDIT_PROV_SCHEMA", "1")),
+    "git_commit": os.environ.get("DPAUDIT_PROV_COMMIT", "unknown"),
+    "build_info": os.environ.get("DPAUDIT_PROV_BUILD_INFO", ""),
 }
 
 with open(out_path, "w") as f:

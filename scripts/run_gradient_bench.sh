@@ -20,10 +20,19 @@ fi
   --benchmark_repetitions="${BENCH_REPETITIONS:-1}" \
   "$@"
 
+# Provenance: the commit the numbers were measured at, the telemetry schema
+# version, and the build_info gauge from the CLI's metrics exposition (empty
+# when only bench_micro was built).
+export DPAUDIT_PROV_COMMIT="$(git -C "${repo_root}" rev-parse --short HEAD \
+                              2>/dev/null || echo unknown)"
+export DPAUDIT_PROV_SCHEMA=1
+export DPAUDIT_PROV_BUILD_INFO="$("${repo_root}/build/tools/dpaudit_cli" \
+    metrics 2>/dev/null | grep '^dpaudit_build_info' || true)"
+
 # Fold the pre-engine baseline (naive per-example loop, seed build at the
 # same single-thread setting) into the JSON so before/after live in one file.
 python3 - "${out}" <<'EOF'
-import json, sys
+import json, os, sys
 path = sys.argv[1]
 with open(path) as f:
     doc = json.load(f)
@@ -48,6 +57,11 @@ if mnist64 is not None:
     doc["speedup_mnist_batch64_single_thread"] = round(
         doc["pre_pr_baseline"]["benchmarks"]["BM_ClippedGradientSumMnist/64"]
         / mnist64["real_time"], 2)
+doc["provenance"] = {
+    "schema_version": int(os.environ.get("DPAUDIT_PROV_SCHEMA", "1")),
+    "git_commit": os.environ.get("DPAUDIT_PROV_COMMIT", "unknown"),
+    "build_info": os.environ.get("DPAUDIT_PROV_BUILD_INFO", ""),
+}
 with open(path, "w") as f:
     json.dump(doc, f, indent=2)
 EOF

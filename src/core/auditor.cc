@@ -3,8 +3,10 @@
 #include <cmath>
 #include <limits>
 
+#include "core/ledger_bridge.h"
 #include "core/scores.h"
 #include "dp/rdp_accountant.h"
+#include "obs/audit_ledger.h"
 #include "stats/summary.h"
 #include "util/logging.h"
 #include "util/math_util.h"
@@ -120,6 +122,12 @@ StatusOr<AuditReport> AuditExperiment(const DiExperimentSummary& summary,
   DPAUDIT_ASSIGN_OR_RETURN(
       report.epsilon_from_advantage,
       EpsilonFromAdvantage(summary.EmpiricalAdvantage(), delta));
+  // The ledger's audit row links to the experiment block through the trial
+  // content digest, so `dpaudit_cli ledger check` can recompute all three
+  // estimators from rows alone and verify them against this report.
+  if (obs::AuditLedgerEnabled()) {
+    EmitLedgerAudit(summary, delta, report);
+  }
   return report;
 }
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "core/adversary.h"
+#include "core/ledger_bridge.h"
 #include "core/trace.h"
+#include "obs/audit_ledger.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/logging.h"
@@ -143,7 +145,13 @@ StatusOr<DiExperimentSummary> RunDiExperiment(const Network& architecture,
   DiExperimentSummary summary;
   summary.trials.resize(config.repetitions);
   ExperimentTrace trace;
-  size_t replayed = 0;  // leading trials reused from a cached recording
+  size_t replayed = 0;   // leading trials reused from a cached recording
+  bool full_hit = false; // the cache satisfied every repetition
+
+  // The ledger needs the per-step trial traces and the fingerprint even when
+  // no cache is configured, so recording is on whenever either consumer is.
+  const bool ledger = obs::AuditLedgerEnabled();
+  const bool collect = config.trace_store != nullptr || ledger;
 
   // Record/replay: on a cache hit the recorded trace reconstructs the
   // summary bit-identically (all doubles round-trip as IEEE-754 bit
@@ -152,31 +160,42 @@ StatusOr<DiExperimentSummary> RunDiExperiment(const Network& architecture,
   // results never depend on the total repetition count — and only the tail
   // trains live. Any cache problem degrades to a live run.
   TraceFingerprint trace_key;
-  if (config.trace_store != nullptr) {
-    DPAUDIT_SPAN("trace_replay");
+  if (collect) {
     trace_key = FingerprintExperiment(architecture, d, d_prime, config,
                                       test_set);
+    trace.fingerprint = trace_key;
+  }
+  if (config.trace_store != nullptr) {
+    DPAUDIT_SPAN("trace_replay");
     StatusOr<ExperimentTrace> cached = config.trace_store->Load(trace_key);
     if (cached.ok()) {
       if (cached->trials.size() >= config.repetitions) {
-        return cached->ToSummaryPrefix(config.repetitions);
+        if (!ledger) return cached->ToSummaryPrefix(config.repetitions);
+        // Keep the full recorded traces for ledger emission. The recording
+        // may hold MORE trials than requested; it is never truncated or
+        // re-saved, and the ledger emits only the first `repetitions` — so
+        // a replayed run writes rows byte-identical to the cold run's.
+        full_hit = true;
+        summary = cached->ToSummaryPrefix(config.repetitions);
+        replayed = config.repetitions;
+        trace.trials = std::move(cached->trials);
+      } else {
+        replayed = cached->trials.size();
+        trace.trials = std::move(cached->trials);
+        for (size_t i = 0; i < replayed; ++i) {
+          summary.trials[i] = ToTrialResult(trace.trials[i]);
+        }
+        DPAUDIT_LOG(INFO) << "trace " << trace_key.ToHex() << " replays "
+                          << replayed << "/" << config.repetitions
+                          << " repetitions; extending";
       }
-      replayed = cached->trials.size();
-      trace.trials = std::move(cached->trials);
-      for (size_t i = 0; i < replayed; ++i) {
-        summary.trials[i] = ToTrialResult(trace.trials[i]);
-      }
-      DPAUDIT_LOG(INFO) << "trace " << trace_key.ToHex() << " replays "
-                        << replayed << "/" << config.repetitions
-                        << " repetitions; extending";
     } else if (cached.status().code() != StatusCode::kNotFound) {
       DPAUDIT_LOG(WARNING) << "ignoring unreadable trace "
                            << trace_key.ToHex() << ": "
                            << cached.status().message();
     }
-    trace.fingerprint = trace_key;
-    trace.trials.resize(config.repetitions);
   }
+  if (collect && !full_hit) trace.trials.resize(config.repetitions);
 
   const size_t live = config.repetitions - replayed;
   std::vector<Status> trial_status(live, Status::Ok());
@@ -199,21 +218,24 @@ StatusOr<DiExperimentSummary> RunDiExperiment(const Network& architecture,
     const size_t rep = replayed + i;
     trial_status[i] = RunDiTrial(
         architecture, d, d_prime, trial_config, rep, &summary.trials[rep],
-        config.trace_store != nullptr ? &trace.trials[rep] : nullptr,
-        test_set);
+        collect ? &trace.trials[rep] : nullptr, test_set);
   });
 
   for (const Status& st : trial_status) {
     if (!st.ok()) return st;
   }
 
-  if (config.trace_store != nullptr) {
+  if (config.trace_store != nullptr && !full_hit) {
     DPAUDIT_SPAN("trace_record");
     Status saved = config.trace_store->Save(trace);
     if (!saved.ok()) {
       DPAUDIT_LOG(WARNING) << "cannot cache trace " << trace_key.ToHex()
                            << ": " << saved.message();
     }
+  }
+  if (ledger) {
+    EmitLedgerExperiment(trace_key, config, d, d_prime, test_set,
+                         trace.trials, config.repetitions);
   }
   return summary;
 }

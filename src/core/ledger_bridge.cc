@@ -1,0 +1,130 @@
+#include "core/ledger_bridge.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "dp/privacy_params.h"
+
+namespace dpaudit {
+
+namespace {
+
+std::string DigestHex(uint64_t digest) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+}  // namespace
+
+obs::LedgerExperiment BuildLedgerExperiment(
+    const TraceFingerprint& fingerprint, const DiExperimentConfig& config,
+    const Dataset& d, const Dataset& d_prime, const Dataset* test_set,
+    const std::vector<TrialTrace>& trials, size_t repetitions) {
+  obs::LedgerExperiment experiment;
+  experiment.fingerprint = fingerprint.ToHex();
+  experiment.seed = config.seed;
+  experiment.repetitions = repetitions;
+  experiment.epochs = config.dpsgd.epochs;
+  experiment.learning_rate = config.dpsgd.learning_rate;
+  experiment.clip_norm = config.dpsgd.clip_norm;
+  experiment.noise_multiplier = config.dpsgd.noise_multiplier;
+  experiment.sensitivity_mode =
+      SensitivityModeToString(config.dpsgd.sensitivity_mode);
+  experiment.neighbor_mode = NeighborModeToString(config.dpsgd.neighbor_mode);
+  experiment.dataset_digest_d = DigestHex(DatasetDigest(d));
+  experiment.dataset_digest_dprime = DigestHex(DatasetDigest(d_prime));
+  experiment.dataset_digest_test =
+      (test_set != nullptr && !test_set->empty())
+          ? DigestHex(DatasetDigest(*test_set))
+          : std::string();
+
+  const size_t reps = std::min(repetitions, trials.size());
+  obs::LedgerDigest digest;
+  experiment.trials.reserve(reps);
+  for (size_t rep = 0; rep < reps; ++rep) {
+    const TrialTrace& trace = trials[rep];
+    if (rep == 0) {
+      experiment.steps_per_trial = trace.steps.size();
+      experiment.prior_belief_d =
+          trace.belief_history.empty() ? 0.5 : trace.belief_history.front();
+    }
+    obs::LedgerTrial trial;
+    trial.rep = rep;
+    trial.trained_on_d = trace.trained_on_d;
+    trial.adversary_says_d = trace.adversary_says_d;
+    trial.final_belief_d = trace.final_belief_d;
+    trial.max_belief_d = trace.max_belief_d;
+    trial.test_accuracy = trace.test_accuracy;
+    trial.steps.reserve(trace.steps.size());
+    std::vector<double> sigmas;
+    std::vector<double> local_sensitivities;
+    sigmas.reserve(trace.steps.size());
+    local_sensitivities.reserve(trace.steps.size());
+    double llr = 0.0;
+    for (size_t i = 0; i < trace.steps.size(); ++i) {
+      const StepTraceRecord& record = trace.steps[i];
+      obs::LedgerStep step;
+      step.step = i;
+      step.clip_norm = record.clip_norm;
+      step.local_sensitivity = record.local_sensitivity;
+      step.sensitivity_used = record.sensitivity_used;
+      step.sigma = record.sigma;
+      step.log_density_d = record.log_density_d;
+      step.log_density_dprime = record.log_density_dprime;
+      llr += record.log_density_d - record.log_density_dprime;
+      step.llr = llr;
+      step.belief_d = record.belief_d;
+      step.rdp_eps_alpha2 =
+          obs::LedgerRdpAlpha2(record.sigma, record.local_sensitivity);
+      trial.steps.push_back(step);
+      sigmas.push_back(record.sigma);
+      local_sensitivities.push_back(record.local_sensitivity);
+    }
+    digest.AddTrial(trial.trained_on_d, trial.adversary_says_d,
+                    trial.final_belief_d, trial.max_belief_d,
+                    trial.test_accuracy, sigmas, local_sensitivities);
+    experiment.trials.push_back(std::move(trial));
+  }
+  experiment.digest = digest.Hex();
+  return experiment;
+}
+
+void EmitLedgerExperiment(const TraceFingerprint& fingerprint,
+                          const DiExperimentConfig& config, const Dataset& d,
+                          const Dataset& d_prime, const Dataset* test_set,
+                          const std::vector<TrialTrace>& trials,
+                          size_t repetitions) {
+  if (!obs::AuditLedgerEnabled()) return;
+  obs::LedgerExperiment experiment = BuildLedgerExperiment(
+      fingerprint, config, d, d_prime, test_set, trials, repetitions);
+  obs::AppendLedgerExperiment(&experiment);
+}
+
+std::string LedgerDigestOfSummary(const DiExperimentSummary& summary) {
+  obs::LedgerDigest digest;
+  for (const DiTrialResult& trial : summary.trials) {
+    digest.AddTrial(trial.trained_on_d, trial.adversary_says_d,
+                    trial.final_belief_d, trial.max_belief_d,
+                    trial.test_accuracy, trial.sigmas,
+                    trial.local_sensitivities);
+  }
+  return digest.Hex();
+}
+
+void EmitLedgerAudit(const DiExperimentSummary& summary, double delta,
+                     const AuditReport& report) {
+  if (!obs::AuditLedgerEnabled()) return;
+  obs::LedgerAudit audit;
+  audit.digest = LedgerDigestOfSummary(summary);
+  audit.delta = delta;
+  audit.epsilon_from_sensitivities = report.epsilon_from_sensitivities;
+  audit.epsilon_from_belief = report.epsilon_from_belief;
+  audit.epsilon_from_advantage = report.epsilon_from_advantage;
+  audit.advantage = summary.EmpiricalAdvantage();
+  audit.max_belief = summary.MaxBeliefInD();
+  obs::AppendLedgerAudit(&audit);
+}
+
+}  // namespace dpaudit

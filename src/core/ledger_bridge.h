@@ -1,0 +1,59 @@
+// Converts core experiment types into the plain-data rows of the privacy-
+// audit ledger (obs/audit_ledger.h) and emits them. The obs layer sits below
+// core and cannot see DiExperimentConfig/TrialTrace/DiExperimentSummary, so
+// this bridge is where those types are flattened into ledger rows.
+//
+// Call sites (all gated on obs::AuditLedgerEnabled(), all at sequential
+// points of the run so row order is deterministic):
+//   - RunDiExperiment emits one experiment block per repeated experiment;
+//   - the sweep scheduler's sequential results loop does the same per cell;
+//   - AuditExperiment emits one audit row per report it produces.
+
+#ifndef DPAUDIT_CORE_LEDGER_BRIDGE_H_
+#define DPAUDIT_CORE_LEDGER_BRIDGE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/auditor.h"
+#include "core/experiment.h"
+#include "core/trace.h"
+#include "obs/audit_ledger.h"
+
+namespace dpaudit {
+
+/// Flattens the first `repetitions` recorded trials of one repeated
+/// experiment into a ledger experiment block. `trials` may hold MORE than
+/// `repetitions` entries (a cache recording longer than the request); the
+/// extras are not emitted, preserving cold/replay row parity. The cumulative
+/// LLR and the per-step RDP contribution are derived here, in repetition/
+/// step order, so a replayed trace reproduces them bit-identically.
+obs::LedgerExperiment BuildLedgerExperiment(
+    const TraceFingerprint& fingerprint, const DiExperimentConfig& config,
+    const Dataset& d, const Dataset& d_prime, const Dataset* test_set,
+    const std::vector<TrialTrace>& trials, size_t repetitions);
+
+/// BuildLedgerExperiment + AppendLedgerExperiment. Callers gate on
+/// obs::AuditLedgerEnabled() before collecting trials; this re-checks it so
+/// a disabled ledger is always a no-op.
+void EmitLedgerExperiment(const TraceFingerprint& fingerprint,
+                          const DiExperimentConfig& config, const Dataset& d,
+                          const Dataset& d_prime, const Dataset* test_set,
+                          const std::vector<TrialTrace>& trials,
+                          size_t repetitions);
+
+/// The ledger content digest of a summary's trials — the same digest
+/// BuildLedgerExperiment stamps on the experiment block built from the
+/// equivalent trial traces, which is what lets an audit row name the
+/// experiment it audited without core handing obs any core type.
+std::string LedgerDigestOfSummary(const DiExperimentSummary& summary);
+
+/// Emits the audit row for one AuditExperiment call (no-op when the ledger
+/// is disabled).
+void EmitLedgerAudit(const DiExperimentSummary& summary, double delta,
+                     const AuditReport& report);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_CORE_LEDGER_BRIDGE_H_

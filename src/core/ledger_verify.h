@@ -1,0 +1,44 @@
+// Ledger-backed epsilon' verification: recomputes everything a privacy-audit
+// ledger claims from its rows alone and checks it against what the in-process
+// run reported. This is the independent half of the audit story — the ledger
+// is evidence, and `dpaudit_cli ledger check` is the examiner that needs no
+// access to the original run, only to the same math:
+//
+//   - the content digest of each experiment block is recomputed from the
+//     trial rows (exact match required);
+//   - the belief trajectory is replayed per trial from the recorded per-step
+//     log densities via Lemma 1 (logit prior + cumulative LLR, sigmoid), and
+//     the recorded llr, belief_d, final_belief_d, and max_belief_d must all
+//     match — bit-exactly in practice, since %.17g round-trips doubles and
+//     the replay performs the same operations in the same order;
+//   - each step's rdp_eps_alpha2 must equal LedgerRdpAlpha2(sigma, LS);
+//   - for every audit row, the three epsilon' estimators (sensitivity -> RDP
+//     accountant, max posterior belief via Eq. 10, empirical advantage via
+//     Theorem 2's inverse) are recomputed from the digest-matched experiment
+//     block's rows and must agree with the recorded values to `tolerance`.
+
+#ifndef DPAUDIT_CORE_LEDGER_VERIFY_H_
+#define DPAUDIT_CORE_LEDGER_VERIFY_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/audit_ledger.h"
+#include "util/status.h"
+
+namespace dpaudit {
+
+/// Verifies a parsed ledger as described above, writing one summary line per
+/// experiment/audit row to `report`. Returns OK when every check passes;
+/// InvalidArgument naming the first failing row and field otherwise (the
+/// report still covers all rows, so a failure's context is visible).
+Status CheckLedger(const obs::LedgerFile& file, double tolerance,
+                   std::ostream& report);
+
+/// LoadLedgerFile + CheckLedger (the `dpaudit_cli ledger check` path).
+Status CheckLedgerFile(const std::string& path, double tolerance,
+                       std::ostream& report);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_CORE_LEDGER_VERIFY_H_

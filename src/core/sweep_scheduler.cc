@@ -2,13 +2,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <utility>
 
+#include "core/ledger_bridge.h"
 #include "core/trace.h"
+#include "obs/audit_ledger.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "util/env.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -28,16 +35,98 @@ struct CellRun {
   TraceFingerprint key;
   ExperimentTrace trace;
   bool record = false;   // trace.trials collects this run for Save()
+  bool collect = false;  // trace.trials collects live trials (Save or ledger)
   size_t replayed = 0;   // leading trials replayed from the cache
   DiExperimentSummary summary;
   std::vector<Status> trial_status;
+  std::atomic<size_t> trials_finished{0};  // heartbeat: cell done detection
+};
+
+// DPAUDIT_PROGRESS=<secs>: opt-in sweep heartbeat. A single monitor thread
+// wakes every `secs` seconds and reports cells/trials done, throughput, and
+// an ETA through DPAUDIT_LOG (stderr), so figure stdout stays byte-identical.
+// With the variable unset no thread is started and the per-trial cost is two
+// relaxed atomic increments.
+class ProgressMonitor {
+ public:
+  ProgressMonitor(size_t total_cells, size_t total_trials)
+      : total_cells_(total_cells), total_trials_(total_trials) {
+    const int64_t seconds = EnvInt64("DPAUDIT_PROGRESS", 0);
+    if (seconds <= 0) return;
+    interval_ = std::chrono::seconds(seconds);
+    start_ns_ = obs::MonotonicNowNs();
+    // Not pool work: the heartbeat must fire while the pool is saturated
+    // with trials, so it owns a dedicated thread for the sweep's lifetime.
+    thread_ = std::thread([this] { Loop(); });  // NOLINT(dpaudit-raw-thread)
+  }
+
+  ~ProgressMonitor() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  void TrialDone(size_t n = 1) {
+    trials_done_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CellDone() { cells_done_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!done_) {
+      if (cv_.wait_for(lock, interval_, [this] { return done_; })) break;
+      Report();
+    }
+  }
+
+  void Report() const {
+    const uint64_t trials = trials_done_.load(std::memory_order_relaxed);
+    const uint64_t cells = cells_done_.load(std::memory_order_relaxed);
+    const double elapsed_s =
+        static_cast<double>(obs::MonotonicNowNs() - start_ns_) * 1e-9;
+    const double rate =
+        elapsed_s > 0.0 ? static_cast<double>(trials) / elapsed_s : 0.0;
+    const double pct =
+        total_trials_ > 0
+            ? 100.0 * static_cast<double>(trials) /
+                  static_cast<double>(total_trials_)
+            : 100.0;
+    const double eta_s = rate > 0.0 && trials < total_trials_
+                             ? static_cast<double>(total_trials_ - trials) /
+                                   rate
+                             : 0.0;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "sweep progress: cells %llu/%zu, trials %llu/%zu "
+                  "(%.1f%%), %.2f trials/s, eta %.0f s",
+                  static_cast<unsigned long long>(cells), total_cells_,
+                  static_cast<unsigned long long>(trials), total_trials_,
+                  pct, rate, eta_s);
+    DPAUDIT_LOG(INFO) << line;
+  }
+
+  const size_t total_cells_;
+  const size_t total_trials_;
+  std::atomic<uint64_t> trials_done_{0};
+  std::atomic<uint64_t> cells_done_{0};
+  std::chrono::seconds interval_{0};
+  uint64_t start_ns_ = 0;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;  // NOLINT(dpaudit-raw-thread)
 };
 
 // Lazy per-cell setup: deferred calibration, validation, trace-cache probe,
 // prefix replay. Runs inside the trial task set, so a later cell's (often
 // expensive) calibration overlaps earlier cells' training instead of
 // serializing the sweep.
-void PrepareCell(size_t inner_threads, CellRun* run) {
+void PrepareCell(size_t inner_threads, bool ledger, CellRun* run) {
   DPAUDIT_SPAN("sweep_cell_prep");
   const SweepCell& cell = *run->cell;
   run->config = cell.config;
@@ -69,20 +158,37 @@ void PrepareCell(size_t inner_threads, CellRun* run) {
   run->summary.trials.resize(reps);
   run->trial_status.assign(reps, Status::Ok());
 
-  if (run->store == nullptr) return;
+  if (run->store == nullptr) {
+    if (ledger) {
+      // No cache, but the ledger still needs the fingerprint and the
+      // per-step traces of every live trial.
+      run->key = FingerprintExperiment(*cell.architecture, *cell.d,
+                                       *cell.d_prime, run->config,
+                                       cell.test_set);
+      run->trace.fingerprint = run->key;
+      run->trace.trials.resize(reps);
+      run->collect = true;
+    }
+    return;
+  }
   run->key = FingerprintExperiment(*cell.architecture, *cell.d,
                                    *cell.d_prime, run->config,
                                    cell.test_set);
   StatusOr<ExperimentTrace> cached = run->store->Load(run->key);
   if (cached.ok()) {
     run->replayed = std::min(cached->trials.size(), reps);
-    if (cached->trials.size() < reps) {
+    if (cached->trials.size() < reps || ledger) {
       // Shorter recording: keep it as the prefix of this run's trace and
       // train only the tail (the prefix-extensible contract, core/trace.h).
+      // With the ledger on, a full hit's traces are kept too — the recording
+      // may exceed `reps`; it is never truncated or re-saved, and the ledger
+      // emits only the first `reps`, matching the cold run byte-for-byte.
       run->trace.trials = std::move(cached->trials);
-      DPAUDIT_LOG(INFO) << "trace " << run->key.ToHex() << " replays "
-                        << run->replayed << "/" << reps
-                        << " repetitions; extending";
+      if (run->replayed < reps) {
+        DPAUDIT_LOG(INFO) << "trace " << run->key.ToHex() << " replays "
+                          << run->replayed << "/" << reps
+                          << " repetitions; extending";
+      }
     }
     const std::vector<TrialTrace>& source =
         run->trace.trials.empty() ? cached->trials : run->trace.trials;
@@ -97,6 +203,7 @@ void PrepareCell(size_t inner_threads, CellRun* run) {
     run->trace.fingerprint = run->key;
     run->trace.trials.resize(reps);
     run->record = true;
+    run->collect = true;
   }
 }
 
@@ -122,7 +229,7 @@ TraceStore* EffectiveStore(const SweepOptions& options,
 
 std::vector<StatusOr<DiExperimentSummary>> RunSweepPerCell(
     const std::vector<SweepCell>& cells, const SweepOptions& options,
-    size_t threads, SweepStats* stats) {
+    size_t threads, SweepStats* stats, ProgressMonitor* monitor) {
   std::vector<StatusOr<DiExperimentSummary>> results;
   results.reserve(cells.size());
   for (const SweepCell& cell : cells) {
@@ -131,6 +238,7 @@ std::vector<StatusOr<DiExperimentSummary>> RunSweepPerCell(
       Status st = cell.configure(&config);
       if (!st.ok()) {
         results.emplace_back(st);
+        monitor->CellDone();
         continue;
       }
     }
@@ -139,6 +247,8 @@ std::vector<StatusOr<DiExperimentSummary>> RunSweepPerCell(
     const TraceCacheCounters before = GetTraceCacheCounters();
     results.push_back(RunDiExperiment(*cell.architecture, *cell.d,
                                       *cell.d_prime, config, cell.test_set));
+    monitor->TrialDone(config.repetitions);
+    monitor->CellDone();
     if (stats != nullptr && results.back().ok()) {
       const TraceCacheCounters after = GetTraceCacheCounters();
       const bool hit = after.hits > before.hits;
@@ -166,9 +276,16 @@ std::vector<StatusOr<DiExperimentSummary>> RunSweep(
       options.threads == 0 ? DefaultThreadCount() : options.threads;
   SweepStats local;
   local.cells = cells.size();
+  const bool ledger = obs::AuditLedgerEnabled();
+  size_t total_trials = 0;
+  for (const SweepCell& cell : cells) {
+    total_trials += cell.config.repetitions;
+  }
+  ProgressMonitor monitor(cells.size(), total_trials);
 
   if (options.mode == SweepMode::kPerCell) {
-    auto results = RunSweepPerCell(cells, options, threads, &local);
+    auto results = RunSweepPerCell(cells, options, threads, &local,
+                                   &monitor);
     CountSweepMetrics(local);
     if (stats != nullptr) *stats = local;
     return results;
@@ -194,8 +311,16 @@ std::vector<StatusOr<DiExperimentSummary>> RunSweep(
         offset.begin()) - 1;
     const size_t rep = flat - offset[c];
     CellRun& run = runs[c];
-    std::call_once(run.once, [&] { PrepareCell(threads, &run); });
-    if (!run.prep_status.ok() || rep < run.replayed) return;
+    std::call_once(run.once, [&] { PrepareCell(threads, ledger, &run); });
+    const size_t cell_reps = offset[c + 1] - offset[c];
+    if (!run.prep_status.ok() || rep < run.replayed) {
+      monitor.TrialDone();
+      if (run.trials_finished.fetch_add(1, std::memory_order_relaxed) + 1 ==
+          cell_reps) {
+        monitor.CellDone();
+      }
+      return;
+    }
     // A worker hopping to a different cell than its previous trial is the
     // work-stealing event worth counting: it means dynamic dispatch moved
     // idle capacity across a former cell barrier.
@@ -209,7 +334,12 @@ std::vector<StatusOr<DiExperimentSummary>> RunSweep(
     run.trial_status[rep] = RunDiTrial(
         *run.cell->architecture, *run.cell->d, *run.cell->d_prime,
         run.config, rep, &run.summary.trials[rep],
-        run.record ? &run.trace.trials[rep] : nullptr, run.cell->test_set);
+        run.collect ? &run.trace.trials[rep] : nullptr, run.cell->test_set);
+    monitor.TrialDone();
+    if (run.trials_finished.fetch_add(1, std::memory_order_relaxed) + 1 ==
+        cell_reps) {
+      monitor.CellDone();
+    }
   });
 
   std::vector<StatusOr<DiExperimentSummary>> results;
@@ -254,6 +384,14 @@ std::vector<StatusOr<DiExperimentSummary>> RunSweep(
       } else {
         ++local.trace_misses;
       }
+    }
+    // The sequential results loop is the single emission point: ledger rows
+    // appear in cell order regardless of how work stealing interleaved the
+    // trials, so the file is byte-stable across thread counts and modes.
+    if (ledger) {
+      EmitLedgerExperiment(run.key, run.config, *cells[i].d,
+                           *cells[i].d_prime, cells[i].test_set,
+                           run.trace.trials, reps);
     }
     local.trials_replayed += run.replayed;
     local.trials_trained += reps - run.replayed;

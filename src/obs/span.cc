@@ -9,7 +9,86 @@ namespace {
 
 thread_local SpanNode* tls_current_span = nullptr;
 
+// ---------------------------------------------------------------------------
+// Raw span event stream (Chrome/Perfetto trace export). Each thread appends
+// to its own buffer; a global registry keeps the buffers alive (shared_ptr,
+// so a pool thread exiting after a test does not invalidate the snapshot) and
+// a process-wide cap bounds memory on long sweeps.
+
+struct SpanEventBuffer {
+  std::mutex mu;
+  uint32_t tid = 0;
+  std::vector<SpanEvent> events;
+};
+
+struct SpanEventRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<SpanEventBuffer>> buffers;
+  std::atomic<uint64_t> total{0};
+  std::atomic<uint64_t> dropped{0};
+};
+
+constexpr uint64_t kMaxSpanEvents = 1u << 20;
+
+SpanEventRegistry& EventRegistry() {
+  static SpanEventRegistry* registry = new SpanEventRegistry();
+  return *registry;
+}
+
+SpanEventBuffer* LocalEventBuffer() {
+  thread_local std::shared_ptr<SpanEventBuffer> buffer = [] {
+    auto made = std::make_shared<SpanEventBuffer>();
+    SpanEventRegistry& registry = EventRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    made->tid = static_cast<uint32_t>(registry.buffers.size());
+    registry.buffers.push_back(made);
+    return made;
+  }();
+  return buffer.get();
+}
+
+void RecordSpanEvent(const char* name, uint64_t start_ns, uint64_t dur_ns) {
+  SpanEventRegistry& registry = EventRegistry();
+  if (registry.total.fetch_add(1, std::memory_order_relaxed) >=
+      kMaxSpanEvents) {
+    registry.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  SpanEventBuffer* buffer = LocalEventBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back({name, start_ns, dur_ns, buffer->tid});
+}
+
 }  // namespace
+
+std::vector<SpanEvent> CollectSpanEvents(uint64_t* dropped) {
+  SpanEventRegistry& registry = EventRegistry();
+  std::vector<std::shared_ptr<SpanEventBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    buffers = registry.buffers;
+  }
+  std::vector<SpanEvent> out;
+  for (const std::shared_ptr<SpanEventBuffer>& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  if (dropped != nullptr) {
+    *dropped = registry.dropped.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void ResetSpanEventsForTest() {
+  SpanEventRegistry& registry = EventRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const std::shared_ptr<SpanEventBuffer>& buffer : registry.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+  registry.total.store(0, std::memory_order_relaxed);
+  registry.dropped.store(0, std::memory_order_relaxed);
+}
 
 uint64_t MonotonicNowNs() {
   return static_cast<uint64_t>(
@@ -96,11 +175,14 @@ uint64_t SpanRegistry::RootTotalNs() const {
 }
 
 void SpanRegistry::ResetForTest() {
-  std::lock_guard<std::mutex> lock(root_.mu_);
-  root_.children_.clear();
-  root_.total_ns_.store(0, std::memory_order_relaxed);
-  root_.count_.store(0, std::memory_order_relaxed);
-  tls_current_span = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(root_.mu_);
+    root_.children_.clear();
+    root_.total_ns_.store(0, std::memory_order_relaxed);
+    root_.count_.store(0, std::memory_order_relaxed);
+    tls_current_span = nullptr;
+  }
+  ResetSpanEventsForTest();
 }
 
 void ScopedSpan::Enter(const char* name) {
@@ -109,12 +191,15 @@ void ScopedSpan::Enter(const char* name) {
                                   : &SpanRegistry::Global().root();
   node_ = parent->GetOrCreateChild(name);
   prev_ = tls_current_span;
+  name_ = name;
   tls_current_span = node_;
   start_ns_ = MonotonicNowNs();
 }
 
 void ScopedSpan::Exit() {
-  node_->RecordVisit(MonotonicNowNs() - start_ns_);
+  const uint64_t elapsed_ns = MonotonicNowNs() - start_ns_;
+  node_->RecordVisit(elapsed_ns);
+  RecordSpanEvent(name_, start_ns_, elapsed_ns);
   tls_current_span = prev_;
 }
 

@@ -83,6 +83,28 @@ SpanContext CurrentSpanContext();
 /// the caller can restore it.
 SpanContext ExchangeSpanContext(SpanContext context);
 
+/// One completed span instance, kept for the Chrome/Perfetto trace export
+/// (telemetry.h WriteTraceJson). Unlike the aggregated SpanNode tree, this
+/// is the raw event stream: one record per DPAUDIT_SPAN scope exit. `name`
+/// is the static string literal the macro was given, so no copy is made.
+struct SpanEvent {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;  // MonotonicNowNs at scope entry
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;  // dense per-thread id, assigned on a thread's first span
+};
+
+/// Snapshot of all span events recorded so far, grouped by tid ascending and
+/// in chronological order within a thread. `dropped`, when non-null, receives
+/// the number of events discarded after the process-wide cap (the trace stays
+/// bounded on long sweeps; the aggregated profile is never capped).
+std::vector<SpanEvent> CollectSpanEvents(uint64_t* dropped = nullptr);
+
+/// Clears recorded span events and the drop counter. Per-thread buffers
+/// persist (pool threads hold pointers into them across tests); only their
+/// contents are cleared.
+void ResetSpanEventsForTest();
+
 /// Owns the profile tree root.
 class SpanRegistry {
  public:
@@ -136,6 +158,7 @@ class ScopedSpan {
 
   SpanNode* node_ = nullptr;
   SpanNode* prev_ = nullptr;
+  const char* name_ = nullptr;  // static literal, for the event stream
   uint64_t start_ns_ = 0;
 };
 

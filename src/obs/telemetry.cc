@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/audit_ledger.h"
+#include "obs/json_util.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/env.h"
@@ -119,47 +121,7 @@ void TelemetryLogSink(LogLevel level, const char* file, int line,
 }
 
 // ---------------------------------------------------------------------------
-// Formatting helpers.
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string FormatDouble(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
+// Formatting helpers (JsonEscape/FormatDouble come from obs/json_util.h).
 
 char LevelLetterFor(LogLevel level) {
   switch (level) {
@@ -191,6 +153,14 @@ const char* ActiveSimdDispatch() {
 #endif
 }
 
+const char* BuildGitCommit() {
+#if defined(DPAUDIT_GIT_COMMIT)
+  return DPAUDIT_GIT_COMMIT;
+#else
+  return "unknown";
+#endif
+}
+
 TelemetryOptions TelemetryOptionsFromEnv() {
   TelemetryOptions options;
   const std::string dir = EnvString("DPAUDIT_TELEMETRY", "");
@@ -205,7 +175,8 @@ void RegisterBuildInfo(const std::string& binary_name) {
   std::ostringstream name;
   name << "dpaudit_build_info{binary=\"" << binary_name << "\",simd=\""
        << ActiveSimdDispatch() << "\",threads=\"" << ThreadsForBuildInfo()
-       << "\",batch_lanes=\"" << BatchLanesFromEnv() << "\"}";
+       << "\",batch_lanes=\"" << BatchLanesFromEnv() << "\",commit=\""
+       << BuildGitCommit() << "\"}";
   MetricsRegistry::Global().GetGauge(name.str()).Set(1.0);
 }
 
@@ -224,6 +195,14 @@ void InitTelemetry(const std::string& argv0_or_name,
 
   SetThreadPoolTelemetryHooks(&kPoolHooks);
   SetLogSink(&TelemetryLogSink);
+  LedgerManifest manifest;
+  manifest.binary = binary;
+  manifest.simd = ActiveSimdDispatch();
+  manifest.threads = ThreadsForBuildInfo();
+  manifest.batch_lanes = BatchLanesFromEnv();
+  manifest.git_commit = BuildGitCommit();
+  InitAuditLedger(manifest,
+                  options.directory.empty() ? "." : options.directory);
   internal::g_telemetry_enabled.store(true, std::memory_order_relaxed);
   std::atexit(&FlushTelemetry);
   DPAUDIT_LOG(INFO) << "telemetry on: binary=" << binary
@@ -429,61 +408,40 @@ void WritePrometheus(std::ostream& os) {
   }
 }
 
+void WriteTraceJson(std::ostream& os) {
+  TelemetryState& state = State();
+  std::string binary;
+  uint64_t start_ns;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    binary = state.binary_name;
+    start_ns = state.start_ns;
+  }
+  uint64_t dropped = 0;
+  const std::vector<SpanEvent> events = CollectSpanEvents(&dropped);
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // Metadata event naming the process; also guarantees a non-empty array.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+     << "\"args\":{\"name\":\"" << JsonEscape(binary) << "\"}}";
+  for (const SpanEvent& event : events) {
+    const uint64_t rel_ns =
+        event.start_ns >= start_ns ? event.start_ns - start_ns : 0;
+    os << ",\n{\"name\":\"" << JsonEscape(event.name)
+       << "\",\"cat\":\"dpaudit\",\"ph\":\"X\",\"ts\":"
+       << FormatDouble(static_cast<double>(rel_ns) * 1e-3)
+       << ",\"dur\":" << FormatDouble(static_cast<double>(event.dur_ns) * 1e-3)
+       << ",\"pid\":1,\"tid\":" << event.tid << "}";
+  }
+  os << "]";
+  if (dropped > 0) {
+    os << ",\"dpaudit_dropped_events\":" << dropped;
+  }
+  os << "}\n";
+}
+
 // ---------------------------------------------------------------------------
 // JSONL -> Prometheus re-rendering (dpaudit_cli metrics --from-jsonl).
-
-namespace {
-
-/// Extracts the string value of `"key":"..."` from a JSONL line we wrote
-/// ourselves. Returns false when the key is missing.
-bool ExtractString(const std::string& line, const std::string& key,
-                   std::string* out) {
-  const std::string needle = "\"" + key + "\":\"";
-  const size_t at = line.find(needle);
-  if (at == std::string::npos) return false;
-  std::string value;
-  for (size_t i = at + needle.size(); i < line.size(); ++i) {
-    const char c = line[i];
-    if (c == '\\' && i + 1 < line.size()) {
-      const char next = line[++i];
-      switch (next) {
-        case 'n':
-          value += '\n';
-          break;
-        case 't':
-          value += '\t';
-          break;
-        case 'r':
-          value += '\r';
-          break;
-        default:
-          value += next;  // \" \\ and \uXXXX (kept verbatim sans escape)
-      }
-      continue;
-    }
-    if (c == '"') {
-      *out = std::move(value);
-      return true;
-    }
-    value += c;
-  }
-  return false;
-}
-
-bool ExtractNumber(const std::string& line, const std::string& key,
-                   double* out) {
-  const std::string needle = "\"" + key + "\":";
-  const size_t at = line.find(needle);
-  if (at == std::string::npos) return false;
-  const char* start = line.c_str() + at + needle.size();
-  char* end = nullptr;
-  const double value = std::strtod(start, &end);
-  if (end == start) return false;
-  *out = value;
-  return true;
-}
-
-}  // namespace
 
 Status RenderPrometheusFromJsonl(std::istream& in, std::ostream& out) {
   std::ostringstream body;
@@ -495,7 +453,7 @@ Status RenderPrometheusFromJsonl(std::istream& in, std::ostream& out) {
     ++line_no;
     if (line.empty()) continue;
     std::string type;
-    if (!ExtractString(line, "type", &type)) {
+    if (!JsonExtractString(line, "type", &type)) {
       return Status::InvalidArgument("events.jsonl line " +
                                      std::to_string(line_no) +
                                      ": missing \"type\" field");
@@ -507,8 +465,8 @@ Status RenderPrometheusFromJsonl(std::istream& in, std::ostream& out) {
     if (type == "counter" || type == "gauge") {
       std::string name;
       double value = 0.0;
-      if (!ExtractString(line, "name", &name) ||
-          !ExtractNumber(line, "value", &value)) {
+      if (!JsonExtractString(line, "name", &name) ||
+          !JsonExtractNumber(line, "value", &value)) {
         return Status::InvalidArgument(context + ": missing name/value");
       }
       EmitProm(body, &last_base, name,
@@ -518,12 +476,12 @@ Status RenderPrometheusFromJsonl(std::istream& in, std::ostream& out) {
     if (type == "distribution") {
       std::string name;
       double count = 0.0, mean = 0.0, p50 = 0.0, p90 = 0.0, p99 = 0.0;
-      if (!ExtractString(line, "name", &name) ||
-          !ExtractNumber(line, "count", &count) ||
-          !ExtractNumber(line, "mean", &mean) ||
-          !ExtractNumber(line, "p50", &p50) ||
-          !ExtractNumber(line, "p90", &p90) ||
-          !ExtractNumber(line, "p99", &p99)) {
+      if (!JsonExtractString(line, "name", &name) ||
+          !JsonExtractNumber(line, "count", &count) ||
+          !JsonExtractNumber(line, "mean", &mean) ||
+          !JsonExtractNumber(line, "p50", &p50) ||
+          !JsonExtractNumber(line, "p90", &p90) ||
+          !JsonExtractNumber(line, "p99", &p99)) {
         return Status::InvalidArgument(context + ": missing fields");
       }
       const std::string base = BaseMetricName(name);
@@ -539,9 +497,9 @@ Status RenderPrometheusFromJsonl(std::istream& in, std::ostream& out) {
     if (type == "span") {
       std::string path;
       double count = 0.0, total_ns = 0.0;
-      if (!ExtractString(line, "path", &path) ||
-          !ExtractNumber(line, "count", &count) ||
-          !ExtractNumber(line, "total_ns", &total_ns)) {
+      if (!JsonExtractString(line, "path", &path) ||
+          !JsonExtractNumber(line, "count", &count) ||
+          !JsonExtractNumber(line, "total_ns", &total_ns)) {
         return Status::InvalidArgument(context + ": missing fields");
       }
       body << "dpaudit_span_seconds_total{path=\"" << path << "\"} "
@@ -598,12 +556,17 @@ void FlushTelemetry() {
     std::ofstream prom(prefix + ".metrics.prom");
     WritePrometheus(prom);
   }
+  {
+    std::ofstream trace(prefix + ".trace.json");
+    WriteTraceJson(trace);
+  }
+  FlushAuditLedger();
   // The profile also goes to stderr so interactive runs see it without
   // hunting for the file. Never stdout: experiment output must stay
   // byte-identical with telemetry off.
   WriteProfileReport(RawLogStream(), wall_ns);
   DPAUDIT_LOG(INFO) << "telemetry exports: " << prefix
-                    << ".{profile.txt,events.jsonl,metrics.prom}";
+                    << ".{profile.txt,events.jsonl,metrics.prom,trace.json}";
 }
 
 }  // namespace obs

@@ -12,6 +12,11 @@
 //   <binary>.profile.txt   hierarchical span profile (also printed to stderr)
 //   <binary>.events.jsonl  structured run/span/metric/log events, one per line
 //   <binary>.metrics.prom  Prometheus text exposition of the registry
+//   <binary>.trace.json    Chrome Trace Event stream (chrome://tracing)
+//
+// InitTelemetry also arms the privacy-audit ledger (obs/audit_ledger.h),
+// which streams `<binary>.ledger.jsonl` into the same directory as the
+// experiment emits trials; FlushTelemetry closes it.
 //
 // Invariant: telemetry never touches the RNG stream, experiment state, or
 // any floating-point accumulation order — experiment outputs are
@@ -63,6 +68,11 @@ void FlushTelemetry();
 /// "scalar".
 const char* ActiveSimdDispatch();
 
+/// The git commit the binary was built from (DPAUDIT_GIT_COMMIT, injected by
+/// CMake), or "unknown" for out-of-tree builds. Feeds the build_info gauge,
+/// the audit-ledger run manifest, and bench provenance.
+const char* BuildGitCommit();
+
 /// Registers (or refreshes) the dpaudit_build_info gauge for `binary_name`
 /// without starting telemetry. Used by binaries that want the gauge in a
 /// scrape but manage the lifecycle themselves (dpaudit_cli metrics).
@@ -73,6 +83,11 @@ void RegisterBuildInfo(const std::string& binary_name);
 void WriteProfileReport(std::ostream& os, uint64_t wall_ns);
 void WriteJsonl(std::ostream& os);
 void WritePrometheus(std::ostream& os);
+
+/// Chrome Trace Event export of the raw span event stream (`ph:"X"` complete
+/// events, microsecond timestamps relative to InitTelemetry), loadable in
+/// chrome://tracing and Perfetto. Written as `<binary>.trace.json`.
+void WriteTraceJson(std::ostream& os);
 
 /// Re-renders a previously written events.jsonl as a Prometheus exposition
 /// (the `dpaudit_cli metrics --from-jsonl` path). Malformed lines fail with

@@ -1,0 +1,10 @@
+// Fixture: dpaudit-ledger-write must flag hand-rolled ledger paths outside
+// src/obs/ — here a module opening run.ledger.jsonl for itself instead of
+// going through the obs writer.
+#include <fstream>
+#include <string>
+
+void AppendRowDirectly(const std::string& directory) {
+  std::ofstream out(directory + "/run.ledger.jsonl", std::ios::app);
+  out << "{\"row\":\"step\"}\n";
+}

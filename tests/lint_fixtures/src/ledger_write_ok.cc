@@ -1,0 +1,15 @@
+// Fixture: going through the obs ledger API is compliant, and talking about
+// the ledger by concept (without the file suffix) must not trip the matcher.
+#include <string>
+
+namespace dpaudit {
+namespace obs {
+struct LedgerManifest;
+void InitAuditLedger(const LedgerManifest& manifest,
+                     const std::string& directory);
+}  // namespace obs
+}  // namespace dpaudit
+
+void EmitThroughTheApi(const dpaudit::obs::LedgerManifest& manifest) {
+  dpaudit::obs::InitAuditLedger(manifest, "telemetry");
+}

@@ -48,6 +48,7 @@ const FixtureCase kFixtureCases[] = {
     {"dpaudit-include-guard", "include_guard_mismatch.h",
      "include_guard_ok.h"},
     {"dpaudit-lane-alias", "lane_alias_bad.cc", "lane_alias_ok.cc"},
+    {"dpaudit-ledger-write", "ledger_write_bad.cc", "ledger_write_ok.cc"},
     {"dpaudit-banned-fn", "banned_fn_bad.cc", "banned_fn_ok.cc"},
     {"dpaudit-raw-thread", "raw_thread_bad.cc", "raw_thread_ok.cc"},
     {"dpaudit-raw-pool", "raw_pool_bad.cc", "raw_pool_ok.cc"},
@@ -99,7 +100,7 @@ TEST(LintFixtures, EveryRuleHasAFixture) {
     EXPECT_EQ(covered.count(rule.name), 1u)
         << rule.name << " has no fixture pair";
   }
-  EXPECT_EQ(AllRules().size(), 10u);
+  EXPECT_EQ(AllRules().size(), 11u);
 }
 
 TEST(LintEngine, RuleFilterRunsOnlyRequestedRules) {

@@ -24,6 +24,16 @@
 //       Print a Prometheus text exposition: of this process's registry
 //       (build info plus anything the invoked command recorded), or of a
 //       telemetry events.jsonl written by an earlier --telemetry run.
+//
+//   dpaudit_cli ledger list --file RUN.ledger.jsonl
+//   dpaudit_cli ledger show --file RUN.ledger.jsonl [--seq N]
+//   dpaudit_cli ledger check --file RUN.ledger.jsonl [--tolerance 1e-9]
+//   dpaudit_cli ledger diff --a A.ledger.jsonl --b B.ledger.jsonl
+//       Inspect and verify a privacy-audit ledger written by a --telemetry
+//       run. `check` recomputes the content digests, replays every belief
+//       trajectory, and re-derives the three epsilon' estimators from the
+//       rows alone, verifying them against the recorded audit values.
+//       `diff` compares two runs' ledgers field by field.
 
 #include <cstdio>
 #include <fstream>
@@ -32,6 +42,7 @@
 
 #include "core/auditor.h"
 #include "core/experiment.h"
+#include "core/ledger_verify.h"
 #include "core/policy.h"
 #include "core/report.h"
 #include "core/scores.h"
@@ -42,6 +53,7 @@
 #include "dp/rdp_accountant.h"
 #include "io/serialization.h"
 #include "nn/network.h"
+#include "obs/audit_ledger.h"
 #include "obs/telemetry.h"
 #include "util/arg_parser.h"
 #include "util/env.h"
@@ -52,7 +64,8 @@ namespace {
 void PrintUsage() {
   std::fprintf(
       stderr,
-      "usage: dpaudit_cli <scores|plan|experiment|trace|metrics> [--flags]\n"
+      "usage: dpaudit_cli "
+      "<scores|plan|experiment|trace|ledger|metrics> [--flags]\n"
       "  scores     --epsilon E --delta D\n"
       "  plan       (--rho-beta B | --rho-alpha A) --delta D "
       "[--steps K]\n"
@@ -66,6 +79,9 @@ void PrintUsage() {
       "  trace      list | show --key HEX | evict (--key HEX | "
       "--all true)\n"
       "             [--cache DIR]  (default: $DPAUDIT_TRACE_CACHE)\n"
+      "  ledger     list --file F | show --file F [--seq N]\n"
+      "             | check --file F [--tolerance 1e-9]\n"
+      "             | diff --a F --b F\n"
       "  metrics    [--from-jsonl FILE]\n");
 }
 
@@ -369,6 +385,134 @@ Status RunTrace(const ArgParser& args) {
   return Status::InvalidArgument("unknown trace action: " + action);
 }
 
+Status RunLedger(const ArgParser& args) {
+  if (args.positional().size() != 2) {
+    return Status::InvalidArgument(
+        "ledger needs an action: list|show|check|diff");
+  }
+  const std::string& action = args.positional()[1];
+
+  if (action == "diff") {
+    std::string path_a = args.GetString("a", "");
+    std::string path_b = args.GetString("b", "");
+    DPAUDIT_RETURN_IF_ERROR(args.CheckAllConsumed());
+    if (path_a.empty() || path_b.empty()) {
+      return Status::InvalidArgument("diff needs --a FILE and --b FILE");
+    }
+    DPAUDIT_ASSIGN_OR_RETURN(obs::LedgerFile a, obs::LoadLedgerFile(path_a));
+    DPAUDIT_ASSIGN_OR_RETURN(obs::LedgerFile b, obs::LoadLedgerFile(path_b));
+    const size_t differences = obs::DiffLedgers(a, b, std::cout);
+    if (differences > 0) {
+      return Status::InvalidArgument(
+          "ledgers differ in " + std::to_string(differences) + " field(s)");
+    }
+    std::printf("ledgers match: %zu experiment(s), %zu audit(s)\n",
+                a.experiments.size(), a.audits.size());
+    return Status::Ok();
+  }
+
+  std::string path = args.GetString("file", "");
+  if (path.empty()) {
+    return Status::InvalidArgument("pass --file RUN.ledger.jsonl");
+  }
+
+  if (action == "check") {
+    DPAUDIT_ASSIGN_OR_RETURN(double tolerance,
+                             args.GetDouble("tolerance", 1e-9));
+    DPAUDIT_RETURN_IF_ERROR(args.CheckAllConsumed());
+    return CheckLedgerFile(path, tolerance, std::cout);
+  }
+
+  DPAUDIT_ASSIGN_OR_RETURN(obs::LedgerFile ledger,
+                           obs::LoadLedgerFile(path));
+
+  if (action == "list") {
+    DPAUDIT_RETURN_IF_ERROR(args.CheckAllConsumed());
+    std::printf("ledger %s (schema v%llu, binary %s, commit %s, simd %s)\n",
+                path.c_str(),
+                static_cast<unsigned long long>(
+                    ledger.manifest.schema_version),
+                ledger.manifest.binary.c_str(),
+                ledger.manifest.git_commit.c_str(),
+                ledger.manifest.simd.c_str());
+    for (const obs::LedgerExperiment& experiment : ledger.experiments) {
+      std::printf("  experiment seq=%-4zu %s digest=%s reps=%-4zu "
+                  "steps=%-4zu sigma=%g %s/%s\n",
+                  experiment.seq, experiment.fingerprint.c_str(),
+                  experiment.digest.c_str(), experiment.trials.size(),
+                  experiment.steps_per_trial, experiment.noise_multiplier,
+                  experiment.sensitivity_mode.c_str(),
+                  experiment.neighbor_mode.c_str());
+    }
+    for (const obs::LedgerAudit& audit : ledger.audits) {
+      std::printf("  audit      seq=%-4zu digest=%s delta=%g "
+                  "eps_sens=%.6f eps_belief=%.6f eps_adv=%.6f\n",
+                  audit.seq, audit.digest.c_str(), audit.delta,
+                  audit.epsilon_from_sensitivities,
+                  audit.epsilon_from_belief, audit.epsilon_from_advantage);
+    }
+    std::printf("%zu experiment(s), %zu audit(s)\n",
+                ledger.experiments.size(), ledger.audits.size());
+    return Status::Ok();
+  }
+
+  if (action == "show") {
+    DPAUDIT_ASSIGN_OR_RETURN(int64_t seq, args.GetInt("seq", 0));
+    DPAUDIT_RETURN_IF_ERROR(args.CheckAllConsumed());
+    const obs::LedgerExperiment* experiment = nullptr;
+    for (const obs::LedgerExperiment& candidate : ledger.experiments) {
+      if (candidate.seq == static_cast<size_t>(seq)) {
+        experiment = &candidate;
+        break;
+      }
+    }
+    if (experiment == nullptr) {
+      return Status::NotFound("no experiment with seq " +
+                              std::to_string(seq));
+    }
+    std::printf("experiment seq=%zu\n", experiment->seq);
+    std::printf("  fingerprint       = %s\n",
+                experiment->fingerprint.c_str());
+    std::printf("  digest            = %s\n", experiment->digest.c_str());
+    std::printf("  seed              = %llu\n",
+                static_cast<unsigned long long>(experiment->seed));
+    std::printf("  repetitions       = %zu (steps/trial %zu)\n",
+                experiment->trials.size(), experiment->steps_per_trial);
+    std::printf("  dpsgd             = epochs %zu, lr %g, clip %g, "
+                "sigma %g, %s/%s\n",
+                experiment->epochs, experiment->learning_rate,
+                experiment->clip_norm, experiment->noise_multiplier,
+                experiment->sensitivity_mode.c_str(),
+                experiment->neighbor_mode.c_str());
+    std::printf("  datasets          = D %s, D' %s, test %s\n",
+                experiment->dataset_digest_d.c_str(),
+                experiment->dataset_digest_dprime.c_str(),
+                experiment->dataset_digest_test.empty()
+                    ? "(none)"
+                    : experiment->dataset_digest_test.c_str());
+    for (const obs::LedgerTrial& trial : experiment->trials) {
+      std::printf("  trial rep=%-4zu trained_on_d=%d says_d=%d "
+                  "final_belief=%.6f max_belief=%.6f\n",
+                  trial.rep, trial.trained_on_d ? 1 : 0,
+                  trial.adversary_says_d ? 1 : 0, trial.final_belief_d,
+                  trial.max_belief_d);
+    }
+    for (const obs::LedgerAudit& audit : ledger.audits) {
+      if (audit.digest != experiment->digest) continue;
+      std::printf("  audit seq=%zu: delta=%g eps_sens=%.6f "
+                  "eps_belief=%.6f eps_adv=%.6f advantage=%.4f "
+                  "max_belief=%.6f\n",
+                  audit.seq, audit.delta,
+                  audit.epsilon_from_sensitivities,
+                  audit.epsilon_from_belief, audit.epsilon_from_advantage,
+                  audit.advantage, audit.max_belief);
+    }
+    return Status::Ok();
+  }
+
+  return Status::InvalidArgument("unknown ledger action: " + action);
+}
+
 int Main(int argc, char** argv) {
   StatusOr<ArgParser> args = ArgParser::Parse(argc, argv);
   if (!args.ok()) {
@@ -381,7 +525,8 @@ int Main(int argc, char** argv) {
     return 2;
   }
   const std::string& command = args->positional()[0];
-  if (command != "trace" && args->positional().size() != 1) {
+  if (command != "trace" && command != "ledger" &&
+      args->positional().size() != 1) {
     PrintUsage();
     return 2;
   }
@@ -390,6 +535,7 @@ int Main(int argc, char** argv) {
   if (command == "plan") status = RunPlan(*args);
   if (command == "experiment") status = RunExperiment(*args);
   if (command == "trace") status = RunTrace(*args);
+  if (command == "ledger") status = RunLedger(*args);
   if (command == "metrics") status = RunMetrics(*args);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());

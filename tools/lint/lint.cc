@@ -355,6 +355,32 @@ void CheckLaneAlias(const SourceFile& file, std::vector<Finding>* out) {
 }
 
 // ---------------------------------------------------------------------------
+// dpaudit-ledger-write: the privacy-audit ledger is append-only evidence
+// with a single writer (src/obs/audit_ledger). Any other library, bench, or
+// example referencing a `<binary>.ledger.jsonl` path — to open, create, or
+// document hand-rolling one — bypasses the manifest header, the seq
+// numbering, and the schema guarantees that `dpaudit_cli ledger check`
+// relies on. Emit through InitAuditLedger/AppendLedger*, read through
+// LoadLedgerFile. Scans raw lines: the path almost always lives inside a
+// string literal, which the code-line scanner blanks out.
+
+void CheckLedgerWrite(const SourceFile& file, std::vector<Finding>* out) {
+  const bool scoped = InTree(file.rel, "src") || InTree(file.rel, "bench") ||
+                      InTree(file.rel, "examples");
+  if (!scoped || StartsWith(file.rel, "src/obs/")) return;
+  for (size_t i = 0; i < file.raw_lines.size(); ++i) {
+    if (file.raw_lines[i].find(".ledger.jsonl") != std::string::npos) {
+      Emit(file, static_cast<int>(i + 1), "dpaudit-ledger-write",
+           "ledger file path referenced outside src/obs/; the audit ledger "
+           "has a single append-only writer so its manifest, seq numbering, "
+           "and schema stay trustworthy — write through "
+           "InitAuditLedger/AppendLedger*, read through LoadLedgerFile",
+           out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // dpaudit-banned-fn: unbounded/locale-dependent C functions with safer
 // replacements the codebase already uses.
 
@@ -664,6 +690,10 @@ const std::vector<Rule>& AllRules() {
        "no raw pointers stored into another object's lane workspace buffers; "
        "lane buffers are pack-transient",
        &CheckLaneAlias},
+      {"dpaudit-ledger-write",
+       "no .ledger.jsonl paths outside src/obs/; the audit ledger has a "
+       "single append-only writer",
+       &CheckLedgerWrite},
       {"dpaudit-omp",
        "no #pragma omp; parallelism goes through util/thread_pool",
        &CheckOmp},
