@@ -12,6 +12,7 @@
 #include "bench/bench_common.h"
 #include "core/auditor.h"
 #include "core/scores.h"
+#include "dp/privacy_params.h"
 #include "stats/summary.h"
 
 namespace dpaudit {

@@ -11,6 +11,7 @@
 
 #include "bench/bench_common.h"
 #include "core/scores.h"
+#include "dp/privacy_params.h"
 #include "mi/membership_inference.h"
 #include "mi/shadow_attack.h"
 

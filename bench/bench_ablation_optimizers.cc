@@ -11,6 +11,8 @@
 #include "bench/bench_common.h"
 #include "core/auditor.h"
 #include "core/scores.h"
+#include "dp/privacy_params.h"
+#include "nn/optimizer.h"
 #include "stats/summary.h"
 
 namespace dpaudit {

@@ -22,6 +22,7 @@
 #include "core/auditor.h"
 #include "core/sweep_scheduler.h"
 #include "core/trace.h"
+#include "dp/privacy_params.h"
 
 namespace dpaudit {
 namespace bench {

@@ -25,11 +25,11 @@
 #include <string>
 
 #include "core/experiment.h"
-#include "core/scores.h"
 #include "data/dataset_sensitivity.h"
 #include "data/dissimilarity.h"
 #include "data/synthetic_mnist.h"
 #include "data/synthetic_purchase.h"
+#include "dp/privacy_params.h"
 #include "dp/rdp_accountant.h"
 #include "nn/network.h"
 #include "obs/span.h"

@@ -10,6 +10,8 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
+#include "data/dataset.h"
+#include "dp/privacy_params.h"
 #include "stats/summary.h"
 
 namespace dpaudit {

@@ -13,6 +13,7 @@
 
 #include "bench/bench_common.h"
 #include "core/scores.h"
+#include "dp/privacy_params.h"
 #include "stats/summary.h"
 
 namespace dpaudit {

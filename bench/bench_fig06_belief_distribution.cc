@@ -10,6 +10,7 @@
 
 #include "bench/bench_common.h"
 #include "core/scores.h"
+#include "dp/privacy_params.h"
 #include "stats/histogram.h"
 #include "stats/summary.h"
 

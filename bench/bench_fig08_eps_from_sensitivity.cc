@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench/bench_audit_sweep.h"
+#include "util/table_writer.h"
 
 namespace dpaudit {
 namespace {

@@ -12,6 +12,7 @@
 
 #include "bench/bench_audit_sweep.h"
 #include "stats/summary.h"
+#include "util/table_writer.h"
 
 namespace dpaudit {
 namespace {

@@ -14,6 +14,7 @@
 #include "core/scores.h"
 #include "core/sweep_scheduler.h"
 #include "core/trace.h"
+#include "dp/privacy_params.h"
 #include "stats/summary.h"
 
 namespace dpaudit {

@@ -10,9 +10,9 @@
 
 #include "core/auditor.h"
 #include "core/experiment.h"
-#include "core/scores.h"
 #include "data/dataset_sensitivity.h"
 #include "data/synthetic_purchase.h"
+#include "dp/privacy_params.h"
 #include "dp/rdp_accountant.h"
 #include "nn/metrics.h"
 #include "nn/network.h"
@@ -21,8 +21,8 @@
 using namespace dpaudit;
 
 int main(int argc, char** argv) {
-  double epsilon = argc > 1 ? std::atof(argv[1]) : 2.2;
-  size_t reps = argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 20;
+  double epsilon = argc > 1 ? std::strtod(argv[1], nullptr) : 2.2;
+  size_t reps = argc > 2 ? static_cast<size_t>(std::strtol(argv[2], nullptr, 10)) : 20;
   const size_t epochs = 30;
   const size_t n = 40;
   const double delta = 0.01;

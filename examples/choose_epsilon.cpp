@@ -19,8 +19,8 @@
 using namespace dpaudit;
 
 int main(int argc, char** argv) {
-  size_t k = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 30;
-  double delta = argc > 2 ? std::atof(argv[2]) : 1e-3;
+  size_t k = argc > 1 ? static_cast<size_t>(std::strtol(argv[1], nullptr, 10)) : 30;
+  double delta = argc > 2 ? std::strtod(argv[2], nullptr) : 1e-3;
 
   std::printf("policy table: identifiability -> DP parameters "
               "(k = %zu steps, delta = %g)\n\n",

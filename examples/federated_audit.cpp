@@ -15,6 +15,7 @@
 #include "core/scores.h"
 #include "data/dataset_sensitivity.h"
 #include "data/synthetic_purchase.h"
+#include "dp/privacy_params.h"
 #include "dp/rdp_accountant.h"
 #include "federated/federated.h"
 #include "nn/network.h"
@@ -22,7 +23,7 @@
 using namespace dpaudit;
 
 int main(int argc, char** argv) {
-  size_t rounds = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 30;
+  size_t rounds = argc > 1 ? static_cast<size_t>(std::strtol(argv[1], nullptr, 10)) : 30;
   const double delta = 0.01;
 
   SyntheticPurchaseConfig data_config;

@@ -23,7 +23,7 @@ using namespace dpaudit;
 
 int main(int argc, char** argv) {
   size_t num_worlds =
-      argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 5;
+      argc > 1 ? static_cast<size_t>(std::strtol(argv[1], nullptr, 10)) : 5;
   if (num_worlds < 2) num_worlds = 2;
   const size_t n = 24;
   const size_t epochs = 20;

@@ -13,6 +13,7 @@
 #include "core/scores.h"
 #include "data/dataset_sensitivity.h"
 #include "data/synthetic_mnist.h"
+#include "dp/privacy_params.h"
 #include "dp/rdp_accountant.h"
 #include "nn/network.h"
 
@@ -21,7 +22,7 @@ using namespace dpaudit;
 int main(int argc, char** argv) {
   // 1. The data scientist's input: "an adversary must never be more than
   //    90% certain that any individual's record was in the training data".
-  double rho_beta = argc > 1 ? std::atof(argv[1]) : 0.9;
+  double rho_beta = argc > 1 ? std::strtod(argv[1], nullptr) : 0.9;
   const size_t epochs = 30;
 
   StatusOr<double> epsilon = EpsilonForRhoBeta(rho_beta);

@@ -15,6 +15,10 @@ void DiAdversary::OnStep(size_t /*step*/, const std::vector<float>& sum_d,
   double log_p_dprime = 0.0;
   {
     DPAUDIT_SPAN("adversary_llr");
+    // The adversary is the observer side of the hypothesis test: it only
+    // scores densities of sums the training loop already clipped and
+    // perturbed upstream (core/dpsgd.cc), so no clip helper appears here.
+    // NOLINTNEXTLINE(dpaudit-mechanism-flow)
     mechanism.LogDensityPair(released, sum_d, sum_dprime, &log_p_d,
                              &log_p_dprime);
   }

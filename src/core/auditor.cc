@@ -6,9 +6,7 @@
 #include "core/ledger_bridge.h"
 #include "core/scores.h"
 #include "dp/rdp_accountant.h"
-#include "obs/audit_ledger.h"
 #include "stats/summary.h"
-#include "util/logging.h"
 #include "util/math_util.h"
 
 namespace dpaudit {
@@ -125,7 +123,7 @@ StatusOr<AuditReport> AuditExperiment(const DiExperimentSummary& summary,
   // The ledger's audit row links to the experiment block through the trial
   // content digest, so `dpaudit_cli ledger check` can recompute all three
   // estimators from rows alone and verify them against this report.
-  if (obs::AuditLedgerEnabled()) {
+  if (LedgerEnabled()) {
     EmitLedgerAudit(summary, delta, report);
   }
   return report;

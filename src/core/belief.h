@@ -11,9 +11,8 @@
 #ifndef DPAUDIT_CORE_BELIEF_H_
 #define DPAUDIT_CORE_BELIEF_H_
 
+#include <cstddef>
 #include <vector>
-
-#include "util/status.h"
 
 namespace dpaudit {
 

@@ -9,7 +9,6 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "stats/summary.h"
-#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace dpaudit {

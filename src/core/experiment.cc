@@ -5,7 +5,6 @@
 #include "core/adversary.h"
 #include "core/ledger_bridge.h"
 #include "core/trace.h"
-#include "obs/audit_ledger.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/logging.h"
@@ -150,7 +149,7 @@ StatusOr<DiExperimentSummary> RunDiExperiment(const Network& architecture,
 
   // The ledger needs the per-step trial traces and the fingerprint even when
   // no cache is configured, so recording is on whenever either consumer is.
-  const bool ledger = obs::AuditLedgerEnabled();
+  const bool ledger = LedgerEnabled();
   const bool collect = config.trace_store != nullptr || ledger;
 
   // Record/replay: on a cache hit the recorded trace reconstructs the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "data/dataset.h"
 #include "dp/privacy_params.h"
 
 namespace dpaudit {

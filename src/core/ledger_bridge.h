@@ -23,6 +23,12 @@
 
 namespace dpaudit {
 
+/// Whether the privacy-audit ledger is enabled (DPAUDIT_AUDIT_LEDGER).
+/// Re-exported from obs so the rest of core gates on the bridge instead of
+/// reaching into obs/audit_ledger.h directly — that header is restricted to
+/// its bridge files (see tools/lint/layers.txt).
+inline bool LedgerEnabled() { return obs::AuditLedgerEnabled(); }
+
 /// Flattens the first `repetitions` recorded trials of one repeated
 /// experiment into a ledger experiment block. `trials` may hold MORE than
 /// `repetitions` entries (a cache recording longer than the request); the

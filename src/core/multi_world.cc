@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dp/mechanism.h"
+#include "dp/privacy_params.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "util/thread_pool.h"

@@ -19,7 +19,6 @@
 #include "core/dpsgd.h"
 #include "data/dataset.h"
 #include "nn/network.h"
-#include "util/random.h"
 #include "util/status.h"
 
 namespace dpaudit {

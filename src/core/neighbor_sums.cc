@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdint>
 
+#include "nn/network.h"
+#include "tensor/tensor.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "dp/mechanism.h"
-#include "util/logging.h"
+#include "nn/optimizer.h"
 #include "util/math_util.h"
 #include "util/thread_pool.h"
 

@@ -12,7 +12,6 @@
 
 #include "core/ledger_bridge.h"
 #include "core/trace.h"
-#include "obs/audit_ledger.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/env.h"
@@ -276,7 +275,7 @@ std::vector<StatusOr<DiExperimentSummary>> RunSweep(
       options.threads == 0 ? DefaultThreadCount() : options.threads;
   SweepStats local;
   local.cells = cells.size();
-  const bool ledger = obs::AuditLedgerEnabled();
+  const bool ledger = LedgerEnabled();
   size_t total_trials = 0;
   for (const SweepCell& cell : cells) {
     total_trials += cell.config.repetitions;

@@ -5,8 +5,10 @@
 #include <filesystem>
 #include <utility>
 
+#include "core/dpsgd.h"
 #include "io/serialization.h"
 #include "obs/metrics.h"
+#include "tensor/tensor.h"
 #include "util/env.h"
 #include "util/logging.h"
 

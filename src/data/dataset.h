@@ -8,7 +8,6 @@
 
 #include "tensor/tensor.h"
 #include "util/random.h"
-#include "util/status.h"
 
 namespace dpaudit {
 

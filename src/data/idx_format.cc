@@ -2,7 +2,7 @@
 
 #include <fstream>
 
-#include "util/logging.h"
+#include "tensor/tensor.h"
 
 namespace dpaudit {
 namespace {

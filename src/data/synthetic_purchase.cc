@@ -1,5 +1,6 @@
 #include "data/synthetic_purchase.h"
 
+#include "tensor/tensor.h"
 #include "util/logging.h"
 
 namespace dpaudit {

@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "stats/normal.h"
-#include "util/logging.h"
 
 namespace dpaudit {
 namespace {

@@ -9,7 +9,6 @@
 
 #include <vector>
 
-#include "dp/privacy_params.h"
 #include "util/random.h"
 #include "util/status.h"
 

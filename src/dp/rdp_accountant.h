@@ -13,7 +13,6 @@
 
 #include <vector>
 
-#include "dp/privacy_params.h"
 #include "util/status.h"
 
 namespace dpaudit {

@@ -1,8 +1,9 @@
 #include "federated/federated.h"
 
+#include "core/adversary.h"
 #include "dp/mechanism.h"
+#include "dp/privacy_params.h"
 #include "dp/sensitivity.h"
-#include "util/logging.h"
 
 namespace dpaudit {
 

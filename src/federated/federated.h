@@ -16,7 +16,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/adversary.h"
 #include "core/dpsgd.h"
 #include "data/dataset.h"
 #include "nn/network.h"

@@ -3,7 +3,7 @@
 #include <cstring>
 #include <fstream>
 
-#include "util/logging.h"
+#include "tensor/tensor.h"
 
 namespace dpaudit {
 namespace {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "stats/summary.h"
+#include "tensor/tensor.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 

@@ -2,9 +2,11 @@
 
 #include <cmath>
 
+#include "data/dataset.h"
 #include "nn/loss.h"
 #include "util/logging.h"
 #include "util/math_util.h"
+#include "util/random.h"
 #include "util/thread_pool.h"
 
 namespace dpaudit {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/tensor.h"
 #include "util/logging.h"
 #include "util/simd.h"
 

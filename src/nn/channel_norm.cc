@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/tensor.h"
 #include "util/env.h"
 #include "util/logging.h"
 #include "util/simd.h"

@@ -7,8 +7,10 @@
 #include <emmintrin.h>
 #endif
 
+#include "tensor/tensor.h"
 #include "util/env.h"
 #include "util/logging.h"
+#include "util/random.h"
 #include "util/simd.h"
 
 namespace dpaudit {

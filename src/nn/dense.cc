@@ -3,8 +3,10 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/tensor.h"
 #include "util/env.h"
 #include "util/logging.h"
+#include "util/random.h"
 #include "util/simd.h"
 
 namespace dpaudit {

@@ -8,6 +8,7 @@
 #include "nn/channel_norm.h"
 #include "nn/conv2d.h"
 #include "nn/dense.h"
+#include "nn/loss.h"
 #include "nn/pooling.h"
 #include "util/logging.h"
 #include "util/math_util.h"

@@ -10,7 +10,6 @@
 #include <vector>
 
 #include "nn/layer.h"
-#include "nn/loss.h"
 #include "tensor/tensor.h"
 #include "util/random.h"
 

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "tensor/tensor.h"
 #include "util/env.h"
 #include "util/logging.h"
 #include "util/simd.h"

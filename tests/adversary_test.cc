@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "dp/mechanism.h"
+#include "dp/privacy_params.h"
 #include "tests/test_helpers.h"
 
 namespace dpaudit {

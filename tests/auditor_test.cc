@@ -7,7 +7,6 @@
 #include "core/scores.h"
 #include "dp/rdp_accountant.h"
 #include "tests/test_helpers.h"
-#include "util/math_util.h"
 
 namespace dpaudit {
 namespace {

@@ -1,0 +1,22 @@
+# Runs dpaudit_lint --format=sarif over the real tree and validates the
+# output with python's strict JSON parser — the same artifact CI uploads.
+# Invoked by the lint_sarif_parses ctest with -DLINT_BIN/-DSOURCE_DIR/
+# -DPYTHON/-DOUT.
+
+execute_process(
+  COMMAND ${LINT_BIN} --root ${SOURCE_DIR} --format=sarif
+  OUTPUT_FILE ${OUT}
+  RESULT_VARIABLE lint_result)
+# Exit 0 (clean) and 1 (findings) both produce a full SARIF document; only
+# 2 (usage / I/O error) is a failure.
+if(lint_result GREATER 1)
+  message(FATAL_ERROR "dpaudit_lint --format=sarif failed: ${lint_result}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} -m json.tool ${OUT}
+  OUTPUT_QUIET
+  RESULT_VARIABLE json_result)
+if(NOT json_result EQUAL 0)
+  message(FATAL_ERROR "SARIF output is not valid JSON (see ${OUT})")
+endif()

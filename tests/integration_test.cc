@@ -10,6 +10,7 @@
 #include "core/auditor.h"
 #include "core/experiment.h"
 #include "core/scores.h"
+#include "dp/privacy_params.h"
 #include "dp/rdp_accountant.h"
 #include "mi/membership_inference.h"
 #include "stats/normal.h"

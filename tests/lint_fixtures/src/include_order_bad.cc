@@ -1,0 +1,7 @@
+// A quoted include ahead of an angled one in the same block; the canonical
+// order is angled first, then quoted, each sorted. `dpaudit_lint --fix`
+// rewrites this file into include_order_ok.cc's shape.
+#include "util/helper.h"
+#include <vector>
+
+int UseThem();

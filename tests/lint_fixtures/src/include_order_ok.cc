@@ -1,0 +1,7 @@
+// Canonical include order: angled system headers, then quoted repo
+// headers, each run sorted lexicographically.
+#include <vector>
+
+#include "util/helper.h"
+
+int UseThem();

@@ -1,0 +1,8 @@
+// Invokes the Gaussian mechanism without referencing any clip/sensitivity
+// helper: the perturbation site is not visibly downstream of clipping, so
+// dpaudit-mechanism-flow flags it.
+#include "dp/mech.h"
+
+void FlowBad(GaussianMechanism* mech, double* values, int n) {
+  mech->Perturb(values, n);
+}

@@ -1,0 +1,11 @@
+// The compliant counterpart of flow_bad.cc: the TU clips before it
+// perturbs, so the mechanism invocation sits downstream of ClipScale.
+#include "dp/mech.h"
+#include "util/clip.h"
+
+void FlowOk(GaussianMechanism* mech, double* values, int n) {
+  for (int i = 0; i < n; ++i) {
+    values[i] *= ClipScale(values[i], 1.0);
+  }
+  mech->Perturb(values, n);
+}

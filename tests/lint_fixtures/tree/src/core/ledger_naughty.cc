@@ -1,0 +1,6 @@
+// Reaches into the restricted ledger header from outside the designated
+// bridge: flagged by dpaudit-layering even though core -> obs is a legal
+// layer edge.
+#include "obs/ledger.h"
+
+double NaughtyValue(const LedgerRow& row) { return row.value; }

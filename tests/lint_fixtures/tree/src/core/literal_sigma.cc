@@ -1,0 +1,5 @@
+// Constructs the mechanism from a hard-coded sigma outside dp/: bypasses
+// calibration, flagged by dpaudit-mechanism-flow.
+#include "dp/mech.h"
+
+GaussianMechanism MakeDefaultMech() { return GaussianMechanism(1.5); }

@@ -1,0 +1,6 @@
+// References DeepAnswer, declared only in util/deep.h, which is two hops
+// away (top.h -> mid.h -> deep.h): beyond the one-hop contract, so flagged
+// by dpaudit-missing-include.
+#include "util/top.h"
+
+int UseDeep() { return DeepAnswer() + TopAnswer(); }

@@ -1,0 +1,5 @@
+// Raw std::normal_distribution outside dp/ and util/random: ad-hoc noise
+// bypasses the calibrated mechanism, flagged by dpaudit-mechanism-flow.
+#include <random>
+
+std::normal_distribution<double> NoiseDist();

@@ -1,0 +1,5 @@
+// Includes clip.h but references none of its declared symbols: flagged by
+// dpaudit-unused-include.
+#include "util/clip.h"
+
+int UnusedScore() { return 3; }

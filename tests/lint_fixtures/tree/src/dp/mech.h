@@ -1,0 +1,8 @@
+// Stand-in Gaussian mechanism; Perturb is a mechanism entry point for the
+// dpaudit-mechanism-flow rule.
+#pragma once
+
+struct GaussianMechanism {
+  explicit GaussianMechanism(double sigma);
+  void Perturb(double* values, int n);
+};

@@ -1,0 +1,9 @@
+// One half of a deliberate include cycle with cycle_b.h; the cycle is
+// reported once, anchored at this file (the lexicographically smallest).
+#pragma once
+
+#include "obs/cycle_b.h"
+
+struct CycleA {
+  CycleB* peer;
+};

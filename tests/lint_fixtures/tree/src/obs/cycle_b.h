@@ -1,0 +1,7 @@
+#pragma once
+
+#include "obs/cycle_a.h"
+
+struct CycleB {
+  CycleA* peer;
+};

@@ -1,0 +1,7 @@
+// Stand-in for the restricted audit ledger header; see the restrict line
+// in ../layers.txt.
+#pragma once
+
+struct LedgerRow {
+  double value;
+};

@@ -1,0 +1,6 @@
+// The clip/sensitivity helper the mechanism-flow rule harvests: its name
+// matches the Clip pattern, so a TU that perturbs without referencing it
+// (or a peer) is flagged.
+#pragma once
+
+double ClipScale(double norm, double max_norm);

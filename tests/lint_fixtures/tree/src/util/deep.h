@@ -1,0 +1,4 @@
+// Bottom of the missing-include chain: the only declarer of DeepAnswer.
+#pragma once
+
+int DeepAnswer();

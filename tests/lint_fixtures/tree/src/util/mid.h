@@ -1,0 +1,6 @@
+// Middle hop: re-exports deep.h as part of its contract.
+#pragma once
+
+#include "util/deep.h"
+
+inline int MidAnswer() { return DeepAnswer(); }

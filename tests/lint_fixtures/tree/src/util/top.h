@@ -1,0 +1,7 @@
+// Top hop: a file including top.h reaches deep.h only after two hops,
+// which is beyond the one-hop contract dpaudit-missing-include allows.
+#pragma once
+
+#include "util/mid.h"
+
+inline int TopAnswer() { return MidAnswer(); }

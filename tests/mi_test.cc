@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "tensor/tensor.h"
 #include "tests/test_helpers.h"
 
 namespace dpaudit {

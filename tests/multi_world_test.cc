@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/belief.h"
+#include "tensor/tensor.h"
 #include "tests/test_helpers.h"
 
 namespace dpaudit {

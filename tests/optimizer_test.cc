@@ -5,7 +5,6 @@
 #include <cmath>
 
 #include "tests/test_helpers.h"
-#include "util/math_util.h"
 
 namespace dpaudit {
 namespace {

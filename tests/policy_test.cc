@@ -2,7 +2,6 @@
 
 #include <gtest/gtest.h>
 
-#include "core/scores.h"
 #include "dp/rdp_accountant.h"
 
 namespace dpaudit {

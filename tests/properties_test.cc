@@ -10,7 +10,6 @@
 #include "dp/calibration.h"
 #include "dp/mechanism.h"
 #include "dp/rdp_accountant.h"
-#include "stats/normal.h"
 #include "util/random.h"
 
 namespace dpaudit {

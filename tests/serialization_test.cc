@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "tensor/tensor.h"
 #include "tests/test_helpers.h"
 
 namespace dpaudit {

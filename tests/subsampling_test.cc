@@ -7,6 +7,7 @@
 #include "core/adversary.h"
 #include "core/scores.h"
 #include "dp/rdp_accountant.h"
+#include "nn/optimizer.h"
 #include "tests/test_helpers.h"
 #include "util/thread_pool.h"
 

@@ -14,6 +14,7 @@
 
 #include "bench/bench_audit_sweep.h"
 #include "core/trace.h"
+#include "dp/privacy_params.h"
 
 namespace dpaudit {
 namespace {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "dp/privacy_params.h"
 #include "gtest/gtest.h"
 #include "obs/metrics.h"
 #include "obs/span.h"

@@ -6,7 +6,9 @@
 #include <filesystem>
 
 #include "core/auditor.h"
+#include "dp/privacy_params.h"
 #include "io/serialization.h"
+#include "nn/optimizer.h"
 #include "tests/test_helpers.h"
 
 namespace dpaudit {

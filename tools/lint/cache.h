@@ -1,0 +1,52 @@
+// The pass-1 incremental cache: FileModels keyed by (rel path, content
+// fingerprint), serialized to one text file. A warm `dpaudit_lint` run over
+// an unchanged tree reads and fingerprints each source file but skips
+// lexing and every per-file rule — the dominant cost — so lint_tree becomes
+// near-instant between edits. The fingerprint folds in the lexer version
+// (tools/lint/lexer.cc), so upgrading the tool invalidates every entry.
+//
+// The cache is plain derived data: deleting it is always safe, and a
+// corrupt or version-skewed file is discarded wholesale rather than
+// repaired.
+
+#ifndef DPAUDIT_TOOLS_LINT_CACHE_H_
+#define DPAUDIT_TOOLS_LINT_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lexer.h"
+
+namespace dpaudit {
+namespace lint {
+
+class ModelCache {
+ public:
+  /// Loads `path`. Missing, unreadable, or version-skewed files yield an
+  /// empty cache (never an error — the cache is an optimization).
+  static ModelCache Load(const std::string& path);
+
+  /// The cached model for (rel, fingerprint), or nullptr on a miss.
+  const FileModel* Lookup(const std::string& rel, uint64_t fingerprint) const;
+
+  /// Replaces the entry set with `models` and writes the file. Returns
+  /// false when the file cannot be written.
+  bool Store(const std::vector<FileModel>& models, const std::string& path);
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, FileModel> entries_;  // rel -> model
+};
+
+/// Serialization used by ModelCache and its tests.
+void SerializeFileModel(const FileModel& model, std::string* out);
+bool DeserializeFileModel(const std::string& text, size_t* pos,
+                          FileModel* model);
+
+}  // namespace lint
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_TOOLS_LINT_CACHE_H_

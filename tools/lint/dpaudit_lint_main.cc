@@ -1,12 +1,17 @@
-// dpaudit_lint — repo-specific invariant linter. See tools/lint/lint.h and
-// DESIGN.md §10 for what each rule protects.
+// dpaudit_lint — tree-wide static analysis for dpaudit's repo invariants.
+// Two passes: per-file lexical rules over a token model (parallel, cached
+// by content fingerprint), then cross-TU graph rules over the include graph
+// and symbol xref (layering, cycles, include hygiene, DP mechanism flow).
+// See tools/lint/lint.h, tools/lint/model.h, and DESIGN.md §14.
 //
 // Usage:
-//   dpaudit_lint [--root=DIR] [--format=text|json] [--rule=NAME ...]
-//                [--list-rules] [paths...]
+//   dpaudit_lint [--root=DIR] [--format=text|json|sarif] [--rule=NAME ...]
+//                [--cache=FILE] [--no-cache] [--layers=FILE] [--no-graph]
+//                [--fix] [--stats] [--list-rules] [paths...]
 //
 // Paths (files or directories) are resolved against --root; with none given
-// the default trees src/ bench/ tools/ tests/ are scanned. Exit status: 0
+// the default trees src/ bench/ tools/ tests/ examples/ are scanned. The
+// pass-1 cache defaults to $DPAUDIT_LINT_CACHE when set. Exit status: 0
 // clean, 1 findings, 2 usage or I/O error.
 
 #include <cstdlib>
@@ -15,19 +20,28 @@
 #include <string>
 #include <vector>
 
+#include "tools/lint/driver.h"
 #include "tools/lint/lint.h"
+#include "tools/lint/model.h"
 
 namespace {
 
 namespace fs = std::filesystem;
 
 int Usage(std::ostream& out, int code) {
-  out << "usage: dpaudit_lint [--root=DIR] [--format=text|json]\n"
-         "                    [--rule=NAME ...] [--list-rules] [paths...]\n"
+  out << "usage: dpaudit_lint [--root=DIR] [--format=text|json|sarif]\n"
+         "                    [--rule=NAME ...] [--cache=FILE] [--no-cache]\n"
+         "                    [--layers=FILE] [--no-graph] [--fix]\n"
+         "                    [--stats] [--list-rules] [paths...]\n"
          "\n"
-         "Lints C++ sources against dpaudit's repo invariants. With no\n"
-         "paths, scans src/ bench/ tools/ tests/ under --root (default:\n"
-         "current directory). Suppress one line with\n"
+         "Lints C++ sources against dpaudit's repo invariants: per-file\n"
+         "lexical rules plus cross-TU graph rules (include-graph layering,\n"
+         "cycles, IWYU-lite hygiene, DP mechanism flow). With no paths,\n"
+         "scans src/ bench/ tools/ tests/ examples/ under --root (default:\n"
+         "current directory). --fix rewrites include guards and include\n"
+         "order in place (idempotent). --cache points at the pass-1\n"
+         "fingerprint cache ($DPAUDIT_LINT_CACHE by default); warm runs\n"
+         "re-lex only changed files. Suppress one line with\n"
          "// NOLINT(dpaudit-<rule>); see --list-rules for rule names.\n";
   return code;
 }
@@ -35,11 +49,15 @@ int Usage(std::ostream& out, int code) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string root = ".";
+  dpaudit::lint::TreeLintOptions options;
   std::string format = "text";
-  std::vector<std::string> rules;
   std::vector<std::string> paths;
   bool list_rules = false;
+  bool stats = false;
+  bool no_cache = false;
+  if (const char* env = std::getenv("DPAUDIT_LINT_CACHE")) {
+    options.cache_path = env;
+  }
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -56,12 +74,24 @@ int main(int argc, char** argv) {
       return Usage(std::cout, 0);
     } else if (arg == "--list-rules") {
       list_rules = true;
+    } else if (arg == "--fix") {
+      options.fix = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--no-cache") {
+      no_cache = true;
+    } else if (arg == "--no-graph") {
+      options.graph_rules = false;
     } else if (arg.rfind("--root", 0) == 0) {
-      root = value("--root");
+      options.root = value("--root");
     } else if (arg.rfind("--format", 0) == 0) {
       format = value("--format");
     } else if (arg.rfind("--rule", 0) == 0) {
-      rules.push_back(value("--rule"));
+      options.rules.push_back(value("--rule"));
+    } else if (arg.rfind("--cache", 0) == 0) {
+      options.cache_path = value("--cache");
+    } else if (arg.rfind("--layers", 0) == 0) {
+      options.layers_path = value("--layers");
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "dpaudit_lint: unknown flag " << arg << "\n";
       return Usage(std::cerr, 2);
@@ -69,22 +99,23 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
-  if (format != "text" && format != "json") {
-    std::cerr << "dpaudit_lint: --format must be text or json\n";
+  if (no_cache) options.cache_path.clear();
+  if (format != "text" && format != "json" && format != "sarif") {
+    std::cerr << "dpaudit_lint: --format must be text, json, or sarif\n";
     return 2;
   }
   if (list_rules) {
     for (const dpaudit::lint::Rule& rule : dpaudit::lint::AllRules()) {
       std::cout << rule.name << ": " << rule.summary << "\n";
     }
+    for (const dpaudit::lint::GraphRule& rule :
+         dpaudit::lint::AllGraphRules()) {
+      std::cout << rule.name << " (graph): " << rule.summary << "\n";
+    }
     return 0;
   }
-  for (const std::string& rule : rules) {
-    bool known = false;
-    for (const dpaudit::lint::Rule& r : dpaudit::lint::AllRules()) {
-      known = known || r.name == rule;
-    }
-    if (!known) {
+  for (const std::string& rule : options.rules) {
+    if (!dpaudit::lint::IsKnownRule(rule)) {
       std::cerr << "dpaudit_lint: unknown rule " << rule
                 << " (see --list-rules)\n";
       return 2;
@@ -92,45 +123,45 @@ int main(int argc, char** argv) {
   }
 
   if (paths.empty()) {
-    for (const char* tree : {"src", "bench", "tools", "tests"}) {
-      if (fs::is_directory(fs::path(root) / tree)) paths.push_back(tree);
+    for (const char* tree : {"src", "bench", "tools", "tests", "examples"}) {
+      if (fs::is_directory(fs::path(options.root) / tree)) {
+        paths.push_back(tree);
+      }
     }
     if (paths.empty()) {
-      std::cerr << "dpaudit_lint: no default trees under " << root << "\n";
+      std::cerr << "dpaudit_lint: no default trees under " << options.root
+                << "\n";
       return 2;
     }
   }
 
-  std::vector<dpaudit::lint::Finding> findings;
-  size_t files_scanned = 0;
-  for (const std::string& path : paths) {
-    fs::path resolved(path);
-    if (resolved.is_relative() && !fs::exists(resolved)) {
-      resolved = fs::path(root) / path;
+  const dpaudit::lint::TreeLintResult result =
+      dpaudit::lint::LintTree(paths, options);
+  if (!result.errors.empty()) {
+    for (const std::string& error : result.errors) {
+      std::cerr << "dpaudit_lint: " << error << "\n";
     }
-    const std::vector<std::string> files =
-        dpaudit::lint::CollectFiles(resolved.string());
-    if (files.empty()) {
-      std::cerr << "dpaudit_lint: no lintable files under " << path << "\n";
-      return 2;
-    }
-    for (const std::string& file : files) {
-      if (!dpaudit::lint::LintPath(file, root, rules, &findings)) {
-        std::cerr << "dpaudit_lint: cannot read " << file << "\n";
-        return 2;
-      }
-      ++files_scanned;
-    }
+    return 2;
+  }
+  if (stats) {
+    std::cerr << "dpaudit_lint: " << result.files_scanned << " file(s), "
+              << result.cache_hits << " cache hit(s), "
+              << result.cache_misses << " miss(es)";
+    if (options.fix) std::cerr << ", " << result.files_fixed << " fixed";
+    std::cerr << "\n";
   }
 
   if (format == "json") {
-    dpaudit::lint::WriteJson(findings, files_scanned, std::cout);
+    dpaudit::lint::WriteJson(result.findings, result.files_scanned,
+                             std::cout);
+  } else if (format == "sarif") {
+    dpaudit::lint::WriteSarif(result.findings, std::cout);
   } else {
-    dpaudit::lint::WriteText(findings, std::cout);
-    if (!findings.empty()) {
-      std::cout << findings.size() << " finding(s) in " << files_scanned
-                << " file(s)\n";
+    dpaudit::lint::WriteText(result.findings, std::cout);
+    if (!result.findings.empty()) {
+      std::cout << result.findings.size() << " finding(s) in "
+                << result.files_scanned << " file(s)\n";
     }
   }
-  return findings.empty() ? 0 : 1;
+  return result.findings.empty() ? 0 : 1;
 }

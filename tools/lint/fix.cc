@@ -1,0 +1,157 @@
+#include "tools/lint/fix.h"
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace dpaudit {
+namespace lint {
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& contents,
+                                    bool* trailing_newline) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : contents) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  *trailing_newline = contents.empty() || contents.back() == '\n';
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines,
+                      bool trailing_newline) {
+  std::string out;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    out += lines[i];
+    if (i + 1 < lines.size() || trailing_newline) out += '\n';
+  }
+  return out;
+}
+
+std::string TrailingIdentifier(const std::string& text) {
+  size_t end = text.size();
+  while (end > 0 && !IsIdentChar(text[end - 1])) --end;
+  size_t begin = end;
+  while (begin > 0 && IsIdentChar(text[begin - 1])) --begin;
+  return text.substr(begin, end - begin);
+}
+
+/// Replaces every token-delimited occurrence of `from` with `to`.
+void ReplaceToken(std::vector<std::string>* lines, const std::string& from,
+                  const std::string& to) {
+  for (std::string& line : *lines) {
+    size_t pos = 0;
+    while ((pos = line.find(from, pos)) != std::string::npos) {
+      const size_t end = pos + from.size();
+      const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+      const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+      if (left_ok && right_ok) {
+        line.replace(pos, from.size(), to);
+        pos += to.size();
+      } else {
+        pos = end;
+      }
+    }
+  }
+}
+
+void FixIncludeOrder(const std::string& rel,
+                     std::vector<std::string>* lines) {
+  const std::vector<std::vector<IncludeBlockEntry>> blocks =
+      IncludeBlocks(*lines);
+  for (const std::vector<IncludeBlockEntry>& block : blocks) {
+    const std::vector<size_t> order = CanonicalIncludeOrder(block, rel);
+    std::vector<std::string> sorted;
+    sorted.reserve(block.size());
+    for (const size_t idx : order) {
+      sorted.push_back((*lines)[block[idx].index]);
+    }
+    for (size_t i = 0; i < block.size(); ++i) {
+      (*lines)[block[i].index] = sorted[i];
+    }
+  }
+}
+
+void FixIncludeGuard(const std::string& rel,
+                     std::vector<std::string>* lines) {
+  if (!EndsWith(rel, ".h") && !EndsWith(rel, ".hpp") &&
+      !EndsWith(rel, ".hh")) {
+    return;
+  }
+  // Work from the blanked code view so guards inside comments or strings
+  // are not mistaken for the real thing — exactly what the rule checks.
+  const SourceFile source = PrepareSource(rel, JoinLines(*lines, true));
+  for (const std::string& line : source.code_lines) {
+    if (line.find("#pragma") != std::string::npos && HasToken(line, "once")) {
+      return;  // pragma once satisfies the rule
+    }
+  }
+  const std::string expected = ExpectedGuard(rel);
+  for (size_t i = 0; i < source.code_lines.size(); ++i) {
+    const std::string& line = source.code_lines[i];
+    if (line.find("#ifndef") == std::string::npos) continue;
+    const std::string guard = TrailingIdentifier(line);
+    bool defined = false;
+    for (size_t j = i + 1; j < i + 4 && j < source.code_lines.size(); ++j) {
+      if (source.code_lines[j].find("#define") != std::string::npos &&
+          HasToken(source.code_lines[j], guard)) {
+        defined = true;
+        break;
+      }
+    }
+    if (!defined) break;  // a non-guard #ifndef: fall through to insertion
+    if (!guard.empty() && guard != expected) {
+      ReplaceToken(lines, guard, expected);
+    }
+    return;
+  }
+  // No guard at all: insert after the leading comment/blank prologue.
+  size_t insert_at = 0;
+  for (size_t i = 0; i < source.code_lines.size(); ++i) {
+    std::string trimmed = source.code_lines[i];
+    size_t p = 0;
+    while (p < trimmed.size() && (trimmed[p] == ' ' || trimmed[p] == '\t')) {
+      ++p;
+    }
+    if (p < trimmed.size()) {
+      insert_at = i;
+      break;
+    }
+    insert_at = i + 1;
+  }
+  std::vector<std::string> guarded(lines->begin(),
+                                   lines->begin() + static_cast<long>(
+                                                        insert_at));
+  guarded.push_back("#ifndef " + expected);
+  guarded.push_back("#define " + expected);
+  guarded.push_back("");
+  guarded.insert(guarded.end(),
+                 lines->begin() + static_cast<long>(insert_at),
+                 lines->end());
+  while (!guarded.empty() && guarded.back().empty()) guarded.pop_back();
+  guarded.push_back("");
+  guarded.push_back("#endif  // " + expected);
+  *lines = std::move(guarded);
+}
+
+}  // namespace
+
+std::string Canonicalize(const std::string& rel,
+                         const std::string& contents) {
+  bool trailing_newline = true;
+  std::vector<std::string> lines = SplitLines(contents, &trailing_newline);
+  FixIncludeOrder(rel, &lines);
+  FixIncludeGuard(rel, &lines);
+  return JoinLines(lines, trailing_newline);
+}
+
+}  // namespace lint
+}  // namespace dpaudit

@@ -1,0 +1,23 @@
+// `dpaudit_lint --fix`: mechanical, idempotent rewrites for the two purely
+// syntactic rules — dpaudit-include-order (sort each include block into
+// canonical order) and dpaudit-include-guard (rename a mismatched guard to
+// the conventional DPAUDIT_<PATH>_H_, or insert a guard where none exists).
+// Canonicalize() is a pure function of (rel, contents); applying it twice
+// yields byte-identical output, which tests/lint_test.cc pins.
+
+#ifndef DPAUDIT_TOOLS_LINT_FIX_H_
+#define DPAUDIT_TOOLS_LINT_FIX_H_
+
+#include <string>
+
+namespace dpaudit {
+namespace lint {
+
+/// Returns the fixed contents of `rel`; equal to `contents` when nothing
+/// needs fixing. Only include order and include guards are touched.
+std::string Canonicalize(const std::string& rel, const std::string& contents);
+
+}  // namespace lint
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_TOOLS_LINT_FIX_H_

@@ -13,25 +13,7 @@
 
 namespace dpaudit {
 namespace lint {
-namespace {
 
-namespace fs = std::filesystem;
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool StartsWith(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-bool EndsWith(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-/// True when `token` occurs in `line` delimited by non-identifier characters.
-/// The token itself may contain "::" (e.g. "std::thread").
 bool HasToken(const std::string& line, const std::string& token) {
   size_t pos = 0;
   while ((pos = line.find(token, pos)) != std::string::npos) {
@@ -43,6 +25,10 @@ bool HasToken(const std::string& line, const std::string& token) {
   }
   return false;
 }
+
+namespace {
+
+namespace fs = std::filesystem;
 
 bool InTree(const std::string& rel, const char* tree) {
   return StartsWith(rel, std::string(tree) + "/");
@@ -295,6 +281,31 @@ void CheckIncludeGuard(const SourceFile& file, std::vector<Finding>* out) {
 }
 
 // ---------------------------------------------------------------------------
+// dpaudit-include-order: within a block of consecutive #include lines,
+// angled includes come before quoted ones and each group is sorted
+// lexicographically; a .cc file's primary header leads its block. Stable
+// include order keeps diffs small and makes the include graph rules'
+// --fix rewrites deterministic. Mechanical — `dpaudit_lint --fix` sorts
+// blocks in place.
+
+void CheckIncludeOrder(const SourceFile& file, std::vector<Finding>* out) {
+  const std::vector<std::vector<IncludeBlockEntry>> blocks =
+      IncludeBlocks(file.raw_lines);
+  for (const std::vector<IncludeBlockEntry>& block : blocks) {
+    const std::vector<size_t> order = CanonicalIncludeOrder(block, file.rel);
+    for (size_t i = 0; i < block.size(); ++i) {
+      if (order[i] == i) continue;
+      Emit(file, static_cast<int>(block[i].index + 1),
+           "dpaudit-include-order",
+           "include block is not in canonical order (primary header first, "
+           "then <...> before \"...\", each sorted); run dpaudit_lint --fix",
+           out);
+      break;  // one finding per block
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // dpaudit-lane-alias: lane workspace buffers (GradientWorkspace's lane_* and
 // layers' per-lane scratch) are pack-transient — they are resized and
 // overwritten on every lane pack, and may belong to a different worker's
@@ -531,6 +542,8 @@ bool IsSuppressed(const SourceFile& file, const Finding& f) {
          Suppresses(file.raw_lines[idx - 1], "NOLINTNEXTLINE", f.rule);
 }
 
+}  // namespace
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 8);
@@ -552,8 +565,6 @@ std::string JsonEscape(const std::string& s) {
   }
   return out;
 }
-
-}  // namespace
 
 SourceFile PrepareSource(const std::string& rel, const std::string& contents) {
   SourceFile file;
@@ -659,6 +670,104 @@ SourceFile PrepareSource(const std::string& rel, const std::string& contents) {
   return file;
 }
 
+bool ParseIncludeLine(const std::string& raw, std::string* spelled,
+                      bool* angled) {
+  size_t pos = 0;
+  while (pos < raw.size() && (raw[pos] == ' ' || raw[pos] == '\t')) ++pos;
+  if (pos >= raw.size() || raw[pos] != '#') return false;
+  ++pos;
+  while (pos < raw.size() && (raw[pos] == ' ' || raw[pos] == '\t')) ++pos;
+  if (raw.compare(pos, 7, "include") != 0) return false;
+  pos += 7;
+  while (pos < raw.size() && (raw[pos] == ' ' || raw[pos] == '\t')) ++pos;
+  if (pos >= raw.size()) return false;
+  char close;
+  if (raw[pos] == '"') {
+    close = '"';
+    *angled = false;
+  } else if (raw[pos] == '<') {
+    close = '>';
+    *angled = true;
+  } else {
+    return false;
+  }
+  const size_t end = raw.find(close, pos + 1);
+  if (end == std::string::npos) return false;
+  *spelled = raw.substr(pos + 1, end - pos - 1);
+  return true;
+}
+
+std::vector<std::vector<IncludeBlockEntry>> IncludeBlocks(
+    const std::vector<std::string>& raw_lines) {
+  std::vector<std::vector<IncludeBlockEntry>> blocks;
+  std::vector<IncludeBlockEntry> current;
+  for (size_t i = 0; i < raw_lines.size(); ++i) {
+    IncludeBlockEntry entry;
+    entry.index = i;
+    if (ParseIncludeLine(raw_lines[i], &entry.spelled, &entry.angled)) {
+      current.push_back(std::move(entry));
+    } else if (!current.empty()) {
+      blocks.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) blocks.push_back(std::move(current));
+  return blocks;
+}
+
+bool IsPrimaryInclude(const std::string& spelled, const std::string& rel) {
+  if (!EndsWith(rel, ".cc") && !EndsWith(rel, ".cpp") &&
+      !EndsWith(rel, ".cxx")) {
+    return false;
+  }
+  const auto stem = [](const std::string& path) -> std::string {
+    const size_t slash = path.find_last_of('/');
+    std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    const size_t dot = base.find_last_of('.');
+    if (dot != std::string::npos) base.resize(dot);
+    return base;
+  };
+  if (!EndsWith(spelled, ".h") && !EndsWith(spelled, ".hpp") &&
+      !EndsWith(spelled, ".hh")) {
+    return false;
+  }
+  return stem(spelled) == stem(rel);
+}
+
+std::vector<size_t> CanonicalIncludeOrder(
+    const std::vector<IncludeBlockEntry>& block, const std::string& rel) {
+  std::vector<size_t> order(block.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  size_t first = 0;
+  if (!block.empty() && IsPrimaryInclude(block[0].spelled, rel)) first = 1;
+  std::stable_sort(order.begin() + static_cast<long>(first), order.end(),
+                   [&block](size_t a, size_t b) {
+                     if (block[a].angled != block[b].angled) {
+                       return block[a].angled;  // <...> before "..."
+                     }
+                     return block[a].spelled < block[b].spelled;
+                   });
+  return order;
+}
+
+void SortFindings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  findings->erase(
+      std::unique(findings->begin(), findings->end(),
+                  [](const Finding& a, const Finding& b) {
+                    return a.file == b.file && a.line == b.line &&
+                           a.rule == b.rule && a.message == b.message;
+                  }),
+      findings->end());
+}
+
 std::string ExpectedGuard(const std::string& rel) {
   std::string path = rel;
   if (StartsWith(path, "src/")) path = path.substr(4);
@@ -686,6 +795,10 @@ const std::vector<Rule>& AllRules() {
       {"dpaudit-include-guard",
        "headers carry #pragma once or the DPAUDIT_<PATH>_H_ guard",
        &CheckIncludeGuard},
+      {"dpaudit-include-order",
+       "include blocks sort primary header first, then <...> before "
+       "\"...\", each lexicographic (fixable with --fix)",
+       &CheckIncludeOrder},
       {"dpaudit-lane-alias",
        "no raw pointers stored into another object's lane workspace buffers; "
        "lane buffers are pack-transient",
@@ -730,11 +843,7 @@ void LintFile(const SourceFile& file, const std::vector<std::string>& rules,
   for (Finding& f : found) {
     if (!IsSuppressed(file, f)) out->push_back(std::move(f));
   }
-  std::sort(out->begin(), out->end(), [](const Finding& a, const Finding& b) {
-    if (a.file != b.file) return a.file < b.file;
-    if (a.line != b.line) return a.line < b.line;
-    return a.rule < b.rule;
-  });
+  SortFindings(out);
 }
 
 bool LintPath(const std::string& path, const std::string& root,

@@ -15,12 +15,33 @@
 #ifndef DPAUDIT_TOOLS_LINT_LINT_H_
 #define DPAUDIT_TOOLS_LINT_LINT_H_
 
+#include <cctype>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
 namespace dpaudit {
 namespace lint {
+
+// Small text helpers shared by the lexer, the per-file rules, and the graph
+// rules (tools/lint/model.cc).
+
+inline bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+inline bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+inline bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// True when `token` occurs in `line` delimited by non-identifier characters.
+/// The token itself may contain "::" (e.g. "std::thread").
+bool HasToken(const std::string& line, const std::string& token);
 
 /// One rule violation at a specific source line.
 struct Finding {
@@ -78,6 +99,47 @@ void WriteText(const std::vector<Finding>& findings, std::ostream& out);
 ///  "files_scanned":M}.
 void WriteJson(const std::vector<Finding>& findings, size_t files_scanned,
                std::ostream& out);
+
+/// Writes findings as a SARIF 2.1.0 log (one run, rule metadata from
+/// AllRules() plus the graph rules) for GitHub code scanning upload.
+void WriteSarif(const std::vector<Finding>& findings, std::ostream& out);
+
+/// Escapes `s` for embedding in a JSON string literal.
+std::string JsonEscape(const std::string& s);
+
+/// Sorts findings by (file, line, rule) and drops exact duplicates.
+void SortFindings(std::vector<Finding>* findings);
+
+/// Parses an `#include <x>` / `#include "x"` directive from a raw source
+/// line. Returns true and fills `spelled` (path without delimiters) and
+/// `angled` on match.
+bool ParseIncludeLine(const std::string& raw, std::string* spelled,
+                      bool* angled);
+
+/// One include directive inside a block, by raw-line index (0-based).
+struct IncludeBlockEntry {
+  size_t index = 0;
+  std::string spelled;
+  bool angled = false;
+};
+
+/// Maximal runs of consecutive include lines. Any other line — blank,
+/// code, or another preprocessor directive — ends a block, so includes
+/// under #ifdef are never reordered across the conditional.
+std::vector<std::vector<IncludeBlockEntry>> IncludeBlocks(
+    const std::vector<std::string>& raw_lines);
+
+/// True when `spelled` names the primary header of the source file `rel`
+/// (same basename stem, header extension) — e.g. "dp/mechanism.h" for
+/// "src/dp/mechanism.cc". The primary header leads its block and is exempt
+/// from sorting.
+bool IsPrimaryInclude(const std::string& spelled, const std::string& rel);
+
+/// The canonical permutation of `block` for file `rel`: a leading primary
+/// header stays put; the rest sort angled-first, then lexicographically.
+/// Returns indices into `block`.
+std::vector<size_t> CanonicalIncludeOrder(
+    const std::vector<IncludeBlockEntry>& block, const std::string& rel);
 
 /// The include-guard name this repo's convention assigns to a header path,
 /// e.g. "src/util/logging.h" -> "DPAUDIT_UTIL_LOGGING_H_" and
