@@ -44,13 +44,12 @@ inline std::vector<double> EpsilonGridFor(const Task& task) {
   return {0.12, 1.1, 2.2, 4.6};
 }
 
-/// DPAUDIT_SWEEP_MODE=percell selects the sequential per-cell reference
-/// path (the pre-scheduler structure); anything else — including unset —
-/// selects the flattened scheduler. Both produce bit-identical rows.
+/// --sweep-mode=percell / DPAUDIT_SWEEP_MODE=percell selects the sequential
+/// per-cell reference path (the pre-scheduler structure); anything else —
+/// including unset — selects the flattened scheduler. Both produce
+/// bit-identical rows.
 inline SweepMode SweepModeFromEnv() {
-  return EnvString("DPAUDIT_SWEEP_MODE", "") == "percell"
-             ? SweepMode::kPerCell
-             : SweepMode::kFlattened;
+  return CurrentRuntimeOptions().sweep_mode;
 }
 
 /// Runs the audit sweep for several tasks as ONE flattened grid (so the
@@ -106,6 +105,7 @@ inline std::vector<std::vector<AuditSweepRow>> RunAuditSweeps(
     }
   }
 
+  const RuntimeOptions& runtime = CurrentRuntimeOptions();
   SweepOptions options;
   options.mode = mode;
   // With DPAUDIT_TRACE_CACHE set, each grid cell trains once and every
@@ -113,16 +113,26 @@ inline std::vector<std::vector<AuditSweepRow>> RunAuditSweeps(
   // its larger repetition count) replays the recorded trials
   // bit-identically.
   options.trace_store = store;
+  // Crash safety / failure isolation come straight from the runtime knobs
+  // (see core/runtime_options.h): the checkpoint journal makes a killed
+  // sweep resumable, and failed trials are retried before a cell degrades.
+  options.checkpoint = runtime.checkpoint;
+  options.trial_retries = runtime.trial_retries;
+  options.retry_backoff_ms = runtime.retry_backoff_ms;
+  options.verbose = runtime.verbose;
   SweepStats stats;
   std::vector<StatusOr<DiExperimentSummary>> summaries =
       RunSweep(cells, options, &stats);
-  if (store != nullptr) {
+  if (store != nullptr || !options.checkpoint.empty()) {
     DPAUDIT_LOG(INFO) << "sweep: " << stats.cells << " cells, trace full="
                       << stats.trace_full_hits
                       << " prefix=" << stats.trace_prefix_hits
                       << " miss=" << stats.trace_misses << ", trials trained="
                       << stats.trials_trained
-                      << " replayed=" << stats.trials_replayed;
+                      << " replayed=" << stats.trials_replayed
+                      << " resumed=" << stats.trials_resumed
+                      << " retried=" << stats.trials_retried
+                      << " failed=" << stats.trials_failed;
   }
 
   std::vector<std::vector<AuditSweepRow>> rows_per_task(tasks.size());

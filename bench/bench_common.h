@@ -10,21 +10,28 @@
 //   DPAUDIT_EPOCHS          training steps k (paper: 30)
 //   DPAUDIT_SEED            root seed
 //
-// Telemetry: every binary accepts --telemetry=<dir> (or the
-// DPAUDIT_TELEMETRY environment variable) through InitTelemetryFromArgs and
-// then writes a hierarchical phase profile, a JSONL event stream, and a
-// Prometheus exposition at exit. Exports go to stderr/files only, so stdout
+// Runtime knobs: every binary accepts the shared runtime flags
+// (--threads, --lanes, --telemetry, --retries, --checkpoint, ... — see
+// core/runtime_options.h or `--help`) through InitBenchRuntime, with
+// precedence CLI flag > DPAUDIT_* environment variable > default. With
+// telemetry enabled the binary writes a hierarchical phase profile, a JSONL
+// event stream, a Prometheus exposition, and the audit ledger at exit, plus
+// a sweep checkpoint journal (<dir>/<binary>.sweep.jsonl) that makes an
+// interrupted sweep resumable. Exports go to stderr/files only, so stdout
 // stays byte-identical with telemetry on or off.
 
 #ifndef DPAUDIT_BENCH_BENCH_COMMON_H_
 #define DPAUDIT_BENCH_BENCH_COMMON_H_
 
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
 
 #include "core/experiment.h"
+#include "core/runtime_options.h"
+#include "core/sweep_journal.h"
 #include "data/dataset_sensitivity.h"
 #include "data/dissimilarity.h"
 #include "data/synthetic_mnist.h"
@@ -42,24 +49,47 @@
 namespace dpaudit {
 namespace bench {
 
-/// Strips --telemetry=<dir> out of argv and starts telemetry for this
-/// binary; without the flag, DPAUDIT_TELEMETRY decides. Call first thing in
-/// main so every phase lands in the profile.
-inline void InitTelemetryFromArgs(int* argc, char** argv) {
-  obs::TelemetryOptions options = obs::TelemetryOptionsFromEnv();
-  int out = 1;
-  for (int i = 1; i < *argc; ++i) {
-    const std::string arg = argv[i];
-    constexpr char kFlag[] = "--telemetry=";
-    if (arg.rfind(kFlag, 0) == 0) {
-      options.enabled = true;
-      options.directory = arg.substr(sizeof(kFlag) - 1);
-    } else {
-      argv[out++] = argv[i];
-    }
+/// Last path component of argv[0], for default artifact names.
+inline std::string BinaryBasename(const char* argv0) {
+  const std::string path = argv0 == nullptr ? "" : argv0;
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/// The one-call runtime setup every bench binary does first thing in main:
+/// parses the shared runtime flags out of argv (precedence: flag > DPAUDIT_*
+/// env > default), handles --help, publishes and applies the options, starts
+/// telemetry, and defaults the sweep checkpoint journal to
+/// <telemetry_dir>/<binary>.sweep.jsonl when telemetry is on. Exits with an
+/// actionable message on a malformed flag. Call before any parallel region
+/// so every phase lands in the profile and the knobs take effect.
+inline void InitBenchRuntime(int* argc, char** argv) {
+  // Record the pre-strip command line so `dpaudit_cli sweep resume` can
+  // re-execute this exact invocation from the journal manifest.
+  RecordCommandLineForJournal(*argc, argv);
+  StatusOr<RuntimeOptions> options = RuntimeOptions::FromEnvAndArgs(argc,
+                                                                    argv);
+  if (!options.ok()) {
+    std::cerr << argv[0] << ": " << options.status().message() << "\n"
+              << "run with --help for the runtime flag table\n";
+    std::exit(2);
   }
-  *argc = out;
-  obs::InitTelemetry(argv[0], options);
+  if (options->help) {
+    PrintRuntimeOptionsHelp(argv[0], std::cout);
+    std::exit(0);
+  }
+  if (options->checkpoint.empty() && options->telemetry_enabled) {
+    options->checkpoint = options->telemetry_dir + "/" +
+                          BinaryBasename(argv[0]) + ".sweep.jsonl";
+  }
+  InitRuntimeOptions(*options);
+  DPAUDIT_CHECK_OK(ApplyRuntimeOptions(*options));
+  obs::TelemetryOptions telemetry = obs::TelemetryOptionsFromEnv();
+  if (options->telemetry_enabled) {
+    telemetry.enabled = true;
+    telemetry.directory = options->telemetry_dir;
+  }
+  obs::InitTelemetry(argv[0], telemetry);
 }
 
 struct BenchParams {

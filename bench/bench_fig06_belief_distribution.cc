@@ -77,7 +77,7 @@ void Run() {
 }  // namespace dpaudit
 
 int main(int argc, char** argv) {
-  dpaudit::bench::InitTelemetryFromArgs(&argc, argv);
+  dpaudit::bench::InitBenchRuntime(&argc, argv);
   dpaudit::Run();
   dpaudit::obs::FlushTelemetry();
   return 0;

@@ -114,6 +114,20 @@ std::string LedgerDigestOfSummary(const DiExperimentSummary& summary) {
   return digest.Hex();
 }
 
+void EmitLedgerError(const TraceFingerprint& fingerprint,
+                     size_t repetitions_requested,
+                     size_t repetitions_completed, size_t trials_failed,
+                     const std::string& message) {
+  if (!obs::AuditLedgerEnabled()) return;
+  obs::LedgerError error;
+  error.fingerprint = fingerprint.ToHex();
+  error.repetitions_requested = repetitions_requested;
+  error.repetitions_completed = repetitions_completed;
+  error.trials_failed = trials_failed;
+  error.message = message;
+  obs::AppendLedgerError(&error);
+}
+
 void EmitLedgerAudit(const DiExperimentSummary& summary, double delta,
                      const AuditReport& report) {
   if (!obs::AuditLedgerEnabled()) return;

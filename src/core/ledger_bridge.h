@@ -60,6 +60,15 @@ std::string LedgerDigestOfSummary(const DiExperimentSummary& summary);
 void EmitLedgerAudit(const DiExperimentSummary& summary, double delta,
                      const AuditReport& report);
 
+/// Emits the error row for a sweep cell whose retry budget ran out: the
+/// requested vs completed repetition counts, how many trials exhausted the
+/// budget, and the first failure's message. Emitted right after the cell's
+/// (partial) experiment block by the sweep scheduler's results loop.
+void EmitLedgerError(const TraceFingerprint& fingerprint,
+                     size_t repetitions_requested,
+                     size_t repetitions_completed, size_t trials_failed,
+                     const std::string& message);
+
 }  // namespace dpaudit
 
 #endif  // DPAUDIT_CORE_LEDGER_BRIDGE_H_

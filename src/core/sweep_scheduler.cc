@@ -5,16 +5,18 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 
 #include "core/ledger_bridge.h"
+#include "core/sweep_journal.h"
 #include "core/trace.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
-#include "util/env.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -34,23 +36,43 @@ struct CellRun {
   TraceFingerprint key;
   ExperimentTrace trace;
   bool record = false;   // trace.trials collects this run for Save()
-  bool collect = false;  // trace.trials collects live trials (Save or ledger)
+  bool collect = false;  // trace.trials collects live trials (Save/ledger/
+                         // journal)
   size_t replayed = 0;   // leading trials replayed from the cache
+  size_t resumed = 0;    // trials filled from the checkpoint journal
+  std::vector<uint8_t> from_journal;  // per-rep: skip training, journal won
   DiExperimentSummary summary;
   std::vector<Status> trial_status;
+  std::atomic<size_t> retried{0};  // extra attempts beyond each first try
   std::atomic<size_t> trials_finished{0};  // heartbeat: cell done detection
 };
 
-// DPAUDIT_PROGRESS=<secs>: opt-in sweep heartbeat. A single monitor thread
-// wakes every `secs` seconds and reports cells/trials done, throughput, and
-// an ETA through DPAUDIT_LOG (stderr), so figure stdout stays byte-identical.
-// With the variable unset no thread is started and the per-trial cost is two
-// relaxed atomic increments.
+/// Deterministic per-attempt backoff jitter: splitmix64 over (seed, cell,
+/// rep, attempt), so retry timing never depends on wall clock or thread
+/// identity (results never depend on timing either way; this just keeps the
+/// schedule reproducible for debugging).
+uint64_t RetryJitterMs(uint64_t seed, size_t cell, size_t rep, size_t attempt,
+                       uint64_t base_ms) {
+  uint64_t z = seed ^ (0x9e3779b97f4a7c15ull * (cell + 1)) ^
+               (0xbf58476d1ce4e5b9ull * (rep + 1)) ^
+               (0x94d049bb133111ebull * attempt);
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return base_ms == 0 ? 0 : z % (base_ms + 1);
+}
+
+// --progress/DPAUDIT_PROGRESS (core/runtime_options.h): opt-in sweep
+// heartbeat. A single monitor thread wakes every `secs` seconds and reports
+// cells/trials done, throughput, and an ETA through DPAUDIT_LOG (stderr), so
+// figure stdout stays byte-identical. With the knob unset no thread is
+// started and the per-trial cost is two relaxed atomic increments.
 class ProgressMonitor {
  public:
   ProgressMonitor(size_t total_cells, size_t total_trials)
       : total_cells_(total_cells), total_trials_(total_trials) {
-    const int64_t seconds = EnvInt64("DPAUDIT_PROGRESS", 0);
+    const int64_t seconds = CurrentRuntimeOptions().progress_seconds;
     if (seconds <= 0) return;
     interval_ = std::chrono::seconds(seconds);
     start_ns_ = obs::MonotonicNowNs();
@@ -121,11 +143,36 @@ class ProgressMonitor {
   std::thread thread_;  // NOLINT(dpaudit-raw-thread)
 };
 
+// Fills the reps the trace cache did not cover from the checkpoint journal.
+// The cache prefix wins where both apply — the bytes are identical either
+// way (both are recordings of the same pure trial function), the cache is
+// simply already in trace form. Journal-resumed reps keep their summary and
+// trace slots exactly as a live run would have produced them, so everything
+// downstream (estimators, ledger, Save) is bit-identical.
+void ResumeFromJournal(SweepJournal* journal, size_t reps, CellRun* run) {
+  if (journal == nullptr) return;
+  run->from_journal.assign(reps, 0);
+  for (size_t rep = run->replayed; rep < reps; ++rep) {
+    const TrialTrace* trial = journal->Find(run->key, rep);
+    if (trial == nullptr) continue;
+    run->summary.trials[rep] = ToTrialResult(*trial);
+    if (run->collect) run->trace.trials[rep] = *trial;
+    run->from_journal[rep] = 1;
+    ++run->resumed;
+  }
+  if (run->resumed > 0) {
+    DPAUDIT_LOG(INFO) << "sweep journal resumes " << run->resumed << "/"
+                      << reps << " repetitions of cell "
+                      << run->key.ToHex();
+  }
+}
+
 // Lazy per-cell setup: deferred calibration, validation, trace-cache probe,
-// prefix replay. Runs inside the trial task set, so a later cell's (often
-// expensive) calibration overlaps earlier cells' training instead of
-// serializing the sweep.
-void PrepareCell(size_t inner_threads, bool ledger, CellRun* run) {
+// prefix replay, checkpoint-journal resume. Runs inside the trial task set,
+// so a later cell's (often expensive) calibration overlaps earlier cells'
+// training instead of serializing the sweep.
+void PrepareCell(size_t inner_threads, bool ledger, SweepJournal* journal,
+                 CellRun* run) {
   DPAUDIT_SPAN("sweep_cell_prep");
   const SweepCell& cell = *run->cell;
   run->config = cell.config;
@@ -157,22 +204,24 @@ void PrepareCell(size_t inner_threads, bool ledger, CellRun* run) {
   run->summary.trials.resize(reps);
   run->trial_status.assign(reps, Status::Ok());
 
+  const bool need_key =
+      run->store != nullptr || ledger || journal != nullptr;
+  if (need_key) {
+    run->key = FingerprintExperiment(*cell.architecture, *cell.d,
+                                     *cell.d_prime, run->config,
+                                     cell.test_set);
+  }
   if (run->store == nullptr) {
-    if (ledger) {
-      // No cache, but the ledger still needs the fingerprint and the
-      // per-step traces of every live trial.
-      run->key = FingerprintExperiment(*cell.architecture, *cell.d,
-                                       *cell.d_prime, run->config,
-                                       cell.test_set);
+    if (ledger || journal != nullptr) {
+      // No cache, but the ledger needs the per-step traces of every live
+      // trial, and the journal needs them to checkpoint trained trials.
       run->trace.fingerprint = run->key;
       run->trace.trials.resize(reps);
       run->collect = true;
     }
+    ResumeFromJournal(journal, reps, run);
     return;
   }
-  run->key = FingerprintExperiment(*cell.architecture, *cell.d,
-                                   *cell.d_prime, run->config,
-                                   cell.test_set);
   StatusOr<ExperimentTrace> cached = run->store->Load(run->key);
   if (cached.ok()) {
     run->replayed = std::min(cached->trials.size(), reps);
@@ -204,6 +253,7 @@ void PrepareCell(size_t inner_threads, bool ledger, CellRun* run) {
     run->record = true;
     run->collect = true;
   }
+  ResumeFromJournal(journal, reps, run);
 }
 
 void CountSweepMetrics(const SweepStats& stats) {
@@ -218,6 +268,14 @@ void CountSweepMetrics(const SweepStats& stats) {
                        stats.trials_replayed);
   DPAUDIT_METRIC_COUNT("dpaudit_sweep_trials_trained_total",
                        stats.trials_trained);
+  DPAUDIT_METRIC_COUNT("dpaudit_sweep_trials_resumed_total",
+                       stats.trials_resumed);
+  DPAUDIT_METRIC_COUNT("dpaudit_sweep_trials_retried_total",
+                       stats.trials_retried);
+  DPAUDIT_METRIC_COUNT("dpaudit_sweep_trials_failed_total",
+                       stats.trials_failed);
+  DPAUDIT_METRIC_COUNT("dpaudit_sweep_cells_degraded_total",
+                       stats.cells_degraded);
 }
 
 TraceStore* EffectiveStore(const SweepOptions& options,
@@ -283,11 +341,36 @@ std::vector<StatusOr<DiExperimentSummary>> RunSweep(
   ProgressMonitor monitor(cells.size(), total_trials);
 
   if (options.mode == SweepMode::kPerCell) {
+    if (!options.checkpoint.empty()) {
+      DPAUDIT_LOG(WARNING)
+          << "sweep checkpoint requires the flattened scheduler; percell "
+          << "mode runs without crash-safety";
+    }
     auto results = RunSweepPerCell(cells, options, threads, &local,
                                    &monitor);
     CountSweepMetrics(local);
     if (stats != nullptr) *stats = local;
     return results;
+  }
+
+  // Checkpoint journal: loaded up front so PrepareCell can skip trials a
+  // previous (crashed) run of this sweep already trained. Best-effort — a
+  // journal that cannot be opened costs crash-safety, never the sweep.
+  std::unique_ptr<SweepJournal> journal;
+  if (!options.checkpoint.empty()) {
+    StatusOr<std::unique_ptr<SweepJournal>> opened =
+        SweepJournal::Open(options.checkpoint);
+    if (opened.ok()) {
+      journal = std::move(*opened);
+      if (journal->loaded_trials() > 0) {
+        DPAUDIT_LOG(INFO) << "sweep journal " << options.checkpoint
+                          << " holds " << journal->loaded_trials()
+                          << " completed trial(s)";
+      }
+    } else {
+      DPAUDIT_LOG(WARNING) << "sweep checkpoint disabled: "
+                           << opened.status().message();
+    }
   }
 
   // Flattened grid: cell i owns flat indices [offset[i], offset[i] + reps_i).
@@ -301,6 +384,8 @@ std::vector<StatusOr<DiExperimentSummary>> RunSweep(
     offset[i + 1] = offset[i] + cells[i].config.repetitions;
   }
   const size_t total = offset.back();
+  const size_t retries = options.trial_retries;
+  const uint64_t backoff_base_ms = options.retry_backoff_ms;
 
   ThreadPool::ParallelForChunked(total, threads, /*grain=*/1,
                                  [&](size_t flat) {
@@ -310,9 +395,13 @@ std::vector<StatusOr<DiExperimentSummary>> RunSweep(
         offset.begin()) - 1;
     const size_t rep = flat - offset[c];
     CellRun& run = runs[c];
-    std::call_once(run.once, [&] { PrepareCell(threads, ledger, &run); });
+    std::call_once(run.once, [&] {
+      PrepareCell(threads, ledger, journal.get(), &run);
+    });
     const size_t cell_reps = offset[c + 1] - offset[c];
-    if (!run.prep_status.ok() || rep < run.replayed) {
+    const bool resumed =
+        !run.from_journal.empty() && run.from_journal[rep] != 0;
+    if (!run.prep_status.ok() || rep < run.replayed || resumed) {
       monitor.TrialDone();
       if (run.trials_finished.fetch_add(1, std::memory_order_relaxed) + 1 ==
           cell_reps) {
@@ -330,10 +419,55 @@ std::vector<StatusOr<DiExperimentSummary>> RunSweep(
       }
       last_cell = static_cast<const void*>(&run);
     }
-    run.trial_status[rep] = RunDiTrial(
-        *run.cell->architecture, *run.cell->d, *run.cell->d_prime,
-        run.config, rep, &run.summary.trials[rep],
-        run.collect ? &run.trace.trials[rep] : nullptr, run.cell->test_set);
+    // Failure isolation: a throwing (or fault-injected) trial is retried up
+    // to the budget with jittered backoff; the trial is a pure function of
+    // (config, seed, rep), so a retry that succeeds is bit-identical to a
+    // first attempt that would have. Exhaustion marks the rep failed and the
+    // cell degrades in the results loop instead of sinking the sweep.
+    Status trial_result = Status::Ok();
+    for (size_t attempt = 1;; ++attempt) {
+      if (fault::FailTrialAttempt(c, rep)) {
+        trial_result = Status::Internal(
+            "injected trial fault (cell " + std::to_string(c) + ", rep " +
+            std::to_string(rep) + ", attempt " + std::to_string(attempt) +
+            ")");
+      } else {
+        try {
+          trial_result = RunDiTrial(
+              *run.cell->architecture, *run.cell->d, *run.cell->d_prime,
+              run.config, rep, &run.summary.trials[rep],
+              run.collect ? &run.trace.trials[rep] : nullptr,
+              run.cell->test_set);
+        } catch (const std::exception& e) {
+          trial_result =
+              Status::Internal(std::string("trial threw: ") + e.what());
+        } catch (...) {
+          trial_result = Status::Internal("trial threw a non-std exception");
+        }
+      }
+      if (trial_result.ok() || attempt > retries) break;
+      run.retried.fetch_add(1, std::memory_order_relaxed);
+      DPAUDIT_LOG(WARNING) << "sweep trial (cell " << c << ", rep " << rep
+                           << ") attempt " << attempt
+                           << " failed: " << trial_result.message()
+                           << "; retrying ("
+                           << (retries - attempt + 1) << " left)";
+      const uint64_t backoff_ms =
+          backoff_base_ms * attempt +
+          RetryJitterMs(run.config.seed, c, rep, attempt, backoff_base_ms);
+      if (backoff_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min<uint64_t>(backoff_ms, 10'000)));
+      }
+    }
+    run.trial_status[rep] = trial_result;
+    if (trial_result.ok() && journal != nullptr && run.collect) {
+      // Checkpoint the trial the moment it completes, from the worker — rows
+      // land in completion order, which resume tolerates by keying on
+      // (fingerprint, rep).
+      journal->AppendTrial(run.key, rep, run.config.seed,
+                           run.trace.trials[rep]);
+    }
     monitor.TrialDone();
     if (run.trials_finished.fetch_add(1, std::memory_order_relaxed) + 1 ==
         cell_reps) {
@@ -343,6 +477,7 @@ std::vector<StatusOr<DiExperimentSummary>> RunSweep(
 
   std::vector<StatusOr<DiExperimentSummary>> results;
   results.reserve(cells.size());
+  local.per_cell.resize(cells.size());
   for (size_t i = 0; i < cells.size(); ++i) {
     CellRun& run = runs[i];
     if (cells[i].config.repetitions == 0) {
@@ -355,18 +490,73 @@ std::vector<StatusOr<DiExperimentSummary>> RunSweep(
       results.emplace_back(run.prep_status);
       continue;
     }
-    Status failed = Status::Ok();
+    const size_t reps = run.config.repetitions;
+    Status first_failure = Status::Ok();
+    size_t failed_reps = 0;
     for (const Status& st : run.trial_status) {
-      if (!st.ok()) {
-        failed = st;
-        break;
-      }
+      if (st.ok()) continue;
+      if (first_failure.ok()) first_failure = st;
+      ++failed_reps;
     }
-    if (!failed.ok()) {
-      results.emplace_back(failed);
+    SweepCellStats& cell_stats = local.per_cell[i];
+    cell_stats.replayed = run.replayed;
+    cell_stats.resumed = run.resumed;
+    cell_stats.failed = failed_reps;
+    cell_stats.retried = run.retried.load(std::memory_order_relaxed);
+    cell_stats.trained = reps - run.replayed - run.resumed - failed_reps;
+    local.trials_replayed += cell_stats.replayed;
+    local.trials_resumed += cell_stats.resumed;
+    local.trials_trained += cell_stats.trained;
+    local.trials_retried += cell_stats.retried;
+    local.trials_failed += cell_stats.failed;
+    if (options.verbose) {
+      DPAUDIT_LOG(INFO) << "sweep cell " << i << ": replayed "
+                        << cell_stats.replayed << ", resumed "
+                        << cell_stats.resumed << ", trained "
+                        << cell_stats.trained << ", failed "
+                        << cell_stats.failed << ", retried "
+                        << cell_stats.retried << " (of " << reps
+                        << " repetitions)";
+    }
+    if (failed_reps == reps) {
+      // Nothing survived: keep the historical whole-cell error behavior.
+      results.emplace_back(first_failure);
       continue;
     }
-    const size_t reps = run.config.repetitions;
+    const bool degraded = failed_reps > 0;
+    if (degraded) {
+      // Partial-repetition estimate: compact summary (and trace, so the
+      // ledger digest matches the summary the caller audits) down to the
+      // surviving reps, preserving repetition order. The trace is NOT saved
+      // — a cache entry must be a pure prefix of reps 0..k-1, which a
+      // gapped recording is not — and journaled survivors keep their true
+      // rep indices, so a re-run retries exactly the failed reps.
+      ++local.cells_degraded;
+      DPAUDIT_LOG(WARNING) << "sweep cell " << i << " degraded: "
+                           << failed_reps << "/" << reps
+                           << " repetitions exhausted the retry budget ("
+                           << first_failure.message() << ")";
+      DiExperimentSummary compact;
+      std::vector<TrialTrace> compact_traces;
+      compact.trials.reserve(reps - failed_reps);
+      if (run.collect) compact_traces.reserve(reps - failed_reps);
+      for (size_t rep = 0; rep < reps; ++rep) {
+        if (!run.trial_status[rep].ok()) continue;
+        compact.trials.push_back(std::move(run.summary.trials[rep]));
+        if (run.collect) {
+          compact_traces.push_back(std::move(run.trace.trials[rep]));
+        }
+      }
+      if (ledger) {
+        EmitLedgerExperiment(run.key, run.config, *cells[i].d,
+                             *cells[i].d_prime, cells[i].test_set,
+                             compact_traces, compact.trials.size());
+        EmitLedgerError(run.key, reps, compact.trials.size(), failed_reps,
+                        first_failure.message());
+      }
+      results.push_back(std::move(compact));
+      continue;
+    }
     if (run.record) {
       DPAUDIT_SPAN("trace_record");
       Status saved = run.store->Save(run.trace);
@@ -392,8 +582,6 @@ std::vector<StatusOr<DiExperimentSummary>> RunSweep(
                            *cells[i].d_prime, cells[i].test_set,
                            run.trace.trials, reps);
     }
-    local.trials_replayed += run.replayed;
-    local.trials_trained += reps - run.replayed;
     results.push_back(std::move(run.summary));
   }
 

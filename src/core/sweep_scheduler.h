@@ -17,15 +17,28 @@
 // RunDiExperiment per cell — for any thread count, any dispatch order, and
 // any trace-cache state. SweepMode::kPerCell keeps the sequential reference
 // path selectable for A/B benchmarking and differential tests.
+//
+// Crash safety and failure isolation (flattened mode): with
+// SweepOptions::checkpoint set, every freshly trained trial is appended to a
+// sweep journal (core/sweep_journal.h) the moment it completes, and a
+// re-launched sweep replays journaled trials instead of retraining them —
+// stdout and ledger bytes are identical to an uninterrupted run. A trial
+// that throws (or is failed by fault injection, util/fault_injection.h) is
+// retried up to SweepOptions::trial_retries times with jittered backoff; on
+// exhaustion the cell degrades to a partial-repetition summary, surfaced in
+// SweepStats, the dpaudit_sweep_* metrics, and a ledger `error` row, instead
+// of failing the sweep.
 
 #ifndef DPAUDIT_CORE_SWEEP_SCHEDULER_H_
 #define DPAUDIT_CORE_SWEEP_SCHEDULER_H_
 
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/runtime_options.h"
 #include "util/status.h"
 
 namespace dpaudit {
@@ -53,15 +66,8 @@ struct SweepCell {
   std::function<Status(DiExperimentConfig*)> configure;
 };
 
-enum class SweepMode {
-  /// One flattened (cell x repetition) grid, dynamic chunked dispatch on the
-  /// shared pool. The default.
-  kFlattened,
-  /// Sequential cells, ParallelFor within each — the pre-scheduler reference
-  /// path, kept for A/B benchmarking (DPAUDIT_SWEEP_MODE=percell) and the
-  /// bit-identity tests.
-  kPerCell,
-};
+// SweepMode (kFlattened / kPerCell) lives in core/runtime_options.h with the
+// rest of the process-level knobs; it is re-exported through this include.
 
 struct SweepOptions {
   size_t threads = 0;  // 0: DefaultThreadCount()
@@ -70,6 +76,30 @@ struct SweepOptions {
   /// resolves the store once (e.g. TraceStore::FromEnv()) instead of per
   /// cell. nullptr falls back to each cell's own config.trace_store.
   TraceStore* trace_store = nullptr;
+  /// Checkpoint journal path (core/sweep_journal.h); empty disables
+  /// checkpointing. Flattened mode only — the per-cell reference path stays
+  /// byte-for-byte the historical sequential implementation.
+  std::string checkpoint;
+  /// How many times a failed trial is re-attempted before it counts as
+  /// failed. A cell whose reps partially fail degrades to a partial-
+  /// repetition summary instead of erroring the whole sweep; a cell where
+  /// every rep fails keeps the historical error behavior.
+  size_t trial_retries = 2;
+  /// Base backoff between retry attempts, milliseconds, deterministically
+  /// jittered per (seed, cell, rep, attempt). 0 retries immediately.
+  uint64_t retry_backoff_ms = 10;
+  /// Per-cell accounting (replayed/resumed/trained/failed/retried) through
+  /// DPAUDIT_LOG. Never touches stdout.
+  bool verbose = false;
+};
+
+/// Per-cell trial accounting, indexed like the `cells` argument.
+struct SweepCellStats {
+  size_t replayed = 0;  // from the trace cache
+  size_t resumed = 0;   // from the checkpoint journal
+  size_t trained = 0;   // trained live this run
+  size_t failed = 0;    // exhausted the retry budget
+  size_t retried = 0;   // extra attempts beyond each trial's first
 };
 
 /// What one sweep did, for logs and telemetry. Mirrored into the metrics
@@ -81,6 +111,11 @@ struct SweepStats {
   size_t trace_misses = 0;       // cells trained from scratch (store set)
   size_t trials_replayed = 0;
   size_t trials_trained = 0;
+  size_t trials_resumed = 0;  // skipped via the checkpoint journal
+  size_t trials_retried = 0;  // retry attempts across all cells
+  size_t trials_failed = 0;   // trials that exhausted the retry budget
+  size_t cells_degraded = 0;  // cells returned with fewer reps than asked
+  std::vector<SweepCellStats> per_cell;  // flattened mode only
 };
 
 /// Runs every cell and returns its summary (or error) in cell order. The

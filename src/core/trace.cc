@@ -6,10 +6,10 @@
 #include <utility>
 
 #include "core/dpsgd.h"
+#include "core/runtime_options.h"
 #include "io/serialization.h"
 #include "obs/metrics.h"
 #include "tensor/tensor.h"
-#include "util/env.h"
 #include "util/logging.h"
 
 namespace dpaudit {
@@ -300,8 +300,10 @@ TraceStore::TraceStore(std::string directory)
     : directory_(std::move(directory)) {}
 
 TraceStore* TraceStore::FromEnv() {
+  // Latched at first use: --trace-cache/DPAUDIT_TRACE_CACHE through
+  // core/runtime_options (CLI flag wins when a binary published options).
   static TraceStore* store = [] {
-    std::string dir = EnvString("DPAUDIT_TRACE_CACHE", "");
+    std::string dir = CurrentRuntimeOptions().trace_cache;
     return dir.empty() ? nullptr : new TraceStore(dir);
   }();
   return store;

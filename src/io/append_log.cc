@@ -1,0 +1,99 @@
+#include "io/append_log.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+namespace dpaudit {
+
+Status AppendLog::Open(const std::string& path, long long truncate_to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("append log already open: " + path_);
+  }
+  const std::filesystem::path fs_path(path);
+  std::error_code ec;
+  if (fs_path.has_parent_path()) {
+    std::filesystem::create_directories(fs_path.parent_path(), ec);
+    if (ec) {
+      return Status::Internal("cannot create " +
+                              fs_path.parent_path().string() + ": " +
+                              ec.message());
+    }
+  }
+  if (truncate_to >= 0 && std::filesystem::exists(fs_path, ec)) {
+    std::filesystem::resize_file(
+        fs_path, static_cast<uintmax_t>(truncate_to), ec);
+    if (ec) {
+      return Status::Internal("cannot truncate " + path + " to " +
+                              std::to_string(truncate_to) + " bytes: " +
+                              ec.message());
+    }
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Internal("cannot open " + path + " for append: " +
+                            std::strerror(errno));
+  }
+  path_ = path;
+  return Status::Ok();
+}
+
+Status AppendLog::Append(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("append log is closed");
+  }
+  // One buffered write for payload + newline: stdio's internal lock makes
+  // the fwrite atomic with respect to other writers of this FILE, and the
+  // flush bounds what a crash can lose to the current line.
+  std::string record = line;
+  record.push_back('\n');
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return Status::Internal("short write to " + path_ + ": " +
+                            std::strerror(errno));
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("cannot flush " + path_ + ": " +
+                            std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+void AppendLog::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+StatusOr<AppendLogContents> ReadLogLines(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("no append log at " + path);
+  }
+  AppendLogContents contents;
+  std::string buffer;
+  char chunk[1 << 16];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+    buffer.append(chunk, static_cast<size_t>(in.gcount()));
+  }
+  size_t begin = 0;
+  while (begin < buffer.size()) {
+    const size_t end = buffer.find('\n', begin);
+    if (end == std::string::npos) {
+      contents.torn_tail = true;  // crash mid-append: drop the tail
+      break;
+    }
+    contents.lines.push_back(buffer.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  contents.valid_bytes = static_cast<long long>(
+      contents.torn_tail ? begin : buffer.size());
+  return contents;
+}
+
+}  // namespace dpaudit

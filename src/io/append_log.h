@@ -1,0 +1,69 @@
+// Crash-safe append-only line log.
+//
+// The sweep checkpoint journal (core/sweep_journal.h) needs JSONL appends
+// that survive a SIGKILL mid-run: a reader must see every fully written line
+// intact and at most one torn line at the end of the file. AppendLog
+// guarantees that by writing each line (payload + '\n') with a single
+// buffered write under a mutex followed by an fflush — concurrent writers
+// never interleave partial lines, and a crash can only truncate the final
+// line, which ReadLogLines detects and reports so the journal loader can
+// drop it and resume cleanly.
+
+#ifndef DPAUDIT_IO_APPEND_LOG_H_
+#define DPAUDIT_IO_APPEND_LOG_H_
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dpaudit {
+
+class AppendLog {
+ public:
+  AppendLog() = default;
+  ~AppendLog() { Close(); }
+
+  AppendLog(const AppendLog&) = delete;
+  AppendLog& operator=(const AppendLog&) = delete;
+
+  /// Opens `path` for appending, creating parent directories and the file on
+  /// demand. `truncate_to` >= 0 first truncates the file to that byte size —
+  /// the journal loader passes the offset after the last valid line so a
+  /// torn tail from a crash is cut before new rows land behind it.
+  Status Open(const std::string& path, long long truncate_to = -1);
+
+  /// Appends `line` + '\n' as one write and flushes. Thread-safe; lines from
+  /// concurrent writers never interleave. `line` must not contain '\n'.
+  Status Append(const std::string& line);
+
+  /// Flushes and closes (idempotent).
+  void Close();
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+/// Result of reading an append log: every complete line (without the
+/// terminating '\n'), plus whether the file ended in a torn line (no final
+/// newline) and the byte offset where that torn tail starts — the size to
+/// truncate to before appending again.
+struct AppendLogContents {
+  std::vector<std::string> lines;
+  bool torn_tail = false;
+  long long valid_bytes = 0;  // offset just past the last complete line
+};
+
+/// Reads `path`. NotFound when the file does not exist.
+StatusOr<AppendLogContents> ReadLogLines(const std::string& path);
+
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_IO_APPEND_LOG_H_

@@ -128,6 +128,15 @@ void WriteLedgerAudit(std::ostream& os, const LedgerAudit& audit) {
      << ",\"max_belief\":" << JsonNumber(audit.max_belief) << "}\n";
 }
 
+void WriteLedgerError(std::ostream& os, const LedgerError& error) {
+  os << "{\"row\":\"error\",\"seq\":" << error.seq << ",\"fingerprint\":\""
+     << JsonEscape(error.fingerprint) << "\",\"repetitions_requested\":"
+     << error.repetitions_requested << ",\"repetitions_completed\":"
+     << error.repetitions_completed << ",\"trials_failed\":"
+     << error.trials_failed << ",\"message\":\"" << JsonEscape(error.message)
+     << "\"}\n";
+}
+
 // ---------------------------------------------------------------------------
 // Writer.
 
@@ -204,6 +213,16 @@ void AppendLedgerAudit(LedgerAudit* audit) {
   audit->seq = state.next_seq++;
   if (!EnsureOpenLocked(state)) return;
   WriteLedgerAudit(state.out, *audit);
+  state.out.flush();
+}
+
+void AppendLedgerError(LedgerError* error) {
+  if (!AuditLedgerEnabled()) return;
+  LedgerWriterState& state = WriterState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  error->seq = state.next_seq++;
+  if (!EnsureOpenLocked(state)) return;
+  WriteLedgerError(state.out, *error);
   state.out.flush();
 }
 
@@ -432,6 +451,23 @@ StatusOr<LedgerFile> ParseLedger(std::istream& in) {
       }
       continue;
     }
+    if (row == "error") {
+      if (in_experiment) {
+        return LineError(line_no,
+                         "error row inside an unfinished experiment block");
+      }
+      LedgerError e;
+      DPAUDIT_LEDGER_REQ(JsonExtractUint, "seq", &e.seq);
+      DPAUDIT_LEDGER_REQ(JsonExtractString, "fingerprint", &e.fingerprint);
+      DPAUDIT_LEDGER_REQ(JsonExtractUint, "repetitions_requested",
+                         &e.repetitions_requested);
+      DPAUDIT_LEDGER_REQ(JsonExtractUint, "repetitions_completed",
+                         &e.repetitions_completed);
+      DPAUDIT_LEDGER_REQ(JsonExtractUint, "trials_failed", &e.trials_failed);
+      DPAUDIT_LEDGER_REQ(JsonExtractString, "message", &e.message);
+      file.errors.push_back(std::move(e));
+      continue;
+    }
     if (row == "audit") {
       if (in_experiment) {
         return LineError(line_no,
@@ -595,6 +631,25 @@ size_t DiffLedgers(const LedgerFile& a, const LedgerFile& b,
         d.Num(ws, "rdp_eps_alpha2", sa.rdp_eps_alpha2, sb.rdp_eps_alpha2);
       }
     }
+  }
+  if (a.errors.size() != b.errors.size()) {
+    ++d.count;
+    report << "error count: " << a.errors.size() << " != " << b.errors.size()
+           << "\n";
+  }
+  const size_t nerr = std::min(a.errors.size(), b.errors.size());
+  for (size_t i = 0; i < nerr; ++i) {
+    const LedgerError& ra = a.errors[i];
+    const LedgerError& rb = b.errors[i];
+    const std::string wr = "error[" + std::to_string(i) + "]";
+    d.Field(wr, "seq", ra.seq, rb.seq);
+    d.Field(wr, "fingerprint", ra.fingerprint, rb.fingerprint);
+    d.Field(wr, "repetitions_requested", ra.repetitions_requested,
+            rb.repetitions_requested);
+    d.Field(wr, "repetitions_completed", ra.repetitions_completed,
+            rb.repetitions_completed);
+    d.Field(wr, "trials_failed", ra.trials_failed, rb.trials_failed);
+    d.Field(wr, "message", ra.message, rb.message);
   }
   if (a.audits.size() != b.audits.size()) {
     ++d.count;

@@ -129,6 +129,18 @@ struct LedgerAudit {
   double max_belief = 0.0;              // beta-hat behind estimator 2
 };
 
+/// A sweep cell whose retry budget ran out: the experiment row (if any) holds
+/// only the repetitions that succeeded, and this row records the shortfall so
+/// a consumer can tell a deliberately small cell from a degraded one.
+struct LedgerError {
+  uint64_t seq = 0;
+  std::string fingerprint;  // trace-cache fingerprint of the degraded cell
+  uint64_t repetitions_requested = 0;
+  uint64_t repetitions_completed = 0;
+  uint64_t trials_failed = 0;  // repetitions that exhausted the retry budget
+  std::string message;         // first failure's status message
+};
+
 /// First row of every ledger file.
 struct LedgerManifest {
   uint32_t schema_version = kLedgerSchemaVersion;
@@ -144,6 +156,7 @@ struct LedgerFile {
   LedgerManifest manifest;
   std::vector<LedgerExperiment> experiments;
   std::vector<LedgerAudit> audits;
+  std::vector<LedgerError> errors;
 };
 
 /// Order-sensitive FNV-1a content digest of trial observables. Both the
@@ -193,6 +206,9 @@ void AppendLedgerExperiment(LedgerExperiment* experiment);
 /// Appends one audit row; assigns `seq` from the same counter.
 void AppendLedgerAudit(LedgerAudit* audit);
 
+/// Appends one error row (degraded sweep cell); assigns `seq` likewise.
+void AppendLedgerError(LedgerError* error);
+
 /// Test hooks: route the ledger to an explicit path (Open enables, Close
 /// flushes, disables, and resets the seq counter so consecutive tests see
 /// identical bytes).
@@ -206,6 +222,7 @@ void WriteLedgerManifest(std::ostream& os, const LedgerManifest& manifest);
 void WriteLedgerExperiment(std::ostream& os,
                            const LedgerExperiment& experiment);
 void WriteLedgerAudit(std::ostream& os, const LedgerAudit& audit);
+void WriteLedgerError(std::ostream& os, const LedgerError& error);
 
 /// Strict parser: the first row must be a manifest with a supported schema
 /// version; trial/step rows must arrive in order under their experiment row

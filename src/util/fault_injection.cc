@@ -1,0 +1,239 @@
+#include "util/fault_injection.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/env.h"
+#include "util/logging.h"
+
+namespace dpaudit {
+namespace fault {
+namespace {
+
+constexpr size_t kWildcard = static_cast<size_t>(-1);
+
+struct TrialClause {
+  size_t cell = kWildcard;  // kWildcard matches any cell
+  size_t rep = kWildcard;
+  size_t fail_first_n = 0;  // attempts 1..n of a matching trial fail
+};
+
+struct Plan {
+  std::vector<TrialClause> trials;
+  size_t journal_write_n = 0;      // 0 = never; else the n-th write fails
+  size_t abort_after_append = 0;   // 0 = never; else _Exit after n appends
+};
+
+struct State {
+  std::mutex mu;
+  bool initialized = false;  // plan latched (from spec or env)
+  Plan plan;
+  std::map<std::pair<size_t, size_t>, size_t> attempts;  // (cell,rep) -> n
+  size_t journal_writes = 0;
+  size_t journal_appends = 0;
+};
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+
+State& GetState() {
+  static State state;
+  return state;
+}
+
+/// Parses "<cell-or-*>:<rep-or-*>:<n>".
+bool ParseTrialClause(const std::string& body, TrialClause* out) {
+  const size_t colon1 = body.find(':');
+  if (colon1 == std::string::npos) return false;
+  const size_t colon2 = body.find(':', colon1 + 1);
+  if (colon2 == std::string::npos) return false;
+  auto field = [&body](size_t begin, size_t end, size_t* value) {
+    const std::string token = body.substr(begin, end - begin);
+    if (token == "*") {
+      *value = kWildcard;
+      return true;
+    }
+    if (token.empty()) return false;
+    char* tail = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(token.c_str(), &tail, 10);
+    if (tail == token.c_str() || *tail != '\0') return false;
+    *value = static_cast<size_t>(parsed);
+    return true;
+  };
+  size_t count = 0;
+  if (!field(0, colon1, &out->cell)) return false;
+  if (!field(colon1 + 1, colon2, &out->rep)) return false;
+  if (!field(colon2 + 1, body.size(), &count) || count == kWildcard) {
+    return false;
+  }
+  out->fail_first_n = count;
+  return true;
+}
+
+bool ParseCount(const std::string& body, size_t* out) {
+  if (body.empty()) return false;
+  char* tail = nullptr;
+  const unsigned long long parsed = std::strtoull(body.c_str(), &tail, 10);
+  if (tail == body.c_str() || *tail != '\0' || parsed == 0) return false;
+  *out = static_cast<size_t>(parsed);
+  return true;
+}
+
+StatusOr<Plan> ParseSpec(const std::string& spec) {
+  Plan plan;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find(';', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string clause = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (clause.empty()) continue;
+    const size_t eq = clause.find('=');
+    const std::string key =
+        eq == std::string::npos ? clause : clause.substr(0, eq);
+    const std::string body =
+        eq == std::string::npos ? std::string() : clause.substr(eq + 1);
+    if (key == "trial") {
+      TrialClause trial;
+      if (!ParseTrialClause(body, &trial)) {
+        return Status::InvalidArgument(
+            "fault clause \"" + clause +
+            "\": trial needs <cell|*>:<rep|*>:<n>, e.g. trial=0:1:2");
+      }
+      plan.trials.push_back(trial);
+    } else if (key == "journal-write") {
+      if (!ParseCount(body, &plan.journal_write_n)) {
+        return Status::InvalidArgument(
+            "fault clause \"" + clause +
+            "\": journal-write needs a positive count, e.g. "
+            "journal-write=3");
+      }
+    } else if (key == "abort-after-append") {
+      if (!ParseCount(body, &plan.abort_after_append)) {
+        return Status::InvalidArgument(
+            "fault clause \"" + clause +
+            "\": abort-after-append needs a positive count, e.g. "
+            "abort-after-append=5");
+      }
+    } else {
+      return Status::InvalidArgument(
+          "unknown fault clause \"" + clause +
+          "\"; known: trial=c:r:n, journal-write=n, abort-after-append=n");
+    }
+  }
+  return plan;
+}
+
+/// Latches the plan from the environment the first time any probe runs in a
+/// process that never called SetFaultSpec.
+void EnsureInitializedLocked(State* state) {
+  if (state->initialized) return;
+  state->initialized = true;
+  const std::string spec = EnvString("DPAUDIT_FAULT_INJECT", "");
+  if (spec.empty()) return;
+  StatusOr<Plan> plan = ParseSpec(spec);
+  if (!plan.ok()) {
+    DPAUDIT_LOG(WARNING) << "ignoring invalid DPAUDIT_FAULT_INJECT: "
+                         << plan.status().message();
+    return;
+  }
+  state->plan = std::move(*plan);
+  const bool active = !state->plan.trials.empty() ||
+                      state->plan.journal_write_n > 0 ||
+                      state->plan.abort_after_append > 0;
+  EnabledFlag().store(active, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Status SetFaultSpec(const std::string& spec) {
+  StatusOr<Plan> plan = spec.empty() ? StatusOr<Plan>(Plan{})
+                                     : ParseSpec(spec);
+  if (!plan.ok()) return plan.status();
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.initialized = true;
+  state.plan = std::move(*plan);
+  state.attempts.clear();
+  state.journal_writes = 0;
+  state.journal_appends = 0;
+  const bool active = !state.plan.trials.empty() ||
+                      state.plan.journal_write_n > 0 ||
+                      state.plan.abort_after_append > 0;
+  EnabledFlag().store(active, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status ValidateFaultSpec(const std::string& spec) {
+  if (spec.empty()) return Status::Ok();
+  return ParseSpec(spec).status();
+}
+
+bool FaultInjectionEnabled() {
+  State& state = GetState();
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    EnsureInitializedLocked(&state);
+  }
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+bool FailTrialAttempt(size_t cell, size_t rep) {
+  if (!FaultInjectionEnabled()) return false;
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const size_t attempt = ++state.attempts[{cell, rep}];  // 1-based
+  for (const TrialClause& clause : state.plan.trials) {
+    if (clause.cell != kWildcard && clause.cell != cell) continue;
+    if (clause.rep != kWildcard && clause.rep != rep) continue;
+    if (attempt <= clause.fail_first_n) return true;
+  }
+  return false;
+}
+
+bool FailJournalWrite() {
+  if (!FaultInjectionEnabled()) return false;
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.plan.journal_write_n == 0) return false;
+  return ++state.journal_writes == state.plan.journal_write_n;
+}
+
+void MaybeAbortAfterJournalAppend() {
+  if (!FaultInjectionEnabled()) return;
+  State& state = GetState();
+  bool abort_now = false;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.plan.abort_after_append == 0) return;
+    abort_now = ++state.journal_appends == state.plan.abort_after_append;
+  }
+  if (abort_now) {
+    DPAUDIT_LOG(WARNING) << "fault injection: aborting process after "
+                         << "journal append (SIGKILL-style crash point)";
+    // _Exit skips atexit — no telemetry flush, no ledger close, no stdio
+    // flush: the closest portable stand-in for a kill -9 mid-sweep.
+    std::_Exit(137);
+  }
+}
+
+void ClearFaultSpecForTest() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.initialized = false;  // the next probe re-latches from the env
+  state.plan = Plan{};
+  state.attempts.clear();
+  state.journal_writes = 0;
+  state.journal_appends = 0;
+  EnabledFlag().store(false, std::memory_order_relaxed);
+}
+
+}  // namespace fault
+}  // namespace dpaudit

@@ -1,0 +1,69 @@
+// Deterministic fault injection for crash-safety and retry testing.
+//
+// The sweep scheduler's failure-isolation and checkpoint/resume machinery
+// (core/sweep_scheduler.h, core/sweep_journal.h) needs reproducible
+// failures: a trial that throws on its first k attempts, a journal write
+// that fails, a SIGKILL-style process abort between two appends. This module
+// turns a compact spec string into those events, deterministically — the
+// same spec against the same run injects the same faults, so chaos tests
+// byte-diff their output against fault-free runs.
+//
+// Spec grammar (clauses separated by ';', all counters process-wide):
+//
+//   trial=<cell>:<rep>:<n>     fail the first n attempts of trial (cell,
+//                              rep); `*` wildcards cell and/or rep, so
+//                              trial=*:*:1 fails every trial's first attempt
+//   journal-write=<n>          the n-th journal append (1-based) fails with
+//                              an injected IO error
+//   abort-after-append=<n>     _Exit(137) immediately after the n-th
+//                              successful journal append — a SIGKILL-style
+//                              crash point: no atexit, no flush, no ledger
+//
+// The plan comes from the DPAUDIT_FAULT_INJECT environment variable (or the
+// --fault-inject flag via core/runtime_options, which pushes it down with
+// SetFaultSpec). With no spec installed every probe is one relaxed atomic
+// load.
+
+#ifndef DPAUDIT_UTIL_FAULT_INJECTION_H_
+#define DPAUDIT_UTIL_FAULT_INJECTION_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace dpaudit {
+namespace fault {
+
+/// Parses `spec` and installs it as the process-wide plan (replacing any
+/// previous plan and resetting every counter). An empty spec uninstalls.
+/// Invalid clauses return InvalidArgument naming the clause; the previous
+/// plan stays installed.
+Status SetFaultSpec(const std::string& spec);
+
+/// Parse-only check, for option validation.
+Status ValidateFaultSpec(const std::string& spec);
+
+/// True when a plan is installed (directly or lazily from the
+/// DPAUDIT_FAULT_INJECT environment variable on first probe).
+bool FaultInjectionEnabled();
+
+/// Should this attempt of trial (cell, rep) fail? Counts attempts per
+/// (cell, rep) internally; thread-safe.
+bool FailTrialAttempt(size_t cell, size_t rep);
+
+/// Should this journal append fail? Counts appends internally.
+bool FailJournalWrite();
+
+/// Crash point: _Exit(137) when the configured number of successful journal
+/// appends has been reached. Call after each append.
+void MaybeAbortAfterJournalAppend();
+
+/// Test hook: uninstalls the plan and resets all counters. The next probe
+/// re-latches from DPAUDIT_FAULT_INJECT, so tests unset it first.
+void ClearFaultSpecForTest();
+
+}  // namespace fault
+}  // namespace dpaudit
+
+#endif  // DPAUDIT_UTIL_FAULT_INJECTION_H_

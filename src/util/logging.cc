@@ -3,23 +3,18 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+
+#include "util/env.h"
 
 namespace dpaudit {
 namespace {
 
 int LevelFromEnv() {
-  const char* raw = std::getenv("DPAUDIT_LOG_LEVEL");
-  if (raw == nullptr || *raw == '\0') {
-    return static_cast<int>(LogLevel::kInfo);
-  }
-  if (std::strcmp(raw, "INFO") == 0 || std::strcmp(raw, "0") == 0) {
-    return static_cast<int>(LogLevel::kInfo);
-  }
-  if (std::strcmp(raw, "WARNING") == 0 || std::strcmp(raw, "1") == 0) {
+  const std::string raw = EnvString("DPAUDIT_LOG_LEVEL", "");
+  if (raw == "WARNING" || raw == "1") {
     return static_cast<int>(LogLevel::kWarning);
   }
-  if (std::strcmp(raw, "ERROR") == 0 || std::strcmp(raw, "2") == 0) {
+  if (raw == "ERROR" || raw == "2") {
     return static_cast<int>(LogLevel::kError);
   }
   return static_cast<int>(LogLevel::kInfo);

@@ -180,10 +180,28 @@ ThreadPool& SharedThreadPool() {
   return pool;
 }
 
+namespace {
+
+std::atomic<size_t>& ThreadCountOverrideStorage() {
+  static std::atomic<size_t> value{0};
+  return value;
+}
+
+}  // namespace
+
+void SetDefaultThreadCountOverride(size_t value) {
+  ThreadCountOverrideStorage().store(value, std::memory_order_relaxed);
+}
+
 size_t DefaultThreadCount() {
-  // DPAUDIT_THREADS overrides the hardware-derived default: CI forces >1 on
-  // single-core runners so sanitizer jobs exercise real concurrency, and
-  // operators pin it down on shared machines.
+  // Precedence: explicit override (the --threads flag, pushed down by
+  // core/runtime_options) > DPAUDIT_THREADS > hardware-derived default. The
+  // env read stays per-call so tests can setenv/unsetenv between regions;
+  // CI forces >1 on single-core runners so sanitizer jobs exercise real
+  // concurrency, and operators pin it down on shared machines.
+  const size_t override_value =
+      ThreadCountOverrideStorage().load(std::memory_order_relaxed);
+  if (override_value > 0) return std::min<size_t>(256, override_value);
   const int64_t forced = EnvInt64("DPAUDIT_THREADS", 0);
   if (forced > 0) {
     return std::min<size_t>(256, static_cast<size_t>(forced));

@@ -125,6 +125,13 @@ ThreadPool& SharedThreadPool();
 /// force real concurrency on small runners).
 size_t DefaultThreadCount();
 
+/// Installs (value > 0) or clears (0) a process-wide thread-count override
+/// that takes precedence over DPAUDIT_THREADS in DefaultThreadCount. Applied
+/// by core/runtime_options when the --threads flag (or an explicit
+/// RuntimeOptions) is in effect. Install it BEFORE the first parallel
+/// region: SharedThreadPool() sizes itself once, at first use.
+void SetDefaultThreadCountOverride(size_t value);
+
 /// Thread budget for each inner parallel region when `outer_tasks` of them
 /// run concurrently under a total budget of `total_threads`: total / outer,
 /// at least 1. Keeps nested parallelism (experiment repetitions on the

@@ -1,0 +1,120 @@
+// Deterministic fault injection: spec parsing, wildcard matching, per-trial
+// attempt counting, journal-write counters, and plan replacement semantics.
+// The abort-after-append crash point is exercised end to end by the CI chaos
+// job (it _Exit(137)s the process, so it cannot run inside gtest).
+
+#include "util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace dpaudit {
+namespace fault {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    unsetenv("DPAUDIT_FAULT_INJECT");
+    ClearFaultSpecForTest();
+  }
+  void TearDown() override { ClearFaultSpecForTest(); }
+};
+
+TEST_F(FaultInjectionTest, DisabledByDefault) {
+  EXPECT_FALSE(FaultInjectionEnabled());
+  EXPECT_FALSE(FailTrialAttempt(0, 0));
+  EXPECT_FALSE(FailJournalWrite());
+}
+
+TEST_F(FaultInjectionTest, TrialClauseFailsTheFirstNAttempts) {
+  ASSERT_TRUE(SetFaultSpec("trial=0:1:2").ok());
+  EXPECT_TRUE(FaultInjectionEnabled());
+  EXPECT_TRUE(FailTrialAttempt(0, 1));   // attempt 1
+  EXPECT_TRUE(FailTrialAttempt(0, 1));   // attempt 2
+  EXPECT_FALSE(FailTrialAttempt(0, 1));  // attempt 3 succeeds
+  // Other trials are untouched.
+  EXPECT_FALSE(FailTrialAttempt(0, 0));
+  EXPECT_FALSE(FailTrialAttempt(1, 1));
+}
+
+TEST_F(FaultInjectionTest, WildcardsMatchEveryCellAndRep) {
+  ASSERT_TRUE(SetFaultSpec("trial=*:*:1").ok());
+  for (size_t cell = 0; cell < 3; ++cell) {
+    for (size_t rep = 0; rep < 3; ++rep) {
+      EXPECT_TRUE(FailTrialAttempt(cell, rep)) << cell << ":" << rep;
+      EXPECT_FALSE(FailTrialAttempt(cell, rep)) << cell << ":" << rep;
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, CellWildcardWithFixedRep) {
+  ASSERT_TRUE(SetFaultSpec("trial=*:2:1").ok());
+  EXPECT_TRUE(FailTrialAttempt(0, 2));
+  EXPECT_TRUE(FailTrialAttempt(5, 2));
+  EXPECT_FALSE(FailTrialAttempt(0, 1));
+}
+
+TEST_F(FaultInjectionTest, JournalWriteClauseFailsTheNthAppend) {
+  ASSERT_TRUE(SetFaultSpec("journal-write=2").ok());
+  EXPECT_FALSE(FailJournalWrite());  // append 1
+  EXPECT_TRUE(FailJournalWrite());   // append 2 fails
+  EXPECT_FALSE(FailJournalWrite());  // append 3
+}
+
+TEST_F(FaultInjectionTest, ClausesCompose) {
+  ASSERT_TRUE(SetFaultSpec("trial=0:0:1;journal-write=1").ok());
+  EXPECT_TRUE(FailTrialAttempt(0, 0));
+  EXPECT_FALSE(FailTrialAttempt(0, 0));
+  EXPECT_TRUE(FailJournalWrite());
+  EXPECT_FALSE(FailJournalWrite());
+}
+
+TEST_F(FaultInjectionTest, ReinstallingResetsCounters) {
+  ASSERT_TRUE(SetFaultSpec("trial=0:0:1").ok());
+  EXPECT_TRUE(FailTrialAttempt(0, 0));
+  EXPECT_FALSE(FailTrialAttempt(0, 0));
+  ASSERT_TRUE(SetFaultSpec("trial=0:0:1").ok());
+  EXPECT_TRUE(FailTrialAttempt(0, 0));  // counter restarted
+}
+
+TEST_F(FaultInjectionTest, InvalidSpecsAreRejectedAndKeepThePreviousPlan) {
+  ASSERT_TRUE(SetFaultSpec("trial=0:0:5").ok());
+  for (const char* bad :
+       {"bogus", "trial=", "trial=1:2", "trial=a:b:c", "journal-write=",
+        "journal-write=x", "abort-after-append=", "unknown=1"}) {
+    EXPECT_FALSE(SetFaultSpec(bad).ok()) << bad;
+    EXPECT_FALSE(ValidateFaultSpec(bad).ok()) << bad;
+  }
+  // The old plan survived every rejected install.
+  EXPECT_TRUE(FaultInjectionEnabled());
+  EXPECT_TRUE(FailTrialAttempt(0, 0));
+}
+
+TEST_F(FaultInjectionTest, ValidateDoesNotInstall) {
+  ASSERT_TRUE(ValidateFaultSpec("trial=*:*:1").ok());
+  EXPECT_FALSE(FaultInjectionEnabled());
+  EXPECT_FALSE(FailTrialAttempt(0, 0));
+}
+
+TEST_F(FaultInjectionTest, EmptySpecUninstalls) {
+  ASSERT_TRUE(SetFaultSpec("trial=*:*:1").ok());
+  ASSERT_TRUE(SetFaultSpec("").ok());
+  EXPECT_FALSE(FaultInjectionEnabled());
+  EXPECT_FALSE(FailTrialAttempt(0, 0));
+}
+
+TEST_F(FaultInjectionTest, EnvironmentLatchInstallsLazily) {
+  setenv("DPAUDIT_FAULT_INJECT", "trial=3:0:1", 1);
+  ClearFaultSpecForTest();  // reset, then the next probe re-reads the env
+  EXPECT_TRUE(FailTrialAttempt(3, 0));
+  EXPECT_FALSE(FailTrialAttempt(3, 0));
+  unsetenv("DPAUDIT_FAULT_INJECT");
+  ClearFaultSpecForTest();
+  EXPECT_FALSE(FailTrialAttempt(3, 0));
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace dpaudit

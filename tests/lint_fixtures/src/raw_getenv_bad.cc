@@ -1,0 +1,6 @@
+// Fixture: dpaudit-raw-getenv must flag every direct environment read.
+#include <cstdlib>
+
+const char* AdHocKnob() { return std::getenv("DPAUDIT_SECRET_KNOB"); }
+
+const char* UnqualifiedKnob() { return getenv("DPAUDIT_OTHER_KNOB"); }

@@ -1,0 +1,14 @@
+// Fixture: knobs read through the RuntimeOptions table or the util/env.h
+// accessors are compliant; the word "getenv" in strings and comments (for
+// example "getenv is banned") must not trip the token matcher.
+namespace dpaudit {
+
+struct RuntimeOptions;
+const RuntimeOptions& CurrentRuntimeOptions();
+long EnvInt64(const char* name, long fallback);
+
+const char* kNote = "raw getenv is banned outside core/runtime_options";
+
+long CompliantKnob() { return EnvInt64("DPAUDIT_THREADS", 0); }
+
+}  // namespace dpaudit

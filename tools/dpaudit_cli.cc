@@ -34,18 +34,35 @@
 //       trajectory, and re-derives the three epsilon' estimators from the
 //       rows alone, verifying them against the recorded audit values.
 //       `diff` compares two runs' ledgers field by field.
+//
+//   dpaudit_cli sweep status --journal RUN.sweep.jsonl
+//   dpaudit_cli sweep resume --journal RUN.sweep.jsonl
+//       Inspect a sweep checkpoint journal (core/sweep_journal.h), or
+//       re-execute the recorded command with DPAUDIT_SWEEP_CHECKPOINT set so
+//       the interrupted sweep resumes where it stopped.
+//
+// Every command also accepts the shared runtime flags (--threads=N,
+// --lanes=N, --retries=N, --telemetry=DIR, ... — see core/runtime_options.h
+// or --help); precedence is flag > DPAUDIT_* env > default.
+
+#include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/auditor.h"
 #include "core/experiment.h"
 #include "core/ledger_verify.h"
 #include "core/policy.h"
 #include "core/report.h"
+#include "core/runtime_options.h"
 #include "core/scores.h"
+#include "core/sweep_journal.h"
 #include "core/trace.h"
 #include "data/dataset_sensitivity.h"
 #include "data/synthetic_mnist.h"
@@ -65,7 +82,7 @@ void PrintUsage() {
   std::fprintf(
       stderr,
       "usage: dpaudit_cli "
-      "<scores|plan|experiment|trace|ledger|metrics> [--flags]\n"
+      "<scores|plan|experiment|trace|ledger|sweep|metrics> [--flags]\n"
       "  scores     --epsilon E --delta D\n"
       "  plan       (--rho-beta B | --rho-alpha A) --delta D "
       "[--steps K]\n"
@@ -82,7 +99,9 @@ void PrintUsage() {
       "  ledger     list --file F | show --file F [--seq N]\n"
       "             | check --file F [--tolerance 1e-9]\n"
       "             | diff --a F --b F\n"
-      "  metrics    [--from-jsonl FILE]\n");
+      "  sweep      status --journal F | resume --journal F\n"
+      "  metrics    [--from-jsonl FILE]\n"
+      "shared runtime flags (--threads=N, --retries=N, ...): --help\n");
 }
 
 Status RunScores(const ArgParser& args) {
@@ -139,6 +158,13 @@ Status RunExperiment(const ArgParser& args) {
   DPAUDIT_RETURN_IF_ERROR(args.CheckAllConsumed());
 
   obs::TelemetryOptions telemetry = obs::TelemetryOptionsFromEnv();
+  const RuntimeOptions& runtime = CurrentRuntimeOptions();
+  if (runtime.telemetry_enabled) {
+    // --telemetry=DIR goes through the shared runtime flags (stripped in
+    // Main); the historical "--telemetry DIR" space form below still wins.
+    telemetry.enabled = true;
+    telemetry.directory = runtime.telemetry_dir;
+  }
   if (!telemetry_dir.empty()) {
     telemetry.enabled = true;
     telemetry.directory = telemetry_dir;
@@ -513,7 +539,128 @@ Status RunLedger(const ArgParser& args) {
   return Status::InvalidArgument("unknown ledger action: " + action);
 }
 
+Status RunSweepStatus(const std::string& path) {
+  DPAUDIT_ASSIGN_OR_RETURN(LoadedSweepJournal journal,
+                           LoadSweepJournal(path));
+  std::printf("sweep journal %s (schema v%u)\n", path.c_str(),
+              journal.has_manifest ? journal.manifest.schema_version
+                                   : kSweepJournalSchemaVersion);
+  if (journal.has_manifest) {
+    std::string command = journal.manifest.binary;
+    for (const std::string& arg : journal.manifest.args) {
+      command += " " + arg;
+    }
+    std::printf("  command  = %s\n", command.c_str());
+    std::printf("  cwd      = %s\n", journal.manifest.cwd.c_str());
+  } else {
+    std::printf("  command  = (no manifest row — not resumable)\n");
+  }
+  std::printf("  trials   = %zu across %zu cell(s)\n", journal.trial_rows,
+              journal.trials.size());
+  for (const auto& cell : journal.trials) {
+    uint64_t max_rep = 0;
+    for (const auto& rep : cell.second) max_rep = rep.first;
+    std::printf("  cell %s: %zu rep(s), highest rep %llu\n",
+                cell.first.c_str(), cell.second.size(),
+                static_cast<unsigned long long>(max_rep));
+  }
+  if (journal.dropped_rows > 0) {
+    std::printf("  dropped  = %zu corrupt row(s) (will re-run)\n",
+                journal.dropped_rows);
+  }
+  if (journal.torn_tail) {
+    std::printf("  torn tail after byte %lld (crash signature; truncated on "
+                "resume)\n",
+                journal.valid_bytes);
+  }
+  return Status::Ok();
+}
+
+Status RunSweepResume(const std::string& path) {
+  DPAUDIT_ASSIGN_OR_RETURN(LoadedSweepJournal journal,
+                           LoadSweepJournal(path));
+  if (!journal.has_manifest) {
+    return Status::FailedPrecondition(
+        "journal " + path +
+        " has no manifest row; re-launch the original command with "
+        "--checkpoint=" + path + " instead");
+  }
+  std::error_code ec;
+  const std::string absolute =
+      std::filesystem::absolute(path, ec).string();
+  if (ec) return Status::Internal("cannot resolve " + path);
+  // The resumed process re-derives its checkpoint from this variable (env
+  // beats the default; an explicit --checkpoint flag in the recorded args
+  // still wins, and points at the same file).
+  ::setenv("DPAUDIT_SWEEP_CHECKPOINT", absolute.c_str(), /*overwrite=*/1);
+  if (!journal.manifest.cwd.empty()) {
+    std::filesystem::current_path(journal.manifest.cwd, ec);
+    if (ec) {
+      return Status::FailedPrecondition(
+          "cannot chdir to recorded cwd " + journal.manifest.cwd +
+          "; re-run from there manually");
+    }
+  }
+  std::vector<std::string> command;
+  command.push_back(journal.manifest.binary);
+  for (const std::string& arg : journal.manifest.args) {
+    command.push_back(arg);
+  }
+  std::string display;
+  for (const std::string& part : command) {
+    if (!display.empty()) display += " ";
+    display += part;
+  }
+  std::fprintf(stderr, "resuming: %s (journal %s, %zu trial(s) recorded)\n",
+               display.c_str(), absolute.c_str(), journal.trial_rows);
+  std::vector<char*> exec_argv;
+  exec_argv.reserve(command.size() + 1);
+  for (std::string& part : command) {
+    exec_argv.push_back(part.data());
+  }
+  exec_argv.push_back(nullptr);
+  ::execvp(exec_argv[0], exec_argv.data());
+  return Status::NotFound("cannot execute " + command[0] +
+                          " (recorded in the journal manifest); re-run it "
+                          "manually with DPAUDIT_SWEEP_CHECKPOINT=" +
+                          absolute);
+}
+
+Status RunSweepCmd(const ArgParser& args) {
+  if (args.positional().size() != 2) {
+    return Status::InvalidArgument("sweep needs an action: status|resume");
+  }
+  const std::string& action = args.positional()[1];
+  std::string journal = args.GetString("journal", "");
+  DPAUDIT_RETURN_IF_ERROR(args.CheckAllConsumed());
+  if (journal.empty()) {
+    return Status::InvalidArgument("pass --journal RUN.sweep.jsonl");
+  }
+  if (action == "status") return RunSweepStatus(journal);
+  if (action == "resume") return RunSweepResume(journal);
+  return Status::InvalidArgument("unknown sweep action: " + action);
+}
+
 int Main(int argc, char** argv) {
+  StatusOr<RuntimeOptions> runtime =
+      RuntimeOptions::FromEnvAndArgs(&argc, argv);
+  if (!runtime.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 runtime.status().ToString().c_str());
+    PrintUsage();
+    return 2;
+  }
+  if (runtime->help) {
+    PrintUsage();
+    PrintRuntimeOptionsHelp(argv[0], std::cout);
+    return 0;
+  }
+  InitRuntimeOptions(*runtime);
+  Status applied = ApplyRuntimeOptions(*runtime);
+  if (!applied.ok()) {
+    std::fprintf(stderr, "error: %s\n", applied.ToString().c_str());
+    return 2;
+  }
   StatusOr<ArgParser> args = ArgParser::Parse(argc, argv);
   if (!args.ok()) {
     std::fprintf(stderr, "error: %s\n", args.status().ToString().c_str());
@@ -525,7 +672,7 @@ int Main(int argc, char** argv) {
     return 2;
   }
   const std::string& command = args->positional()[0];
-  if (command != "trace" && command != "ledger" &&
+  if (command != "trace" && command != "ledger" && command != "sweep" &&
       args->positional().size() != 1) {
     PrintUsage();
     return 2;
@@ -536,6 +683,7 @@ int Main(int argc, char** argv) {
   if (command == "experiment") status = RunExperiment(*args);
   if (command == "trace") status = RunTrace(*args);
   if (command == "ledger") status = RunLedger(*args);
+  if (command == "sweep") status = RunSweepCmd(*args);
   if (command == "metrics") status = RunMetrics(*args);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());

@@ -55,7 +55,9 @@ int main(int argc, char** argv) {
   bool list_rules = false;
   bool stats = false;
   bool no_cache = false;
-  if (const char* env = std::getenv("DPAUDIT_LINT_CACHE")) {
+  // The linter cannot depend on core/, so this one knob reads the
+  // environment directly.
+  if (const char* env = std::getenv("DPAUDIT_LINT_CACHE")) {  // NOLINT(dpaudit-raw-getenv)
     options.cache_path = env;
   }
 

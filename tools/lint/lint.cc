@@ -240,6 +240,32 @@ void CheckOmp(const SourceFile& file, std::vector<Finding>* out) {
 }
 
 // ---------------------------------------------------------------------------
+// dpaudit-raw-getenv: every process knob flows through the RuntimeOptions
+// table (core/runtime_options.h) so precedence (flag > env > default),
+// validation, and --help stay in one place. A raw getenv is an undocumented
+// knob the table and docs/OPERATIONS.md cannot see.
+
+/// Flags `getenv`/`std::getenv`/`secure_getenv` everywhere except the
+/// RuntimeOptions implementation itself. The util/env.h accessors are the
+/// one sanctioned low-level read path and carry per-line NOLINT markers.
+void CheckRawGetenv(const SourceFile& file, std::vector<Finding>* out) {
+  if (StartsWith(file.rel, "src/core/runtime_options.")) return;
+  constexpr const char* kTokens[] = {"getenv", "secure_getenv"};
+  for (size_t i = 0; i < file.code_lines.size(); ++i) {
+    for (const char* token : kTokens) {
+      if (HasToken(file.code_lines[i], token)) {
+        Emit(file, static_cast<int>(i + 1), "dpaudit-raw-getenv",
+             "raw getenv; read knobs through RuntimeOptions "
+             "(core/runtime_options.h) or the util/env.h accessors so every "
+             "knob has a flag, a default, validation, and a --help line",
+             out);
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // dpaudit-include-guard: headers carry either #pragma once or the
 // conventional guard DPAUDIT_<PATH>_H_ (path upper-cased, "src/" dropped).
 
@@ -810,6 +836,10 @@ const std::vector<Rule>& AllRules() {
       {"dpaudit-omp",
        "no #pragma omp; parallelism goes through util/thread_pool",
        &CheckOmp},
+      {"dpaudit-raw-getenv",
+       "no raw getenv outside core/runtime_options; knobs go through the "
+       "RuntimeOptions table or util/env.h",
+       &CheckRawGetenv},
       {"dpaudit-raw-pool",
        "no direct ThreadPool construction outside util/; use "
        "SharedThreadPool()",
